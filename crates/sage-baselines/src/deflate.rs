@@ -1,0 +1,260 @@
+//! A DEFLATE-like block codec: LZ77 tokens entropy-coded with dynamic
+//! canonical Huffman tables.
+//!
+//! The container is not RFC 1951 bit-compatible (we own both ends) but
+//! uses the same alphabet construction: 286 literal/length symbols with
+//! extra bits, 30 distance symbols with extra bits, and per-block
+//! dynamic code tables.
+
+use crate::huffman::CodeBook;
+use crate::lz77::{expand, tokenize, Token, MAX_MATCH, MIN_MATCH};
+use sage_core::bitio::{BitReader, BitWriter};
+use std::fmt;
+
+/// End-of-block symbol.
+const EOB: usize = 256;
+/// Literal/length alphabet size.
+const LITLEN_SYMS: usize = 286;
+/// Distance alphabet size.
+const DIST_SYMS: usize = 30;
+
+/// DEFLATE length code bases (symbol 257 + i encodes `LEN_BASE[i]`).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+
+/// Error decoding a deflate-like stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InflateError(pub String);
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inflate error: {}", self.0)
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+fn length_symbol(len: usize) -> (usize, u16, u8) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut i = LEN_BASE.len() - 1;
+    while LEN_BASE[i] as usize > len {
+        i -= 1;
+    }
+    (257 + i, len as u16 - LEN_BASE[i], LEN_EXTRA[i])
+}
+
+fn dist_symbol(dist: usize) -> (usize, u16, u8) {
+    let mut i = DIST_BASE.len() - 1;
+    while DIST_BASE[i] as usize > dist {
+        i -= 1;
+    }
+    (i, dist as u16 - DIST_BASE[i], DIST_EXTRA[i])
+}
+
+/// Compresses one block of bytes.
+pub fn deflate_block(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+    // Frequencies.
+    let mut lit_freq = vec![0u64; LITLEN_SYMS];
+    let mut dist_freq = vec![0u64; DIST_SYMS];
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_symbol(len as usize).0] += 1;
+                dist_freq[dist_symbol(dist as usize).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+    let lit_book = CodeBook::from_frequencies(&lit_freq);
+    let dist_book = CodeBook::from_frequencies(&dist_freq);
+
+    let mut w = BitWriter::new();
+    for &l in lit_book.lengths() {
+        w.write_bits(u64::from(l), 4);
+    }
+    for &l in dist_book.lengths() {
+        w.write_bits(u64::from(l), 4);
+    }
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_book.encode(&mut w, b as usize),
+            Token::Match { len, dist } => {
+                let (sym, extra, ebits) = length_symbol(len as usize);
+                lit_book.encode(&mut w, sym);
+                w.write_bits(u64::from(extra), u32::from(ebits));
+                let (dsym, dextra, debits) = dist_symbol(dist as usize);
+                dist_book.encode(&mut w, dsym);
+                w.write_bits(u64::from(dextra), u32::from(debits));
+            }
+        }
+    }
+    lit_book.encode(&mut w, EOB);
+    let (bytes, bit_len) = w.finish();
+    let mut out = Vec::with_capacity(bytes.len() + 16);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bit_len.to_le_bytes());
+    out.extend_from_slice(&bytes);
+    out
+}
+
+/// Decompresses one block produced by [`deflate_block`].
+///
+/// # Errors
+///
+/// Returns [`InflateError`] on malformed input.
+pub fn inflate_block(block: &[u8]) -> Result<Vec<u8>, InflateError> {
+    if block.len() < 12 {
+        return Err(InflateError("block header truncated".into()));
+    }
+    let raw_len = u32::from_le_bytes(block[0..4].try_into().expect("len 4")) as usize;
+    let bit_len = u64::from_le_bytes(block[4..12].try_into().expect("len 8"));
+    let payload = &block[12..];
+    if bit_len > payload.len() as u64 * 8 {
+        return Err(InflateError("bit length exceeds payload".into()));
+    }
+    let mut r = BitReader::new(payload, bit_len);
+    let mut lit_lengths = vec![0u8; LITLEN_SYMS];
+    for l in lit_lengths.iter_mut() {
+        *l = r
+            .read_bits(4)
+            .map_err(|e| InflateError(e.to_string()))? as u8;
+    }
+    let mut dist_lengths = vec![0u8; DIST_SYMS];
+    for l in dist_lengths.iter_mut() {
+        *l = r
+            .read_bits(4)
+            .map_err(|e| InflateError(e.to_string()))? as u8;
+    }
+    let lit_dec = CodeBook::from_lengths(lit_lengths).decoder();
+    let dist_dec = CodeBook::from_lengths(dist_lengths).decoder();
+    let mut tokens = Vec::new();
+    loop {
+        let sym = lit_dec
+            .decode(&mut r)
+            .map_err(|e| InflateError(e.to_string()))?;
+        if sym == EOB {
+            break;
+        }
+        if sym < 256 {
+            tokens.push(Token::Literal(sym as u8));
+            continue;
+        }
+        let li = sym - 257;
+        if li >= LEN_BASE.len() {
+            return Err(InflateError(format!("invalid length symbol {sym}")));
+        }
+        let extra = r
+            .read_bits(u32::from(LEN_EXTRA[li]))
+            .map_err(|e| InflateError(e.to_string()))? as u16;
+        let len = LEN_BASE[li] + extra;
+        let dsym = dist_dec
+            .decode(&mut r)
+            .map_err(|e| InflateError(e.to_string()))?;
+        let dextra = r
+            .read_bits(u32::from(DIST_EXTRA[dsym]))
+            .map_err(|e| InflateError(e.to_string()))? as u16;
+        let dist = DIST_BASE[dsym] + dextra;
+        tokens.push(Token::Match { len, dist });
+    }
+    let out = expand(&tokens, raw_len).ok_or_else(|| InflateError("bad back-reference".into()))?;
+    if out.len() != raw_len {
+        return Err(InflateError(format!(
+            "expanded to {} bytes, expected {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let block = deflate_block(data);
+        let back = inflate_block(&block).unwrap();
+        assert_eq!(back, data);
+        block.len()
+    }
+
+    #[test]
+    fn empty_block() {
+        round_trip(b"");
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let size = round_trip(&data);
+        assert!(size < data.len() / 3, "{} vs {}", size, data.len());
+    }
+
+    #[test]
+    fn dna_like_text_compresses_to_under_3_bits_per_base() {
+        let mut x = 3u64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b"ACGT"[((x >> 33) % 4) as usize]
+            })
+            .collect();
+        let size = round_trip(&data);
+        let bits_per_base = size as f64 * 8.0 / data.len() as f64;
+        assert!(bits_per_base < 3.0, "{bits_per_base} bits/base");
+    }
+
+    #[test]
+    fn length_symbol_table_is_consistent() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (sym, extra, ebits) = length_symbol(len);
+            assert!((257..286).contains(&sym));
+            assert_eq!(
+                LEN_BASE[sym - 257] as usize + extra as usize,
+                len,
+                "len {len}"
+            );
+            assert!(u32::from(extra) < (1 << ebits) || ebits == 0 && extra == 0);
+        }
+    }
+
+    #[test]
+    fn dist_symbol_table_is_consistent() {
+        for dist in 1..=32_768usize {
+            let (sym, extra, ebits) = dist_symbol(dist);
+            assert!(sym < 30);
+            assert_eq!(DIST_BASE[sym] as usize + extra as usize, dist);
+            assert!(u32::from(extra) < (1 << ebits) || ebits == 0 && extra == 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_block_errors_cleanly() {
+        let mut block = deflate_block(b"hello hello hello hello hello");
+        for i in 12..block.len() {
+            block[i] ^= 0xFF;
+        }
+        assert!(inflate_block(&block).is_err());
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let block = deflate_block(b"some data to compress some data");
+        assert!(inflate_block(&block[..8]).is_err());
+        assert!(inflate_block(&block[..block.len() / 2]).is_err());
+    }
+}

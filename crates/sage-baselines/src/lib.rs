@@ -1,0 +1,23 @@
+//! # sage-baselines — comparison compressors
+//!
+//! The SAGe paper compares against two families of data-preparation
+//! baselines; this crate implements both from scratch:
+//!
+//! - [`GzipLike`] — a pigz-analogue general-purpose compressor: LZ77
+//!   over a 32 KiB window ([`lz77`]) entropy-coded with dynamic
+//!   canonical Huffman tables ([`huffman`], [`deflate`]), with
+//!   block-parallel compression.
+//! - [`SpringLike`] — a Spring/NanoSpring-analogue genomic compressor:
+//!   consensus-based mismatch encoding (single matching position per
+//!   read) whose streams are squeezed by the general-purpose backend —
+//!   high ratio, but a decompression working set that disqualifies it
+//!   from resource-constrained integration (§3.2 of the paper).
+
+pub mod deflate;
+pub mod gzip_like;
+pub mod huffman;
+pub mod lz77;
+pub mod spring_like;
+
+pub use gzip_like::GzipLike;
+pub use spring_like::{SpringArchive, SpringError, SpringLike, SpringStats};

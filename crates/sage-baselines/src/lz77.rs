@@ -1,0 +1,202 @@
+//! LZ77 matching with hash chains (the DEFLATE construction).
+
+/// Window size (32 KiB, as in DEFLATE/gzip).
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length.
+pub const MAX_MATCH: usize = 258;
+/// Maximum hash-chain hops per position (compression effort).
+pub const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length (`MIN_MATCH..=MAX_MATCH`).
+        len: u16,
+        /// Distance (`1..=WINDOW`).
+        dist: u16,
+    },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i])
+        | (u32::from(data[i + 1]) << 8)
+        | (u32::from(data[i + 2]) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenizes `data` greedily with hash-chain match search.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 3 + 8);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        if i + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash3(data, i);
+        // Search the chain for the longest match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h];
+        let mut hops = 0usize;
+        while cand != usize::MAX && i - cand <= WINDOW && hops < MAX_CHAIN {
+            let max_len = (n - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max_len && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - cand;
+                if l >= max_len {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            hops += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert all covered positions into the chains.
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            for j in i..end {
+                let hj = hash3(data, j);
+                prev[j] = head[hj];
+                head[hj] = j;
+            }
+            i += best_len;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expands tokens back into bytes.
+///
+/// Returns `None` when a back-reference points before the output start
+/// (corrupt stream).
+pub fn expand(tokens: &[Token], size_hint: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(size_hint);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are byte-by-byte by definition.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let tokens = tokenize(data);
+        let back = expand(&tokens, data.len()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc".repeat(10);
+        let tokens = tokenize(&data);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert!(tokens.len() < data.len() / 2);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_round_trip() {
+        // "aaaa..." forces dist=1 overlapping copies.
+        let data = vec![b'a'; 1000];
+        let tokens = tokenize(&data);
+        round_trip(&data);
+        assert!(tokens.len() < 20);
+    }
+
+    #[test]
+    fn random_bytes_round_trip() {
+        let mut x = 12345u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn dna_text_round_trip() {
+        let mut x = 7u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b"ACGT"[((x >> 33) % 4) as usize]
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn expand_rejects_bad_distance() {
+        let tokens = vec![Token::Match { len: 5, dist: 3 }];
+        assert!(expand(&tokens, 8).is_none());
+    }
+
+    #[test]
+    fn match_lengths_within_bounds() {
+        let data = vec![b'z'; 5_000];
+        for t in tokenize(&data) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                assert!(dist as usize <= WINDOW);
+            }
+        }
+    }
+}

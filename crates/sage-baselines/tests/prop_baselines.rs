@@ -1,0 +1,93 @@
+//! Property-based tests for the baseline compressors.
+
+use proptest::prelude::*;
+use sage_baselines::spring_like::{get_varint, put_varint};
+use sage_baselines::{GzipLike, SpringLike};
+use sage_genomics::{Base, DnaSeq, Read, ReadSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gzip_like_round_trips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..20_000)) {
+        let gz = GzipLike::new().with_chunk_size(4096);
+        let packed = gz.compress(&data);
+        prop_assert_eq!(gz.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn gzip_like_round_trips_low_entropy(data in prop::collection::vec(0u8..4, 0..30_000)) {
+        let gz = GzipLike::new();
+        let packed = gz.compress(&data);
+        prop_assert_eq!(gz.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn varint_round_trips(values in prop::collection::vec(any::<u64>(), 0..500)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut cur = 0;
+        for &v in &values {
+            prop_assert_eq!(get_varint(&buf, &mut cur), Some(v));
+        }
+        prop_assert_eq!(cur, buf.len());
+    }
+}
+
+/// Strategy: reads sampled from a shared genome (mappable) plus some
+/// noise, mirroring the core crate's strategy but smaller.
+fn read_set_strategy() -> impl Strategy<Value = ReadSet> {
+    let genome = prop::collection::vec(0u8..4, 400..900);
+    (genome, 1usize..12).prop_flat_map(|(genome, n)| {
+        let g: Vec<Base> = genome.iter().map(|&c| Base::from_code2(c)).collect();
+        prop::collection::vec(
+            (0usize..300, 40usize..80, any::<bool>(), any::<u8>()),
+            1..=n,
+        )
+        .prop_map(move |specs| {
+            ReadSet::from_reads(
+                specs
+                    .iter()
+                    .map(|&(start, len, rev, seed)| {
+                        let end = (start + len).min(g.len());
+                        let mut bases = g[start.min(end - 1)..end].to_vec();
+                        let m = seed as usize % bases.len();
+                        bases[m] = bases[m].complement();
+                        if seed % 5 == 0 {
+                            bases[m] = Base::N;
+                        }
+                        let mut seq = DnaSeq::from_bases(bases);
+                        if rev {
+                            seq = seq.reverse_complement();
+                        }
+                        let qual = vec![b'I'; seq.len()];
+                        Read {
+                            id: None,
+                            seq,
+                            qual: Some(qual),
+                        }
+                    })
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spring_like_round_trips(rs in read_set_strategy()) {
+        let spring = SpringLike::new();
+        let archive = spring.compress(&rs);
+        let out = spring.decompress(&archive).expect("decompress");
+        let key = |r: &Read| (r.seq.to_string(), r.qual.clone());
+        let mut a: Vec<_> = rs.iter().map(key).collect();
+        let mut b: Vec<_> = out.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: real compression/decompression
+//! throughput of the SAGe codec versus the baselines on a small
+//! synthesized dataset. (The figure binaries regenerate the paper's
+//! tables; these benches measure *our implementations*.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sage_baselines::{GzipLike, SpringLike};
+use sage_core::{OutputFormat, SageCompressor, SageDecompressor};
+use sage_genomics::fastq::read_set_to_fastq;
+use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+fn bench_compress(c: &mut Criterion) {
+    let ds = simulate_dataset(&DatasetProfile::rs1().scaled(0.12), 1);
+    let bases = ds.reads.total_bases() as u64;
+    let fastq = read_set_to_fastq(&ds.reads);
+
+    let mut g = c.benchmark_group("compress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bases));
+    g.bench_function(BenchmarkId::new("sage", bases), |b| {
+        b.iter(|| SageCompressor::new().compress(&ds.reads).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("spring_like", bases), |b| {
+        b.iter(|| SpringLike::new().compress(&ds.reads))
+    });
+    g.bench_function(BenchmarkId::new("gzip_like", bases), |b| {
+        b.iter(|| GzipLike::new().compress(&fastq))
+    });
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let ds = simulate_dataset(&DatasetProfile::rs1().scaled(0.12), 2);
+    let bases = ds.reads.total_bases() as u64;
+    let fastq = read_set_to_fastq(&ds.reads);
+    let sage_archive = SageCompressor::new().compress(&ds.reads).unwrap();
+    let spring = SpringLike::new();
+    let spring_archive = spring.compress(&ds.reads);
+    let gz = GzipLike::new();
+    let gz_archive = gz.compress(&fastq);
+
+    let mut g = c.benchmark_group("decompress");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bases));
+    g.bench_function(BenchmarkId::new("sage_sw", bases), |b| {
+        let dec = SageDecompressor::new(OutputFormat::Ascii);
+        b.iter(|| dec.decompress(&sage_archive).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("spring_like", bases), |b| {
+        b.iter(|| spring.decompress(&spring_archive).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("gzip_like", bases), |b| {
+        b.iter(|| gz.decompress(&gz_archive).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

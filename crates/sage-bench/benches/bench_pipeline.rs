@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the system-simulation layer: the
+//! mapper (the dominant cost of compression, Fig. 18) and the
+//! experiment runner.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sage_core::consensus::{build_denovo, ConsensusConfig};
+use sage_core::mapper::{mask_n, Mapper, MapperConfig};
+use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+use sage_pipeline::{run_experiment, AnalysisKind, DatasetModel, PrepKind, SystemConfig};
+
+fn bench_mapper(c: &mut Criterion) {
+    let ds = simulate_dataset(&DatasetProfile::rs1().scaled(0.12), 3);
+    let cons = build_denovo(&ds.reads, &ConsensusConfig::default());
+    let mapper = Mapper::new(cons.seq.as_slice(), &cons.index, MapperConfig::default());
+    let masked: Vec<Vec<_>> = ds
+        .reads
+        .iter()
+        .map(|r| mask_n(r.seq.as_slice()))
+        .collect();
+    let bases = ds.reads.total_bases() as u64;
+
+    let mut g = c.benchmark_group("mapper");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bases));
+    g.bench_function("map_read_set", |b| {
+        b.iter(|| {
+            masked
+                .iter()
+                .filter(|m| !mapper.map(m).is_unmapped())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_experiment_runner(c: &mut Criterion) {
+    let model = DatasetModel::example_short();
+    let sys = SystemConfig::pcie();
+    let mut g = c.benchmark_group("pipeline_model");
+    g.throughput(Throughput::Elements(PrepKind::all().len() as u64));
+    g.bench_function("all_prep_configs", |b| {
+        b.iter(|| {
+            PrepKind::all()
+                .iter()
+                .map(|&p| run_experiment(p, AnalysisKind::Gem, &model, &sys).seconds)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapper, bench_experiment_runner);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 1: effect of data preparation on genome analysis performance.
+//!
+//! Three configurations over an RS2-like dataset: (i) Baseline —
+//! software mapper + (Nano)Spring decompression; (ii) Acc. Analysis —
+//! the GEM accelerator with the same preparation; (iii) Acc. Analysis
+//! w/ Ideal Prep. Expected shape: acceleration offers a huge potential
+//! (②) that preparation throttles (①) — the lost-benefit gap.
+
+use sage_bench::{banner, dataset, fmt_x};
+use sage_genomics::sim::DatasetProfile;
+use sage_pipeline::{run_experiment, AnalysisKind, PrepKind, SystemConfig};
+
+fn main() {
+    banner("Figure 1: execution timeline (RS2-like dataset)");
+    let measured = sage_bench::measure(dataset(&DatasetProfile::rs2()));
+    let sys = SystemConfig::pcie();
+    let rows = [
+        ("Baseline (SW mapper + (N)Spr prep)", PrepKind::NSpr, AnalysisKind::SoftwareMapper),
+        ("Acc. Analysis (GEM + (N)Spr prep)", PrepKind::NSpr, AnalysisKind::Gem),
+        ("Acc. Analysis w/ Ideal Prep.", PrepKind::ZeroTimeDec, AnalysisKind::Gem),
+    ];
+    let outcomes: Vec<_> = rows
+        .iter()
+        .map(|(_, p, a)| run_experiment(*p, *a, &measured.model, &sys))
+        .collect();
+    let baseline = outcomes[0].seconds;
+    println!(
+        "{:<38} {:>14} {:>12} {:>10}",
+        "configuration", "KReads/s", "bottleneck", "speedup"
+    );
+    for ((label, _, _), o) in rows.iter().zip(&outcomes) {
+        println!(
+            "{:<38} {:>14.0} {:>12} {:>10}",
+            label,
+            o.reads_per_sec / 1e3,
+            o.bottleneck,
+            fmt_x(baseline / o.seconds)
+        );
+    }
+    let potential = outcomes[2].seconds;
+    let achieved = outcomes[1].seconds;
+    println!(
+        "\npotential benefit of acceleration: {}",
+        fmt_x(baseline / potential)
+    );
+    println!(
+        "lost to the data preparation bottleneck: {}",
+        fmt_x(achieved / potential)
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 4: end-to-end throughput of pigz / (N)Spr / Ideal preparation
+//! feeding the GEM accelerator, normalized to (N)Spr, per read set.
+//!
+//! Expected shape: eliminating the preparation bottleneck would yield
+//! large speedups over pigz (paper: 12.3× average) and over (N)Spr
+//! (paper: 4.0× average).
+
+use sage_bench::{banner, fmt_x, gmean, measure_all, row};
+use sage_pipeline::{run_experiment, AnalysisKind, PrepKind, SystemConfig};
+
+fn main() {
+    banner("Figure 4: normalized end-to-end throughput (GEM + PCIe SSD)");
+    let sys = SystemConfig::pcie();
+    let widths = [6, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &["set".into(), "pigz".into(), "(N)Spr".into(), "Ideal".into()],
+            &widths
+        )
+    );
+    let mut pigz_speedups = Vec::new();
+    let mut ideal_speedups = Vec::new();
+    for m in measure_all() {
+        let thr = |p: PrepKind| {
+            run_experiment(p, AnalysisKind::Gem, &m.model, &sys).reads_per_sec
+        };
+        let spr = thr(PrepKind::NSpr);
+        let pigz = thr(PrepKind::Pigz) / spr;
+        let ideal = thr(PrepKind::ZeroTimeDec) / spr;
+        pigz_speedups.push(1.0 / pigz);
+        ideal_speedups.push(ideal);
+        println!(
+            "{}",
+            row(
+                &[
+                    m.model.name.clone(),
+                    fmt_x(pigz),
+                    fmt_x(1.0),
+                    fmt_x(ideal),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\nGMean speedup if the prep bottleneck were eliminated: {} over pigz, {} over (N)Spr",
+        fmt_x(gmean(pigz_speedups.iter().zip(&ideal_speedups).map(|(p, i)| p * i))),
+        fmt_x(gmean(ideal_speedups)),
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 7: the dataset properties behind SAGe's encodings.
+//!
+//! (a) bits needed for delta-encoded mismatch positions (long reads,
+//! RS4) — Property 1: most need only a few bits;
+//! (b) mismatch counts per read (short reads, RS2) — Property 2: most
+//! short reads have 0 mismatches;
+//! (c) indel block length CDF (RS4) — Property 3: most blocks are
+//! length 1;
+//! (d) indel bases by block length CDF (RS4) — long blocks hold most
+//! indel bases. Also reports the chimeric mismatch-base fraction
+//! (Property 4).
+
+use sage_bench::{banner, dataset};
+use sage_core::SageCompressor;
+use sage_genomics::sim::DatasetProfile;
+use sage_genomics::stats::{
+    chimeric_mismatch_base_fraction, indel_bases_by_length_histogram,
+    indel_block_length_histogram, mismatch_count_histogram, mismatch_position_bits_histogram,
+};
+
+fn main() {
+    let long = dataset(&DatasetProfile::rs4());
+    let short = dataset(&DatasetProfile::rs2());
+    let (_, long_alns) = SageCompressor::new().analyze(&long.reads).expect("analyze");
+    let (_, short_alns) = SageCompressor::new()
+        .analyze(&short.reads)
+        .expect("analyze");
+
+    banner("Fig 7(a): #bits for delta-encoded mismatch positions (RS4, long)");
+    let h = mismatch_position_bits_histogram(&long_alns);
+    for (bits, frac) in h.fractions().iter().enumerate() {
+        if *frac > 0.0005 {
+            println!("{bits:>3} bits  {:>6.2}%  {}", frac * 100.0, bar(*frac));
+        }
+    }
+
+    banner("Fig 7(b): mismatch counts per read (RS2, short)");
+    let h = mismatch_count_histogram(&short_alns);
+    for (count, frac) in h.fractions().iter().enumerate().take(12) {
+        println!("{count:>3} mm    {:>6.2}%  {}", frac * 100.0, bar(*frac));
+    }
+
+    banner("Fig 7(c): indel block length CDF (RS4)");
+    let h = indel_block_length_histogram(&long_alns);
+    print_cdf(&h.cumulative_fractions(), &[1, 2, 3, 5, 10, 20, 50, 100]);
+
+    banner("Fig 7(d): indel bases by block length CDF (RS4)");
+    let h = indel_bases_by_length_histogram(&long_alns);
+    print_cdf(&h.cumulative_fractions(), &[1, 2, 3, 5, 10, 20, 50, 100]);
+
+    banner("Property 4: chimeric reads' share of mismatch bases (RS4)");
+    println!(
+        "{:.1}% of mismatch bases belong to chimeric (multi-segment) reads",
+        chimeric_mismatch_base_fraction(&long_alns) * 100.0
+    );
+}
+
+fn bar(frac: f64) -> String {
+    "#".repeat((frac * 60.0).round() as usize)
+}
+
+fn print_cdf(cdf: &[f64], points: &[usize]) {
+    for &p in points {
+        let v = cdf.get(p).copied().unwrap_or(1.0);
+        println!("len <= {p:>4}  {:>6.2}%", v * 100.0);
+    }
+}

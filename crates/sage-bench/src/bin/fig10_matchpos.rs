@@ -1,0 +1,29 @@
+//! Fig. 10: bits needed for delta-encoded matching positions after
+//! reordering reads (RS2-like short reads, Property 6).
+//!
+//! Expected shape: a strong skew to small bit counts — deep sequencing
+//! makes reordered reads map close together.
+
+use sage_bench::{banner, dataset};
+use sage_core::SageCompressor;
+use sage_genomics::sim::DatasetProfile;
+use sage_genomics::stats::matching_position_bits_histogram;
+
+fn main() {
+    banner("Figure 10: #bits for delta-encoded matching positions (RS2)");
+    let ds = dataset(&DatasetProfile::rs2());
+    let (_, alns) = SageCompressor::new().analyze(&ds.reads).expect("analyze");
+    let h = matching_position_bits_histogram(&alns);
+    println!("{:>5}  {:>8}  {}", "#bits", "percent", "distribution");
+    for (bits, frac) in h.fractions().iter().enumerate() {
+        if *frac > 0.0001 {
+            println!(
+                "{bits:>5}  {:>7.2}%  {}",
+                frac * 100.0,
+                "#".repeat((frac * 60.0).round() as usize)
+            );
+        }
+    }
+    let small = h.fractions().iter().take(7).sum::<f64>();
+    println!("\nfraction needing <= 6 bits: {:.1}%", small * 100.0);
+}

@@ -1,0 +1,73 @@
+//! Fig. 13: end-to-end speedup (preparation + analysis) for every
+//! configuration, normalized to (N)Spr, on PCIe and SATA systems.
+//!
+//! Expected shape (paper, PCIe): SAGe ≈ Ideal ≫ SAGeSW > (N)SprAC >
+//! (N)Spr > pigz; SAGeSSD+ISF on top except where the ISF filters
+//! little; on SATA the gaps compress and SAGeSSD+ISF loses its edge on
+//! low-filter datasets (RS1, RS4).
+
+use sage_bench::{banner, fmt_x, gmean, measure_all, row, MeasuredDataset};
+use sage_pipeline::{run_experiment, AnalysisKind, Outcome, PrepKind, SystemConfig};
+
+const CONFIGS: [&str; 8] = [
+    "pigz",
+    "(N)Spr",
+    "(N)SprAC",
+    "Ideal",
+    "SAGeSW",
+    "SAGe",
+    "SAGeSSD",
+    "SAGeSSD+ISF",
+];
+
+fn outcomes(m: &MeasuredDataset, sys: &SystemConfig) -> Vec<Outcome> {
+    let gem = AnalysisKind::Gem;
+    vec![
+        run_experiment(PrepKind::Pigz, gem, &m.model, sys),
+        run_experiment(PrepKind::NSpr, gem, &m.model, sys),
+        run_experiment(PrepKind::NSprAc, gem, &m.model, sys),
+        run_experiment(PrepKind::ZeroTimeDec, gem, &m.model, sys),
+        run_experiment(PrepKind::SageSw, gem, &m.model, sys),
+        run_experiment(PrepKind::SageHw, gem, &m.model, sys),
+        run_experiment(PrepKind::SageSsd, gem, &m.model, sys),
+        run_experiment(
+            PrepKind::SageSsd,
+            AnalysisKind::GenStoreIsf {
+                filter_fraction: m.model.isf_filter_fraction,
+            },
+            &m.model,
+            sys,
+        ),
+    ]
+}
+
+fn main() {
+    let measured = measure_all();
+    for (title, sys) in [
+        ("Figure 13 (PCIe SSD)", SystemConfig::pcie()),
+        ("Figure 13 (SATA SSD)", SystemConfig::sata()),
+    ] {
+        banner(title);
+        let widths = [6usize, 9, 9, 9, 9, 9, 9, 9, 12];
+        let mut header = vec!["set".to_string()];
+        header.extend(CONFIGS.iter().map(|c| c.to_string()));
+        println!("{}", row(&header, &widths));
+        let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
+        for m in &measured {
+            let outs = outcomes(m, &sys);
+            let base = outs[1].seconds; // normalized to (N)Spr
+            let mut cells = vec![m.model.name.clone()];
+            for (i, o) in outs.iter().enumerate() {
+                let sp = base / o.seconds;
+                per_config[i].push(sp);
+                cells.push(fmt_x(sp));
+            }
+            println!("{}", row(&cells, &widths));
+        }
+        let mut cells = vec!["GMean".to_string()];
+        for speedups in &per_config {
+            cells.push(fmt_x(gmean(speedups.iter().copied())));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 14: data-preparation-only throughput, normalized to pigz
+//! (PCIe system).
+//!
+//! Expected shape (paper): SAGe 91.3× over pigz, 29.5× over (N)Spr,
+//! 22.3× over (N)SprAC on average.
+
+use sage_bench::{banner, fmt_x, gmean, measure_all, row};
+use sage_pipeline::{run_experiment, AnalysisKind, PrepKind, SystemConfig};
+
+fn prep_only_rate(prep: PrepKind, m: &sage_pipeline::DatasetModel, sys: &SystemConfig) -> f64 {
+    let o = run_experiment(prep, AnalysisKind::Gem, m, sys);
+    // Preparation throughput = the slower of I/O and decompression.
+    o.prep_rate.min(o.io_rate)
+}
+
+fn main() {
+    banner("Figure 14: data preparation speedup over pigz (PCIe SSD)");
+    let sys = SystemConfig::pcie();
+    let widths = [6, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "set".into(),
+                "(N)Spr".into(),
+                "(N)SprAC".into(),
+                "SAGeSW".into(),
+                "SAGe".into(),
+            ],
+            &widths
+        )
+    );
+    let mut agg: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for m in measure_all() {
+        let pigz = prep_only_rate(PrepKind::Pigz, &m.model, &sys);
+        let values = [
+            prep_only_rate(PrepKind::NSpr, &m.model, &sys) / pigz,
+            prep_only_rate(PrepKind::NSprAc, &m.model, &sys) / pigz,
+            prep_only_rate(PrepKind::SageSw, &m.model, &sys) / pigz,
+            prep_only_rate(PrepKind::SageHw, &m.model, &sys) / pigz,
+        ];
+        for (a, v) in agg.iter_mut().zip(values) {
+            a.push(v);
+        }
+        let mut cells = vec![m.model.name.clone()];
+        cells.extend(values.iter().map(|v| fmt_x(*v)));
+        println!("{}", row(&cells, &widths));
+    }
+    let mut cells = vec!["GMean".to_string()];
+    cells.extend(agg.iter().map(|v| fmt_x(gmean(v.iter().copied()))));
+    println!("{}", row(&cells, &widths));
+}

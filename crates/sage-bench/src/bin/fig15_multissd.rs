@@ -1,0 +1,60 @@
+//! Fig. 15: end-to-end speedup over single-SSD (N)Spr when data is
+//! partitioned across 1×/2×/4× PCIe SSDs.
+//!
+//! Expected shape (paper): SAGe keeps its large speedup everywhere;
+//! SAGeSSD+ISF gains with more SSDs on the high-filter datasets
+//! (RS3, RS5) because the ISF — on the critical path — scales with
+//! internal bandwidth.
+
+use sage_bench::{banner, fmt_x, measure_all, row};
+use sage_pipeline::{run_experiment, AnalysisKind, PrepKind, SystemConfig};
+
+fn main() {
+    banner("Figure 15: speedup over (N)Spr with multiple PCIe SSDs");
+    let widths = [6, 5, 10, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "set".into(),
+                "#SSD".into(),
+                "SAGe".into(),
+                "SAGeSSD+ISF".into(),
+            ],
+            &widths
+        )
+    );
+    for m in measure_all() {
+        let base = run_experiment(
+            PrepKind::NSpr,
+            AnalysisKind::Gem,
+            &m.model,
+            &SystemConfig::pcie(),
+        )
+        .seconds;
+        for n in [1usize, 2, 4] {
+            let sys = SystemConfig::pcie().with_ssds(n);
+            let sage = run_experiment(PrepKind::SageHw, AnalysisKind::Gem, &m.model, &sys);
+            let isf = run_experiment(
+                PrepKind::SageSsd,
+                AnalysisKind::GenStoreIsf {
+                    filter_fraction: m.model.isf_filter_fraction,
+                },
+                &m.model,
+                &sys,
+            );
+            println!(
+                "{}",
+                row(
+                    &[
+                        m.model.name.clone(),
+                        format!("{n}x"),
+                        fmt_x(base / sage.seconds),
+                        fmt_x(base / isf.seconds),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 16: end-to-end energy reduction normalized to (N)SprAC
+//! (higher is better).
+//!
+//! Expected shape (paper): SAGe reduces energy by 34.0× / 16.9× / 13.0×
+//! versus pigz / (N)Spr / (N)SprAC on average; SAGeSW helps but far
+//! less (host CPU stays busy).
+
+use sage_bench::{banner, fmt_x, gmean, measure_all, row};
+use sage_pipeline::{run_experiment, AnalysisKind, PrepKind, SystemConfig};
+
+fn main() {
+    banner("Figure 16: energy reduction vs (N)SprAC (PCIe SSD)");
+    let sys = SystemConfig::pcie();
+    let widths = [6, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "set".into(),
+                "pigz".into(),
+                "(N)Spr".into(),
+                "SAGeSW".into(),
+                "SAGe".into(),
+            ],
+            &widths
+        )
+    );
+    let mut agg: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut sage_vs: Vec<(f64, f64, f64)> = Vec::new();
+    for m in measure_all() {
+        let energy =
+            |p: PrepKind| run_experiment(p, AnalysisKind::Gem, &m.model, &sys).energy_joules;
+        let base = energy(PrepKind::NSprAc);
+        let values = [
+            base / energy(PrepKind::Pigz),
+            base / energy(PrepKind::NSpr),
+            base / energy(PrepKind::SageSw),
+            base / energy(PrepKind::SageHw),
+        ];
+        sage_vs.push((
+            energy(PrepKind::Pigz) / energy(PrepKind::SageHw),
+            energy(PrepKind::NSpr) / energy(PrepKind::SageHw),
+            energy(PrepKind::NSprAc) / energy(PrepKind::SageHw),
+        ));
+        for (a, v) in agg.iter_mut().zip(values) {
+            a.push(v);
+        }
+        let mut cells = vec![m.model.name.clone()];
+        cells.extend(values.iter().map(|v| fmt_x(*v)));
+        println!("{}", row(&cells, &widths));
+    }
+    let mut cells = vec!["GMean".to_string()];
+    cells.extend(agg.iter().map(|v| fmt_x(gmean(v.iter().copied()))));
+    println!("{}", row(&cells, &widths));
+    println!(
+        "\nSAGe energy reduction (GMean): {} over pigz, {} over (N)Spr, {} over (N)SprAC",
+        fmt_x(gmean(sage_vs.iter().map(|v| v.0))),
+        fmt_x(gmean(sage_vs.iter().map(|v| v.1))),
+        fmt_x(gmean(sage_vs.iter().map(|v| v.2))),
+    );
+}

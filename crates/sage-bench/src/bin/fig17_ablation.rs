@@ -1,0 +1,74 @@
+//! Fig. 17: effect of each SAGe optimization on the storage size of
+//! mismatch information, for a short (RS2) and a long (RS4) read set.
+//!
+//! Expected shape (paper): O1 slashes matching positions for short
+//! reads; O2 slashes mismatch counts (short) and mismatch positions
+//! (long); O3 cuts mismatch bases for long reads (chimeric encoding)
+//! at a small mismatch-position cost; O4 trims corner-case labels.
+
+use sage_bench::{banner, dataset, row};
+use sage_core::ablation::{ablation_breakdowns, OptLevel};
+use sage_core::{Breakdown, SageCompressor};
+use sage_genomics::sim::DatasetProfile;
+
+fn components(b: &Breakdown) -> [(&'static str, u64); 9] {
+    [
+        ("Unmapped", b.unmapped),
+        ("Rev", b.rev),
+        ("ReadLen", b.read_len),
+        ("ContainsN", b.contains_n),
+        ("MmBases", b.mismatch_bases),
+        ("MmTypes", b.mismatch_types),
+        ("MmPos", b.mismatch_pos),
+        ("MmCounts", b.mismatch_counts),
+        ("MatchPos", b.matching_pos),
+    ]
+}
+
+fn print_dataset(profile: &DatasetProfile) {
+    let ds = dataset(profile);
+    let (_, alignments) = SageCompressor::new().analyze(&ds.reads).expect("analyze");
+    let n_counts: Vec<usize> = ds
+        .reads
+        .iter()
+        .map(|r| r.seq.n_positions().len())
+        .collect();
+    let breakdowns = ablation_breakdowns(&ds.reads, &alignments, &n_counts, 0.01);
+    let no_total = breakdowns[0].1.total_bits() as f64;
+
+    banner(&format!(
+        "Fig 17: size breakdown, {} ({} reads)",
+        profile.name,
+        ds.reads.len()
+    ));
+    let widths = [6usize, 10, 10, 10, 10, 10, 10, 10, 10, 10, 9];
+    let mut header = vec!["level".to_string()];
+    header.extend(
+        components(&breakdowns[0].1)
+            .iter()
+            .map(|(n, _)| n.to_string()),
+    );
+    header.push("total".into());
+    println!("{}", row(&header, &widths));
+    for (level, b) in &breakdowns {
+        let mut cells = vec![level.label().to_string()];
+        for (_, bits) in components(b) {
+            cells.push(format!("{:.3}", bits as f64 / no_total));
+        }
+        cells.push(format!("{:.3}", b.total_bits() as f64 / no_total));
+        println!("{}", row(&cells, &widths));
+    }
+    let o4 = breakdowns
+        .iter()
+        .find(|(l, _)| *l == OptLevel::O4)
+        .expect("O4 present");
+    println!(
+        "total reduction NO -> O4: {:.2}x",
+        no_total / o4.1.total_bits() as f64
+    );
+}
+
+fn main() {
+    print_dataset(&DatasetProfile::rs2());
+    print_dataset(&DatasetProfile::rs4());
+}

@@ -1,0 +1,54 @@
+//! Fig. 18: compression time, split into finding mismatches vs
+//! encoding, normalized per read set.
+//!
+//! Expected shape (paper): genomic compressors ((N)Spr and SAGe) are
+//! dominated by mismatch finding and far slower than pigz; SAGe's
+//! encoding step is slightly cheaper than (N)Spr's backend compression.
+
+use sage_bench::{banner, measure_all, row};
+
+fn main() {
+    banner("Figure 18: normalized compression time (find vs encode)");
+    let widths = [6, 10, 22, 22];
+    println!(
+        "{}",
+        row(
+            &[
+                "set".into(),
+                "pigz".into(),
+                "spring-like (find+enc)".into(),
+                "SAGe (find+enc)".into(),
+            ],
+            &widths
+        )
+    );
+    for m in measure_all() {
+        let spring_total = m.spring.find_mismatch_secs + m.spring.encode_secs;
+        let sage_total = m.sage.find_mismatch_secs + m.sage.encode_secs;
+        let norm = spring_total.max(sage_total).max(m.pigz_compress_secs);
+        println!(
+            "{}",
+            row(
+                &[
+                    m.model.name.clone(),
+                    format!("{:.3}", m.pigz_compress_secs / norm),
+                    format!(
+                        "{:.3} ({:.2}+{:.2})",
+                        spring_total / norm,
+                        m.spring.find_mismatch_secs / norm,
+                        m.spring.encode_secs / norm
+                    ),
+                    format!(
+                        "{:.3} ({:.2}+{:.2})",
+                        sage_total / norm,
+                        m.sage.find_mismatch_secs / norm,
+                        m.sage.encode_secs / norm
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\n(values normalized to the slowest compressor per set; genomic");
+    println!(" compressors are dominated by the find-mismatches phase)");
+}

@@ -1,0 +1,39 @@
+//! Table 1: area and power of SAGe's logic units at 1 GHz, 22 nm.
+
+use sage_bench::banner;
+use sage_hw::cost::{
+    HwCost, IntegrationMode, CONTROL_UNIT, DOUBLE_REGISTERS, READ_CONSTRUCTION_UNIT, SCAN_UNIT,
+};
+
+fn main() {
+    banner("Table 1: area and power of SAGe's logic (22 nm, 1 GHz)");
+    println!(
+        "{:<28} {:>14} {:>12} {:>11}",
+        "logic unit", "#instances", "area [mm2]", "power [mW]"
+    );
+    let rows = [
+        ("Scan Unit", SCAN_UNIT),
+        ("Read Construction Unit", READ_CONSTRUCTION_UNIT),
+        ("Double Registers (mode 3)", DOUBLE_REGISTERS),
+        ("Control Unit", CONTROL_UNIT),
+    ];
+    for (name, cost) in rows {
+        println!(
+            "{:<28} {:>14} {:>12.6} {:>11.3}",
+            name, "1 per channel", cost.area_mm2, cost.power_mw
+        );
+    }
+    let hw = HwCost::new(8, IntegrationMode::InSsd);
+    println!(
+        "{:<28} {:>14} {:>12.4} {:>11.2} (+{:.2} for mode 3)",
+        "Total (8-channel SSD)",
+        "-",
+        hw.total_area_mm2(),
+        hw.base_power_mw(),
+        hw.double_register_power_mw()
+    );
+    println!(
+        "\narea vs three SSD-controller cores: {:.2}% (paper: 0.7%)",
+        hw.fraction_of_ssd_controller_cores() * 100.0
+    );
+}

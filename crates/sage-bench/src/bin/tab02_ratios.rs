@@ -1,0 +1,76 @@
+//! Table 2: compression ratios for different read sets.
+//!
+//! Paper columns: per read set (RS1–RS5), uncompressed size plus the
+//! DNA and quality compression ratios of pigz, (Nano)Spring, and SAGe.
+//! Expected shape: SAGe ≈ SpringLike on DNA (within a few percent),
+//! both ≫ pigz; quality ratios identical between SAGe and SpringLike
+//! (same codec, §5.1.5).
+
+use sage_baselines::{GzipLike, SpringLike};
+use sage_bench::{all_datasets, banner, fmt_x, row};
+use sage_core::SageCompressor;
+use sage_genomics::fastq::read_set_to_fastq;
+
+fn main() {
+    banner("Table 2: compression ratios (DNA | quality)");
+    let widths = [6, 12, 14, 14, 14];
+    println!(
+        "{}",
+        row(
+            &[
+                "set".into(),
+                "uncomp (MB)".into(),
+                "pigz-like".into(),
+                "spring-like".into(),
+                "SAGe".into(),
+            ],
+            &widths
+        )
+    );
+    for ds in all_datasets() {
+        // pigz-like works on the FASTQ text; split DNA and quality by
+        // compressing each component separately (as the paper reports
+        // per-component ratios).
+        let gz = GzipLike::new();
+        let dna_text: Vec<u8> = ds
+            .reads
+            .iter()
+            .flat_map(|r| r.seq.to_ascii())
+            .collect();
+        let qual_text: Vec<u8> = ds
+            .reads
+            .iter()
+            .flat_map(|r| r.qual.clone().unwrap_or_default())
+            .collect();
+        let gz_dna = dna_text.len() as f64 / gz.compress(&dna_text).len() as f64;
+        let gz_qual = qual_text.len() as f64 / gz.compress(&qual_text).len() as f64;
+
+        let (_, spring) = SpringLike::new().compress_detailed(&ds.reads);
+        let (_, sage) = SageCompressor::new()
+            .compress_detailed(&ds.reads)
+            .expect("compression");
+
+        let uncomp_mb = read_set_to_fastq(&ds.reads).len() as f64 / 1e6;
+        println!(
+            "{}",
+            row(
+                &[
+                    ds.profile.name.clone(),
+                    format!("{uncomp_mb:.1}"),
+                    format!("{} | {}", fmt_x(gz_dna), fmt_x(gz_qual)),
+                    format!(
+                        "{} | {}",
+                        fmt_x(spring.dna_ratio()),
+                        fmt_x(spring.quality_ratio())
+                    ),
+                    format!(
+                        "{} | {}",
+                        fmt_x(sage.dna_ratio()),
+                        fmt_x(sage.quality_ratio())
+                    ),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! # sage-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! `DESIGN.md` §5 for the index) plus criterion micro-benchmarks. This
+//! library holds the shared utilities: dataset synthesis with a global
+//! scale knob, and fixed-width table printing.
+
+use sage_baselines::{GzipLike, SpringLike, SpringStats};
+use sage_core::{CompressionStats, SageCompressor};
+use sage_genomics::fastq::read_set_to_fastq;
+use sage_genomics::sim::{simulate_dataset, Dataset, DatasetProfile};
+use sage_pipeline::DatasetModel;
+
+/// Environment variable scaling every dataset (default 1.0). Benches
+/// can be made faster (`SAGE_SCALE=0.2`) or more faithful
+/// (`SAGE_SCALE=4`).
+pub const SCALE_ENV: &str = "SAGE_SCALE";
+
+/// Deterministic seed base used by all harnesses.
+pub const SEED: u64 = 0x5a6e_2026;
+
+/// Reads the global scale factor from the environment.
+pub fn scale_factor() -> f64 {
+    std::env::var(SCALE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Synthesizes one evaluation dataset at the global scale.
+pub fn dataset(profile: &DatasetProfile) -> Dataset {
+    simulate_dataset(&profile.scaled(scale_factor()), SEED)
+}
+
+/// Synthesizes all five paper datasets (RS1–RS5) at the global scale.
+pub fn all_datasets() -> Vec<Dataset> {
+    DatasetProfile::all_paper_profiles()
+        .iter()
+        .map(dataset)
+        .collect()
+}
+
+/// A dataset together with the *measured* compression statistics of
+/// all three real codecs and the derived pipeline model.
+#[derive(Debug)]
+pub struct MeasuredDataset {
+    /// The synthesized dataset.
+    pub ds: Dataset,
+    /// Pipeline-facing summary (ratios measured, not assumed).
+    pub model: DatasetModel,
+    /// SAGe compression statistics.
+    pub sage: CompressionStats,
+    /// Spring-like compression statistics.
+    pub spring: SpringStats,
+    /// pigz-like whole-FASTQ compression ratio.
+    pub pigz_ratio: f64,
+    /// pigz-like compression wall time (Fig. 18).
+    pub pigz_compress_secs: f64,
+}
+
+/// Compresses a dataset with all three codecs and builds the pipeline
+/// model from the measured ratios.
+pub fn measure(ds: Dataset) -> MeasuredDataset {
+    let fastq = read_set_to_fastq(&ds.reads);
+    let gz = GzipLike::new();
+    let t0 = std::time::Instant::now();
+    let gz_out = gz.compress(&fastq);
+    let pigz_compress_secs = t0.elapsed().as_secs_f64();
+    let pigz_ratio = fastq.len() as f64 / gz_out.len() as f64;
+
+    let (_, spring) = SpringLike::new().compress_detailed(&ds.reads);
+    let (_, sage) = SageCompressor::new()
+        .compress_detailed(&ds.reads)
+        .expect("compression");
+
+    let total_ratio = |dna_in: u64, dna_out: u64, q_in: u64, q_out: u64| {
+        (dna_in + q_in) as f64 / (dna_out + q_out).max(1) as f64
+    };
+    let model = DatasetModel {
+        name: ds.profile.name.clone(),
+        total_bases: ds.reads.total_bases() as f64,
+        n_reads: ds.reads.len() as f64,
+        ratio_pigz: pigz_ratio,
+        ratio_spring: total_ratio(
+            spring.uncompressed_dna_bytes,
+            spring.compressed_dna_bytes,
+            spring.uncompressed_quality_bytes,
+            spring.compressed_quality_bytes,
+        ),
+        ratio_sage: total_ratio(
+            sage.uncompressed_dna_bytes,
+            sage.compressed_dna_bytes,
+            sage.uncompressed_quality_bytes,
+            sage.compressed_quality_bytes,
+        ),
+        isf_filter_fraction: ds.profile.isf_filter_fraction,
+    };
+    MeasuredDataset {
+        ds,
+        model,
+        sage,
+        spring,
+        pigz_ratio,
+        pigz_compress_secs,
+    }
+}
+
+/// Measures all five paper datasets.
+pub fn measure_all() -> Vec<MeasuredDataset> {
+    all_datasets().into_iter().map(measure).collect()
+}
+
+/// Geometric mean.
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Formats a ratio/speedup with sensible precision.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else if v >= 10.0 {
+        format!("{v:.1}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_defaults_to_one() {
+        std::env::remove_var(SCALE_ENV);
+        assert_eq!(scale_factor(), 1.0);
+    }
+
+    #[test]
+    fn fmt_x_precision() {
+        assert_eq!(fmt_x(3.14159), "3.14x");
+        assert_eq!(fmt_x(31.4159), "31.4x");
+        assert_eq!(fmt_x(314.159), "314x");
+    }
+
+    #[test]
+    fn row_is_aligned() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

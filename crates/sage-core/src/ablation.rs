@@ -1,0 +1,408 @@
+//! Per-optimization size accounting (the paper's Fig. 17).
+//!
+//! Fig. 17 shows how each encoding optimization shrinks the mismatch
+//! information, cumulatively:
+//!
+//! - **NO** — raw mismatch information: absolute fixed-width fields,
+//!   one record per mismatching *base* (indel blocks expanded), a
+//!   single matching position per read, per-read corner flags.
+//! - **O1** — + matching-position optimization (§5.1.3): reorder,
+//!   delta-encode, tuned bit widths.
+//! - **O2** — + mismatch position & count optimizations (§5.1.1):
+//!   delta-encoded tuned positions, variable-length counts, indel
+//!   blocks as first-position + length.
+//! - **O3** — + mismatch base & type optimizations (§5.1.2): chimeric
+//!   top-N matching positions and substitution-type elision.
+//! - **O4** — + corner-case optimization (§5.1.4): position-0 marking
+//!   instead of per-read flags.
+//!
+//! These are *size computations* over the same verified alignments the
+//! real encoder uses; only the O4 layout is the actual decodable
+//! format (produced by [`crate::encode::SageCompressor`]).
+
+use crate::encode::Breakdown;
+use crate::tuning::{tune_bit_widths, tune_value_classes};
+use sage_genomics::{bits_needed, Alignment, Edit, ReadSet};
+
+/// Cumulative optimization levels of Fig. 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimization (raw mismatch information).
+    No,
+    /// + matching positions (§5.1.3).
+    O1,
+    /// + mismatch positions and counts (§5.1.1).
+    O2,
+    /// + mismatch bases and types (§5.1.2).
+    O3,
+    /// + corner cases (§5.1.4) — the shipped format.
+    O4,
+}
+
+impl OptLevel {
+    /// All levels in cumulative order.
+    pub fn all() -> [OptLevel; 5] {
+        [
+            OptLevel::No,
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::O4,
+        ]
+    }
+
+    /// Paper label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::No => "NO",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::O4 => "O4",
+        }
+    }
+}
+
+/// A read flattened to its single best matching position (what a
+/// non-chimeric encoder, levels NO–O2, would store).
+struct FlatRead {
+    key: u64,
+    rev: bool,
+    /// Edits of the main (longest) segment.
+    edits: Vec<Edit>,
+    /// Bases not covered by the main segment (other segments, clips):
+    /// a top-1-position encoder stores these as explicit mismatches.
+    extra_bases: u64,
+    n_count: u64,
+    read_len: u64,
+}
+
+fn flatten(aln: &Alignment, n_count: u64, read_len: u64) -> Option<FlatRead> {
+    let main = aln.segments.iter().max_by_key(|s| s.len())?;
+    let covered = u64::from(main.len());
+    Some(FlatRead {
+        key: main.cons_pos,
+        rev: main.rev,
+        edits: main.edits.clone(),
+        extra_bases: read_len - covered,
+        n_count,
+        read_len,
+    })
+}
+
+/// Computes the Fig. 17 breakdown at every level for one dataset.
+///
+/// `n_counts[i]` is the number of `N` bases in read `i`. Returns the
+/// five breakdowns in [`OptLevel::all`] order.
+pub fn ablation_breakdowns(
+    reads: &ReadSet,
+    alignments: &[Alignment],
+    n_counts: &[usize],
+    epsilon: f64,
+) -> [(OptLevel, Breakdown); 5] {
+    let fixed_len = reads.is_fixed_length();
+    let flats: Vec<Option<FlatRead>> = alignments
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            flatten(
+                a,
+                n_counts[i] as u64,
+                reads.reads()[i].len() as u64,
+            )
+        })
+        .collect();
+    let len_bits = u64::from(64 - (reads.max_read_len() as u64).leading_zeros());
+
+    let mut out = Vec::with_capacity(5);
+    for level in OptLevel::all() {
+        let mut bd = Breakdown::default();
+        // Per-read fixed components.
+        for (i, a) in alignments.iter().enumerate() {
+            let read_len = reads.reads()[i].len() as u64;
+            bd.unmapped += 1; // mapped flag
+            if !fixed_len {
+                bd.read_len += 16;
+            }
+            if a.is_unmapped() {
+                bd.unmapped += 2 * read_len + 1; // raw bases + has-N flag
+                if n_counts[i] > 0 {
+                    bd.unmapped += 16 + len_bits * n_counts[i] as u64;
+                }
+                continue;
+            }
+            bd.rev += 1;
+        }
+
+        // Matching positions.
+        match level {
+            OptLevel::No => {
+                let mapped = alignments.iter().filter(|a| !a.is_unmapped()).count() as u64;
+                bd.matching_pos += 32 * mapped;
+            }
+            _ => {
+                // Tuned delta encoding over re-sorted keys.
+                let use_full = level >= OptLevel::O3;
+                let mut keys: Vec<u64> = if use_full {
+                    alignments
+                        .iter()
+                        .filter(|a| !a.is_unmapped())
+                        .map(|a| a.sort_key())
+                        .collect()
+                } else {
+                    flats.iter().flatten().map(|f| f.key).collect()
+                };
+                keys.sort_unstable();
+                let mut hist = vec![0u64; 33];
+                let mut prev = 0u64;
+                for k in keys {
+                    hist[bits_needed(k - prev) as usize] += 1;
+                    prev = k;
+                }
+                bd.matching_pos += tune_bit_widths(&hist, epsilon).total_bits;
+                if use_full {
+                    // Extra chimeric segments: boundary + abs position
+                    // (+2-bit segment count per read).
+                    let pos_bits = 32u64;
+                    for a in alignments.iter().filter(|x| !x.is_unmapped()) {
+                        bd.matching_pos += 2;
+                        let extra = a.segments.len() as u64 - 1;
+                        bd.matching_pos += extra * (len_bits + pos_bits);
+                        bd.rev += extra;
+                    }
+                }
+            }
+        }
+
+        // Mismatch records.
+        if level >= OptLevel::O3 {
+            accumulate_full(&mut bd, alignments, reads, n_counts, level, epsilon, len_bits);
+        } else {
+            accumulate_flat(&mut bd, &flats, level, epsilon, len_bits);
+        }
+        out.push((level, bd));
+    }
+    out.try_into().map_err(|_| ()).expect("five levels")
+}
+
+/// NO–O2: single-segment encodings.
+fn accumulate_flat(
+    bd: &mut Breakdown,
+    flats: &[Option<FlatRead>],
+    level: OptLevel,
+    epsilon: f64,
+    len_bits: u64,
+) {
+    // Corner handling: per-read flags at these levels.
+    for f in flats.iter().flatten() {
+        bd.contains_n += 2; // has-N flag + has-extra flag
+        if f.n_count > 0 {
+            bd.contains_n += 16 + len_bits * f.n_count;
+        }
+        // Uncovered bases stored explicitly.
+        if f.extra_bases > 0 {
+            bd.contains_n += 16; // length field
+            bd.mismatch_bases += 2 * f.extra_bases;
+        }
+        let _ = f.rev;
+    }
+
+    if level < OptLevel::O2 {
+        // Expanded records: one per mismatching base.
+        let mut count_hist: Vec<u64> = Vec::new();
+        for f in flats.iter().flatten() {
+            let mut records = 0u64;
+            for e in &f.edits {
+                let blocks = u64::from(e.block_len());
+                records += blocks;
+                bd.mismatch_pos += 16 * blocks;
+                bd.mismatch_types += 2 * blocks;
+                match e {
+                    Edit::Sub { .. } => bd.mismatch_bases += 2,
+                    Edit::Ins { bases, .. } => bd.mismatch_bases += 2 * bases.len() as u64,
+                    Edit::Del { .. } => {}
+                }
+            }
+            bump(&mut count_hist, records as usize);
+            bd.mismatch_counts += 16;
+            let _ = f.read_len;
+        }
+        let _ = count_hist;
+    } else {
+        // O2: delta-tuned positions, block indels, tuned counts.
+        let mut pos_hist = vec![0u64; 33];
+        let mut count_hist: Vec<u64> = Vec::new();
+        for f in flats.iter().flatten() {
+            let mut prev = 0u32;
+            for e in &f.edits {
+                pos_hist[bits_needed(u64::from(e.read_off() - prev)) as usize] += 1;
+                prev = e.read_off();
+                if e.is_indel() {
+                    bd.mismatch_pos += 1; // single-base flag
+                    if e.block_len() > 1 {
+                        bd.mismatch_pos += 8;
+                    }
+                }
+                // Types still explicit at O2.
+                bd.mismatch_types += 2;
+                match e {
+                    Edit::Sub { .. } => bd.mismatch_bases += 2,
+                    Edit::Ins { bases, .. } => bd.mismatch_bases += 2 * bases.len() as u64,
+                    Edit::Del { .. } => {}
+                }
+            }
+            bump(&mut count_hist, f.edits.len());
+        }
+        bd.mismatch_pos += tune_bit_widths(&pos_hist, epsilon).total_bits;
+        bd.mismatch_counts += tune_value_classes(&count_hist).total_bits;
+    }
+}
+
+/// O3–O4: chimeric segments + substitution elision (+ corner marking
+/// at O4).
+fn accumulate_full(
+    bd: &mut Breakdown,
+    alignments: &[Alignment],
+    reads: &ReadSet,
+    n_counts: &[usize],
+    level: OptLevel,
+    epsilon: f64,
+    len_bits: u64,
+) {
+    let mut pos_hist = vec![0u64; 33];
+    let mut count_hist: Vec<u64> = Vec::new();
+    for (i, a) in alignments.iter().enumerate() {
+        if a.is_unmapped() {
+            continue;
+        }
+        let clips = a.clip_start.len() as u64 + a.clip_end.len() as u64;
+        let corner = n_counts[i] > 0 || clips > 0;
+        let corner_payload = {
+            let mut p = 2u64; // kind bits
+            if n_counts[i] > 0 {
+                p += 16 + len_bits * n_counts[i] as u64;
+            }
+            if clips > 0 {
+                p += 32;
+                bd.mismatch_bases += 2 * clips;
+            }
+            p
+        };
+        match level {
+            OptLevel::O3 => {
+                // Per-read corner flags.
+                bd.contains_n += 2;
+                if corner {
+                    bd.contains_n += corner_payload;
+                }
+                let _ = &reads;
+            }
+            _ => {
+                // O4: position-0 marking — only corner reads pay.
+                if corner {
+                    // Synthetic record: delta-0 position + corner bit.
+                    pos_hist[0] += 1;
+                    bd.contains_n += 1 + corner_payload;
+                }
+                // Genuine first mismatch at offset 0 pays one bit.
+                if let Some(seg0) = a.segments.first() {
+                    if seg0.edits.first().is_some_and(|e| e.read_off() == 0) {
+                        bd.contains_n += 1;
+                    }
+                }
+            }
+        }
+        for (si, seg) in a.segments.iter().enumerate() {
+            let synth = level >= OptLevel::O4 && si == 0 && corner;
+            bump(&mut count_hist, seg.edits.len() + usize::from(synth));
+            let mut prev = 0u32;
+            for e in &seg.edits {
+                pos_hist[bits_needed(u64::from(e.read_off() - prev)) as usize] += 1;
+                prev = e.read_off();
+                // Marker base (substitution elision).
+                bd.mismatch_bases += 2;
+                if e.is_indel() {
+                    bd.mismatch_types += 2; // ins/del bit + single flag
+                    if e.block_len() > 1 {
+                        bd.mismatch_pos += 8;
+                    }
+                    if let Edit::Ins { bases, .. } = e {
+                        bd.mismatch_bases += 2 * bases.len() as u64;
+                    }
+                }
+            }
+        }
+    }
+    bd.mismatch_pos += tune_bit_widths(&pos_hist, epsilon).total_bits;
+    bd.mismatch_counts += tune_value_classes(&count_hist).total_bits;
+}
+
+fn bump(h: &mut Vec<u64>, v: usize) {
+    if v >= h.len() {
+        h.resize(v + 1, 0);
+    }
+    h[v] += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::SageCompressor;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+    fn breakdowns(profile: &DatasetProfile, seed: u64) -> [(OptLevel, Breakdown); 5] {
+        let ds = simulate_dataset(profile, seed);
+        let (_, alignments) = SageCompressor::new().analyze(&ds.reads).unwrap();
+        let n_counts: Vec<usize> = ds
+            .reads
+            .iter()
+            .map(|r| r.seq.n_positions().len())
+            .collect();
+        ablation_breakdowns(&ds.reads, &alignments, &n_counts, 0.01)
+    }
+
+    #[test]
+    fn levels_shrink_monotonically_for_short_reads() {
+        let bds = breakdowns(&DatasetProfile::tiny_short(), 21);
+        let totals: Vec<u64> = bds.iter().map(|(_, b)| b.total_bits()).collect();
+        // Each cumulative optimization must not grow the total by more
+        // than a rounding sliver; the overall trend must be a clear
+        // reduction.
+        assert!(
+            totals[4] < totals[0],
+            "O4 {} should be far below NO {}",
+            totals[4],
+            totals[0]
+        );
+        assert!(totals[1] < totals[0], "O1 must shrink matching positions");
+    }
+
+    #[test]
+    fn o1_targets_matching_positions() {
+        let bds = breakdowns(&DatasetProfile::tiny_short(), 22);
+        let no = &bds[0].1;
+        let o1 = &bds[1].1;
+        assert!(o1.matching_pos < no.matching_pos);
+        assert_eq!(o1.mismatch_pos, no.mismatch_pos);
+    }
+
+    #[test]
+    fn o2_shrinks_mismatch_positions_for_long_reads() {
+        let bds = breakdowns(&DatasetProfile::tiny_long(), 23);
+        let o1 = &bds[1].1;
+        let o2 = &bds[2].1;
+        assert!(
+            o2.mismatch_pos < o1.mismatch_pos,
+            "O2 {} vs O1 {}",
+            o2.mismatch_pos,
+            o1.mismatch_pos
+        );
+        assert!(o2.mismatch_counts <= o1.mismatch_counts);
+    }
+
+    #[test]
+    fn labels_are_paper_names() {
+        let labels: Vec<&str> = OptLevel::all().iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["NO", "O1", "O2", "O3", "O4"]);
+    }
+}

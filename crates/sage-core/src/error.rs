@@ -1,0 +1,37 @@
+//! Error type for the SAGe codec.
+
+use std::fmt;
+
+/// Errors produced by compression, decompression, or archive parsing.
+#[derive(Debug)]
+pub enum SageError {
+    /// The archive bytes are structurally invalid.
+    Corrupt(String),
+    /// The archive requests a feature this build does not support
+    /// (e.g. an unknown format version).
+    Unsupported(String),
+    /// A limit of the format was exceeded at compression time (e.g. a
+    /// consensus longer than 2³² bases).
+    Limit(String),
+}
+
+impl fmt::Display for SageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SageError::Corrupt(m) => write!(f, "corrupt archive: {m}"),
+            SageError::Unsupported(m) => write!(f, "unsupported archive: {m}"),
+            SageError::Limit(m) => write!(f, "format limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SageError {}
+
+impl From<crate::bitio::BitStreamExhausted> for SageError {
+    fn from(_: crate::bitio::BitStreamExhausted) -> SageError {
+        SageError::Corrupt("bit stream exhausted".into())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SageError>;

@@ -1,0 +1,733 @@
+//! Read-to-consensus mapping (the compression-side analysis of §5.1).
+//!
+//! SAGe, like other consensus-based genomic compressors, identifies
+//! each read's matching position and mismatch list by mapping it to the
+//! consensus sequence during compression. The mapper here is a
+//! seed-chain-extend design:
+//!
+//! 1. sample [`minimizer`]s of the read, look them up in the consensus
+//!    index, and vote on a diagonal;
+//! 2. chain co-diagonal anchors monotonically;
+//! 3. align the stretches between anchors (and the read's ends) with
+//!    the unit-cost [`dp`] kernels;
+//! 4. reads whose ends do not map are *split*: up to
+//!    [`MapperConfig::max_segments`] segments are mapped independently
+//!    (chimeric reads, Property 4); leftover unaligned ends become
+//!    clips (§5.1.4) or insertions.
+//!
+//! Every produced alignment is *verified* by reconstruction before
+//! being returned, so a mapper imperfection can never break
+//! losslessness — the read simply falls back to unmapped/raw storage.
+
+pub mod dp;
+pub mod minimizer;
+
+use dp::{align_free_end, align_free_start, align_global, Op};
+use minimizer::{minimizers, MinimizerIndex};
+use sage_genomics::{Alignment, Base, Edit, Segment};
+
+/// Tuning knobs for the mapper.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Minimizer k-mer length.
+    pub k: usize,
+    /// Minimizer window length.
+    pub w: usize,
+    /// Base band half-width for gap alignment.
+    pub band: usize,
+    /// DP cell budget per gap (larger gaps fall back to del+ins runs).
+    pub max_gap_cells: usize,
+    /// Minimum chained anchors to accept a segment.
+    pub min_chain_anchors: usize,
+    /// Maximum segments per read (the paper's top-N, N = 3).
+    pub max_segments: usize,
+    /// Minimum unaligned run length worth mapping as its own segment.
+    pub min_split_len: usize,
+    /// Unaligned read-end runs at least this long become clips.
+    pub clip_threshold: usize,
+    /// Maximum indel block length per edit record (longer blocks are
+    /// split; the encoder stores block lengths in 8 bits).
+    pub max_block: u32,
+}
+
+impl Default for MapperConfig {
+    fn default() -> MapperConfig {
+        MapperConfig {
+            k: minimizer::DEFAULT_K,
+            w: minimizer::DEFAULT_W,
+            band: 48,
+            max_gap_cells: 1 << 22,
+            min_chain_anchors: 2,
+            max_segments: 3,
+            min_split_len: 48,
+            clip_threshold: 32,
+            max_block: 255,
+        }
+    }
+}
+
+/// Reverse-complements a base slice.
+pub fn revcomp(seq: &[Base]) -> Vec<Base> {
+    seq.iter().rev().map(|b| b.complement()).collect()
+}
+
+/// Replaces `N` with `A` (2-bit masking; SAGe restores `N` positions
+/// from corner-case records).
+pub fn mask_n(seq: &[Base]) -> Vec<Base> {
+    seq.iter()
+        .map(|&b| if b.is_n() { Base::A } else { b })
+        .collect()
+}
+
+/// A read mapper over a fixed consensus + index.
+#[derive(Debug)]
+pub struct Mapper<'a> {
+    consensus: &'a [Base],
+    index: &'a MinimizerIndex,
+    cfg: MapperConfig,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper. The index must have been built over
+    /// `consensus` with matching `k`/`w`.
+    pub fn new(consensus: &'a [Base], index: &'a MinimizerIndex, cfg: MapperConfig) -> Mapper<'a> {
+        Mapper {
+            consensus,
+            index,
+            cfg,
+        }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.cfg
+    }
+
+    /// Maps one (N-masked) read, returning a verified lossless
+    /// alignment, or [`Alignment::unmapped`] when no trustworthy
+    /// mapping exists.
+    pub fn map(&self, read: &[Base]) -> Alignment {
+        if read.len() < self.cfg.k + 1 {
+            return Alignment::unmapped();
+        }
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut jobs: Vec<(usize, usize)> = vec![(0, read.len())];
+        while let Some((s, e)) = jobs.pop() {
+            if segs.len() >= self.cfg.max_segments {
+                break;
+            }
+            if e - s < self.cfg.min_split_len.max(self.cfg.k + 1) {
+                continue;
+            }
+            if let Some((qa, qb, mut seg)) = self.map_portion(&read[s..e]) {
+                seg.read_start = (s + qa) as u32;
+                seg.read_end = (s + qb) as u32;
+                segs.push(seg);
+                if qa >= self.cfg.min_split_len {
+                    jobs.push((s, s + qa));
+                }
+                if (e - s) - qb >= self.cfg.min_split_len {
+                    jobs.push((s + qb, e));
+                }
+            }
+        }
+        if segs.is_empty() {
+            return Alignment::unmapped();
+        }
+        segs.sort_by_key(|s| s.read_start);
+        // Overlapping segments indicate an inconsistent split; refuse.
+        if segs.windows(2).any(|w| w[1].read_start < w[0].read_end) {
+            return Alignment::unmapped();
+        }
+
+        let mut aln = Alignment {
+            clip_start: Vec::new(),
+            clip_end: Vec::new(),
+            segments: Vec::new(),
+        };
+        // Leading gap: clip when long, otherwise insertion into the
+        // first segment.
+        let lead = segs[0].read_start as usize;
+        if lead > 0 {
+            if lead >= self.cfg.clip_threshold {
+                aln.clip_start = read[..lead].to_vec();
+            } else {
+                attach_gap(&mut segs[0], &read[..lead], true, self.cfg.max_block);
+            }
+        }
+        // Middle gaps always attach to the following segment.
+        for i in 1..segs.len() {
+            let gap_start = segs[i - 1].read_end as usize;
+            let gap_end = segs[i].read_start as usize;
+            if gap_end > gap_start {
+                attach_gap(
+                    &mut segs[i],
+                    &read[gap_start..gap_end],
+                    true,
+                    self.cfg.max_block,
+                );
+            }
+        }
+        // Trailing gap.
+        let tail = segs.last().expect("non-empty").read_end as usize;
+        if tail < read.len() {
+            if read.len() - tail >= self.cfg.clip_threshold {
+                aln.clip_end = read[tail..].to_vec();
+            } else {
+                let last = segs.last_mut().expect("non-empty");
+                attach_gap(last, &read[tail..], false, self.cfg.max_block);
+            }
+        }
+        aln.segments = segs;
+
+        // Verification: structure, bounds, decodability, and exact
+        // reconstruction. Any failure falls back to raw storage.
+        if !aln.is_well_formed(read.len()) {
+            return Alignment::unmapped();
+        }
+        for seg in &aln.segments {
+            if !segment_decodable(seg, self.consensus) {
+                return Alignment::unmapped();
+            }
+        }
+        let rebuilt = aln.reconstruct(self.consensus);
+        if rebuilt.as_slice() != read {
+            return Alignment::unmapped();
+        }
+        aln
+    }
+
+    /// Maps one contiguous read portion; returns the covered range
+    /// `[qa, qb)` in portion coordinates plus a segment whose
+    /// `read_start`/`read_end` the caller fills in.
+    fn map_portion(&self, portion: &[Base]) -> Option<(usize, usize, Segment)> {
+        let fwd_chain = self.chain(portion);
+        let rc = revcomp(portion);
+        let rev_chain = self.chain(&rc);
+        let (oriented, rev, chain): (&[Base], bool, _) = if fwd_chain.len() >= rev_chain.len() {
+            (portion, false, fwd_chain)
+        } else {
+            (&rc, true, rev_chain)
+        };
+        if chain.len() < self.cfg.min_chain_anchors {
+            return None;
+        }
+        let (oqa, oqb, cons_pos, edits) = self.chain_to_alignment(oriented, &chain)?;
+        let (qa, qb) = if rev {
+            (portion.len() - oqb, portion.len() - oqa)
+        } else {
+            (oqa, oqb)
+        };
+        Some((
+            qa,
+            qb,
+            Segment {
+                read_start: 0,
+                read_end: 0,
+                cons_pos: cons_pos as u64,
+                rev,
+                edits,
+            },
+        ))
+    }
+
+    /// Finds the best co-diagonal monotone anchor chain for `oriented`.
+    fn chain(&self, oriented: &[Base]) -> Vec<(u32, u32)> {
+        let mins = minimizers(oriented, self.cfg.k, self.cfg.w);
+        let mut anchors: Vec<(i64, u32, u32)> = Vec::new();
+        for m in &mins {
+            for &c in self.index.lookup(m.hash) {
+                anchors.push((i64::from(c) - i64::from(m.pos), m.pos, c));
+            }
+        }
+        if anchors.is_empty() {
+            return Vec::new();
+        }
+        anchors.sort_unstable();
+        // Densest diagonal window (two pointers).
+        let spread = (oriented.len() as i64 / 16).max(64);
+        let mut best = (0usize, 0usize); // (count, start)
+        let mut lo = 0usize;
+        for hi in 0..anchors.len() {
+            while anchors[hi].0 - anchors[lo].0 > spread {
+                lo += 1;
+            }
+            if hi - lo + 1 > best.0 {
+                best = (hi - lo + 1, lo);
+            }
+        }
+        let window = &anchors[best.1..best.1 + best.0];
+        // Monotone greedy chain with non-overlapping anchors.
+        let mut by_q: Vec<(u32, u32)> = window.iter().map(|&(_, q, c)| (q, c)).collect();
+        by_q.sort_unstable();
+        let k = self.cfg.k as u32;
+        let mut chain: Vec<(u32, u32)> = Vec::with_capacity(by_q.len());
+        for &(q, c) in &by_q {
+            match chain.last() {
+                None => chain.push((q, c)),
+                Some(&(lq, lc)) => {
+                    if q >= lq + k && c >= lc + k {
+                        chain.push((q, c));
+                    }
+                }
+            }
+        }
+        chain
+    }
+
+    /// Turns an anchor chain into (covered range, consensus position,
+    /// edit list relative to the covered start).
+    fn chain_to_alignment(
+        &self,
+        oriented: &[Base],
+        chain: &[(u32, u32)],
+    ) -> Option<(usize, usize, usize, Vec<Edit>)> {
+        let k = self.cfg.k;
+        let (q0, c0) = (chain[0].0 as usize, chain[0].1 as usize);
+        let mut ops: Vec<Op> = Vec::new();
+        let (oqa, cons_start) = if q0 == 0 {
+            (0, c0)
+        } else if q0 < self.cfg.min_split_len {
+            // Extend the short prefix leftwards (free consensus start).
+            let pad = q0 / 2 + 8;
+            let wstart = c0.saturating_sub(q0 + pad);
+            let ext = align_free_start(&oriented[..q0], &self.consensus[wstart..c0]);
+            if (ext.cost as usize) <= q0 / 2 + 4 {
+                ops.extend(ext.ops);
+                (0, wstart + ext.cons_start)
+            } else {
+                (q0, c0)
+            }
+        } else {
+            // Long unaligned prefix: leave it for chimeric splitting.
+            (q0, c0)
+        };
+
+        // Anchor blocks and the gaps between them.
+        for pair in chain.windows(2) {
+            let (q1, c1) = (pair[0].0 as usize, pair[0].1 as usize);
+            let (q2, c2) = (pair[1].0 as usize, pair[1].1 as usize);
+            ops.extend(std::iter::repeat(Op::Match).take(k));
+            let rseg = &oriented[q1 + k..q2];
+            let cseg = &self.consensus[c1 + k..c2];
+            if rseg.is_empty() && cseg.is_empty() {
+                continue;
+            }
+            let aligned = align_global(rseg, cseg, self.cfg.band, self.cfg.max_gap_cells)
+                .filter(|r| (r.cost as usize) <= rseg.len().max(cseg.len()) / 2 + 8);
+            match aligned {
+                Some(r) => ops.extend(r.ops),
+                None => {
+                    // Degenerate gap: delete the consensus side, insert
+                    // the read side. Always valid, just more bits.
+                    ops.extend(std::iter::repeat(Op::Del).take(cseg.len()));
+                    ops.extend(std::iter::repeat(Op::Ins).take(rseg.len()));
+                }
+            }
+        }
+        // Final anchor block.
+        let (qlast, clast) = (
+            chain.last().expect("non-empty").0 as usize,
+            chain.last().expect("non-empty").1 as usize,
+        );
+        ops.extend(std::iter::repeat(Op::Match).take(k));
+
+        // Right extension (free consensus end).
+        let suffix_start = qlast + k;
+        let suffix_len = oriented.len() - suffix_start;
+        let oqb = if suffix_len == 0 {
+            oriented.len()
+        } else if suffix_len < self.cfg.min_split_len {
+            let pad = suffix_len / 2 + 8;
+            let wend = (clast + k + suffix_len + pad).min(self.consensus.len());
+            let ext = align_free_end(&oriented[suffix_start..], &self.consensus[clast + k..wend]);
+            if (ext.cost as usize) <= suffix_len / 2 + 4 {
+                ops.extend(ext.ops);
+                oriented.len()
+            } else {
+                suffix_start
+            }
+        } else {
+            suffix_start
+        };
+
+        let edits = ops_to_edits(&ops, &oriented[oqa..oqb], self.cfg.max_block)?;
+        Some((oqa, oqb, cons_start, edits))
+    }
+}
+
+/// Converts an op sequence into canonical edit records (runs of
+/// insertions/deletions merged into blocks, blocks capped at
+/// `max_block`). Returns `None` when the ops do not consume exactly
+/// `read`.
+pub fn ops_to_edits(ops: &[Op], read: &[Base], max_block: u32) -> Option<Vec<Edit>> {
+    let mut edits = Vec::new();
+    let mut r = 0usize;
+    let mut i = 0usize;
+    while i < ops.len() {
+        match ops[i] {
+            Op::Match => {
+                r += 1;
+                i += 1;
+            }
+            Op::Sub => {
+                if r >= read.len() {
+                    return None;
+                }
+                edits.push(Edit::Sub {
+                    read_off: r as u32,
+                    base: read[r],
+                });
+                r += 1;
+                i += 1;
+            }
+            Op::Ins => {
+                let start = r;
+                while i < ops.len() && ops[i] == Op::Ins {
+                    r += 1;
+                    i += 1;
+                }
+                if r > read.len() {
+                    return None;
+                }
+                let mut off = start;
+                while off < r {
+                    let chunk = (r - off).min(max_block as usize);
+                    edits.push(Edit::Ins {
+                        read_off: off as u32,
+                        bases: read[off..off + chunk].to_vec(),
+                    });
+                    off += chunk;
+                }
+            }
+            Op::Del => {
+                let mut len = 0usize;
+                while i < ops.len() && ops[i] == Op::Del {
+                    len += 1;
+                    i += 1;
+                }
+                while len > 0 {
+                    let chunk = len.min(max_block as usize);
+                    edits.push(Edit::Del {
+                        read_off: r as u32,
+                        len: chunk as u32,
+                    });
+                    len -= chunk;
+                }
+            }
+        }
+    }
+    (r == read.len()).then_some(edits)
+}
+
+/// Attaches unaligned read bases to a segment as insertion blocks.
+/// `before` selects the read side; orientation decides whether that is
+/// the oriented start or end.
+fn attach_gap(seg: &mut Segment, gap: &[Base], before: bool, max_block: u32) {
+    if gap.is_empty() {
+        return;
+    }
+    let oriented_gap = if seg.rev {
+        revcomp(gap)
+    } else {
+        gap.to_vec()
+    };
+    let g = gap.len() as u32;
+    let at_oriented_start = before != seg.rev;
+    if at_oriented_start {
+        for e in &mut seg.edits {
+            match e {
+                Edit::Sub { read_off, .. }
+                | Edit::Ins { read_off, .. }
+                | Edit::Del { read_off, .. } => *read_off += g,
+            }
+        }
+        let mut chunks = Vec::new();
+        let mut off = 0usize;
+        while off < oriented_gap.len() {
+            let chunk = (oriented_gap.len() - off).min(max_block as usize);
+            chunks.push(Edit::Ins {
+                read_off: off as u32,
+                bases: oriented_gap[off..off + chunk].to_vec(),
+            });
+            off += chunk;
+        }
+        chunks.extend(std::mem::take(&mut seg.edits));
+        seg.edits = chunks;
+    } else {
+        let mut off = seg.len() as usize;
+        let mut done = 0usize;
+        while done < oriented_gap.len() {
+            let chunk = (oriented_gap.len() - done).min(max_block as usize);
+            seg.edits.push(Edit::Ins {
+                read_off: off as u32,
+                bases: oriented_gap[done..done + chunk].to_vec(),
+            });
+            off += chunk;
+            done += chunk;
+        }
+    }
+    if before {
+        seg.read_start -= g;
+    } else {
+        seg.read_end += g;
+    }
+}
+
+/// Checks that a segment can be decoded by the SAGe format rules:
+/// monotone edits, consensus bounds respected, and every substitution
+/// base differing from the consensus base it replaces (the
+/// substitution-type-elision invariant of §5.1.2).
+pub fn segment_decodable(seg: &Segment, consensus: &[Base]) -> bool {
+    let seg_len = seg.len() as usize;
+    let mut r = 0usize;
+    let mut c = seg.cons_pos as usize;
+    let mut last_off = 0u32;
+    for e in &seg.edits {
+        let off = e.read_off() as usize;
+        if (e.read_off()) < last_off || off < r || off > seg_len {
+            return false;
+        }
+        last_off = e.read_off();
+        c += off - r;
+        r = off;
+        match e {
+            Edit::Sub { base, .. } => {
+                if c >= consensus.len() || *base == consensus[c] {
+                    return false;
+                }
+                r += 1;
+                c += 1;
+            }
+            Edit::Ins { bases, .. } => {
+                if bases.is_empty() || bases.len() > 255 {
+                    return false;
+                }
+                r += bases.len();
+            }
+            Edit::Del { len, .. } => {
+                if *len == 0 || *len > 255 {
+                    return false;
+                }
+                c += *len as usize;
+            }
+        }
+        if r > seg_len || c > consensus.len() {
+            return false;
+        }
+    }
+    // Trailing copy must stay within the consensus.
+    c + (seg_len - r) <= consensus.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_genomics::DnaSeq;
+
+    fn random_seq(len: usize, seed: u64) -> Vec<Base> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = minimizer::splitmix64(x);
+                Base::ACGT[(x % 4) as usize]
+            })
+            .collect()
+    }
+
+    fn mapper_fixture(seed: u64, len: usize) -> (Vec<Base>, MinimizerIndex) {
+        let cons = random_seq(len, seed);
+        let index = MinimizerIndex::build(&cons, 15, 8);
+        (cons, index)
+    }
+
+    #[test]
+    fn exact_read_maps_cleanly() {
+        let (cons, index) = mapper_fixture(1, 5_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let read = cons[1_000..1_150].to_vec();
+        let aln = mapper.map(&read);
+        assert_eq!(aln.segments.len(), 1);
+        assert_eq!(aln.segments[0].cons_pos, 1_000);
+        assert!(aln.segments[0].edits.is_empty());
+        assert!(!aln.segments[0].rev);
+    }
+
+    #[test]
+    fn reverse_complement_read_maps() {
+        let (cons, index) = mapper_fixture(2, 5_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let read = revcomp(&cons[2_000..2_200]);
+        let aln = mapper.map(&read);
+        assert_eq!(aln.segments.len(), 1);
+        assert!(aln.segments[0].rev);
+        assert_eq!(aln.reconstruct(&cons).as_slice(), &read[..]);
+    }
+
+    #[test]
+    fn read_with_errors_reconstructs_exactly() {
+        let (cons, index) = mapper_fixture(3, 10_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let mut read = cons[4_000..4_400].to_vec();
+        // A substitution, an insertion block and a deletion.
+        read[50] = if read[50] == Base::A { Base::C } else { Base::A };
+        read.insert(120, Base::G);
+        read.insert(120, Base::G);
+        read.remove(300);
+        let aln = mapper.map(&read);
+        assert!(!aln.is_unmapped(), "read failed to map");
+        assert_eq!(aln.reconstruct(&cons).as_slice(), &read[..]);
+        assert!(aln.total_edits() >= 3);
+    }
+
+    #[test]
+    fn junk_read_is_unmapped() {
+        let (cons, index) = mapper_fixture(4, 5_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let junk = random_seq(200, 999); // different universe
+        let aln = mapper.map(&junk);
+        assert!(aln.is_unmapped());
+    }
+
+    #[test]
+    fn chimeric_read_gets_multiple_segments() {
+        let (cons, index) = mapper_fixture(5, 20_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let mut read = cons[1_000..1_300].to_vec();
+        read.extend_from_slice(&cons[9_000..9_300]);
+        let aln = mapper.map(&read);
+        assert!(!aln.is_unmapped());
+        assert_eq!(aln.segments.len(), 2, "expected a chimeric split");
+        assert_eq!(aln.reconstruct(&cons).as_slice(), &read[..]);
+    }
+
+    #[test]
+    fn clipped_read_reconstructs() {
+        let (cons, index) = mapper_fixture(6, 8_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let mut read = random_seq(60, 777); // junk clip
+        read.extend_from_slice(&cons[3_000..3_250]);
+        let aln = mapper.map(&read);
+        assert!(!aln.is_unmapped());
+        assert_eq!(aln.reconstruct(&cons).as_slice(), &read[..]);
+    }
+
+    #[test]
+    fn short_reads_map_at_high_rate() {
+        let (cons, index) = mapper_fixture(7, 50_000);
+        let mapper = Mapper::new(&cons, &index, MapperConfig::default());
+        let mut mapped = 0;
+        for i in 0..200 {
+            let start = (i * 211) % (cons.len() - 100);
+            let read = cons[start..start + 100].to_vec();
+            if !mapper.map(&read).is_unmapped() {
+                mapped += 1;
+            }
+        }
+        assert!(mapped >= 195, "only {mapped}/200 exact reads mapped");
+    }
+
+    #[test]
+    fn ops_to_edits_merges_and_splits_blocks() {
+        let read = random_seq(600, 8);
+        let mut ops = vec![Op::Match; 10];
+        ops.extend(vec![Op::Ins; 300]);
+        ops.extend(vec![Op::Match; 290]);
+        ops.extend(vec![Op::Del; 260]);
+        let edits = ops_to_edits(&ops, &read, 255).unwrap();
+        // 300 insertions -> blocks of 255 + 45; 260 deletions -> 255 + 5.
+        let ins: Vec<_> = edits
+            .iter()
+            .filter_map(|e| match e {
+                Edit::Ins { bases, .. } => Some(bases.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ins, vec![255, 45]);
+        let del: Vec<_> = edits
+            .iter()
+            .filter_map(|e| match e {
+                Edit::Del { len, .. } => Some(*len),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(del, vec![255, 5]);
+    }
+
+    #[test]
+    fn ops_to_edits_rejects_wrong_length() {
+        let read = random_seq(5, 9);
+        assert!(ops_to_edits(&[Op::Match; 4], &read, 255).is_none());
+    }
+
+    #[test]
+    fn attach_gap_before_forward_segment() {
+        let cons = random_seq(100, 10);
+        let mut seg = Segment {
+            read_start: 3,
+            read_end: 13,
+            cons_pos: 20,
+            rev: false,
+            edits: vec![Edit::Sub {
+                read_off: 5,
+                base: Base::A,
+            }],
+        };
+        attach_gap(&mut seg, &[Base::T, Base::T, Base::T], true, 255);
+        assert_eq!(seg.read_start, 0);
+        assert!(matches!(&seg.edits[0], Edit::Ins { read_off: 0, bases } if bases.len() == 3));
+        assert_eq!(seg.edits[1].read_off(), 8); // shifted by 3
+        let _ = cons;
+    }
+
+    #[test]
+    fn attach_gap_respects_orientation() {
+        // Before-gap on a reverse segment lands at the oriented end and
+        // the reconstruction must still equal the original read bases.
+        let cons = random_seq(300, 11);
+        let read_core = revcomp(&cons[100..160]);
+        let gap = [Base::T, Base::A, Base::C];
+        let mut full_read = gap.to_vec();
+        full_read.extend_from_slice(&read_core);
+        let mut seg = Segment {
+            read_start: 3,
+            read_end: 63,
+            cons_pos: 100,
+            rev: true,
+            edits: vec![],
+        };
+        attach_gap(&mut seg, &gap, true, 255);
+        assert_eq!(seg.read_start, 0);
+        let rebuilt = seg.reconstruct(&cons);
+        assert_eq!(rebuilt, full_read);
+    }
+
+    #[test]
+    fn segment_decodable_rejects_identity_substitution() {
+        let cons: Vec<Base> = "ACGTACGT".parse::<DnaSeq>().unwrap().into_bases();
+        let seg = Segment {
+            read_start: 0,
+            read_end: 4,
+            cons_pos: 0,
+            rev: false,
+            edits: vec![Edit::Sub {
+                read_off: 0,
+                base: Base::A, // same as consensus[0]
+            }],
+        };
+        assert!(!segment_decodable(&seg, &cons));
+    }
+
+    #[test]
+    fn segment_decodable_rejects_out_of_bounds() {
+        let cons: Vec<Base> = "ACGTACGT".parse::<DnaSeq>().unwrap().into_bases();
+        let seg = Segment {
+            read_start: 0,
+            read_end: 20,
+            cons_pos: 0,
+            rev: false,
+            edits: vec![],
+        };
+        assert!(!segment_decodable(&seg, &cons));
+    }
+}

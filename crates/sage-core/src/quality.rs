@@ -1,0 +1,205 @@
+//! Lossless quality-score compression (§5.1.5).
+//!
+//! Quality scores lack the consensus redundancy of DNA bases, so SAGe
+//! compresses them as a separate stream in the *same (re-ordered) read
+//! order* as the bases, and decompresses them on the host CPU (only a
+//! small fraction of quality blocks is ever accessed, so this is never
+//! on the critical path — §5.1.5).
+//!
+//! The codec is a context-modelled adaptive arithmetic coder: each
+//! quality byte is coded by a [`ByteTree`] selected by a context of the
+//! two preceding quality values (quantized) — the standard construction
+//! for quality streams, equivalent in strength to the lossless mode the
+//! paper borrows from Spring.
+
+use crate::rangecoder::{ByteTree, RangeDecoder, RangeEncoder};
+
+/// Number of buckets for the directly preceding quality value.
+const PREV1_BUCKETS: usize = 16;
+/// Number of buckets for the quality value two positions back.
+const PREV2_BUCKETS: usize = 8;
+
+#[inline]
+fn bucket1(q: u8) -> usize {
+    usize::from(q.saturating_sub(33)) / 3 % PREV1_BUCKETS
+}
+
+#[inline]
+fn bucket2(q: u8) -> usize {
+    usize::from(q.saturating_sub(33)) / 6 % PREV2_BUCKETS
+}
+
+#[inline]
+fn context(prev1: u8, prev2: u8) -> usize {
+    bucket1(prev1) * PREV2_BUCKETS + bucket2(prev2)
+}
+
+/// Compresses the quality strings of a read set (in storage order).
+///
+/// Returns the compressed bytes. Lengths are not stored — the decoder
+/// learns each read's length from the DNA decompression path, exactly
+/// as SAGe's pipeline does.
+///
+/// # Example
+///
+/// ```
+/// use sage_core::quality::{compress_qualities, decompress_qualities};
+///
+/// let quals: Vec<&[u8]> = vec![b"IIIIFFFF", b"IIHH"];
+/// let packed = compress_qualities(quals.iter().copied());
+/// let back = decompress_qualities(&packed, &[8, 4]).unwrap();
+/// assert_eq!(back[0], b"IIIIFFFF");
+/// assert_eq!(back[1], b"IIHH");
+/// ```
+pub fn compress_qualities<'a, I>(quals: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut enc = RangeEncoder::new();
+    let mut trees: Vec<ByteTree> = (0..PREV1_BUCKETS * PREV2_BUCKETS)
+        .map(|_| ByteTree::new())
+        .collect();
+    for q in quals {
+        let mut prev1 = b'I';
+        let mut prev2 = b'I';
+        for &byte in q {
+            trees[context(prev1, prev2)].encode(&mut enc, byte);
+            prev2 = prev1;
+            prev1 = byte;
+        }
+    }
+    enc.finish()
+}
+
+/// Error returned when a quality stream cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityDecodeError;
+
+impl std::fmt::Display for QualityDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt quality stream")
+    }
+}
+
+impl std::error::Error for QualityDecodeError {}
+
+/// Incremental quality decoder: decodes one read's quality string at a
+/// time, in storage order — the streaming counterpart of
+/// [`decompress_qualities`], used by batched decompression where
+/// quality strings are consumed as reads are reconstructed.
+#[derive(Debug, Clone)]
+pub struct QualityDecoder<'a> {
+    dec: RangeDecoder<'a>,
+    trees: Vec<ByteTree>,
+}
+
+impl<'a> QualityDecoder<'a> {
+    /// Opens a decoder over a stream produced by
+    /// [`compress_qualities`].
+    pub fn new(bytes: &'a [u8]) -> QualityDecoder<'a> {
+        QualityDecoder {
+            dec: RangeDecoder::new(bytes),
+            trees: (0..PREV1_BUCKETS * PREV2_BUCKETS)
+                .map(|_| ByteTree::new())
+                .collect(),
+        }
+    }
+
+    /// Decodes the next read's quality string of length `len`.
+    pub fn next_read(&mut self, len: usize) -> Vec<u8> {
+        let mut q = Vec::with_capacity(len);
+        let mut prev1 = b'I';
+        let mut prev2 = b'I';
+        for _ in 0..len {
+            let byte = self.trees[context(prev1, prev2)].decode(&mut self.dec);
+            q.push(byte);
+            prev2 = prev1;
+            prev1 = byte;
+        }
+        q
+    }
+}
+
+/// Decompresses quality strings; `lens[i]` is the length of read `i`'s
+/// quality string (equal to its base count).
+///
+/// # Errors
+///
+/// Returns [`QualityDecodeError`] if the stream is too short for the
+/// requested lengths.
+pub fn decompress_qualities(
+    bytes: &[u8],
+    lens: &[usize],
+) -> Result<Vec<Vec<u8>>, QualityDecodeError> {
+    let total: usize = lens.iter().sum();
+    // A range coder consumes at most ~2 bytes/symbol + 5 setup bytes;
+    // reject obviously-truncated input early (precise errors surface as
+    // garbage data checked by the caller's round-trip tests).
+    if total > 0 && bytes.len() < 2 {
+        return Err(QualityDecodeError);
+    }
+    let mut dec = QualityDecoder::new(bytes);
+    Ok(lens.iter().map(|&len| dec.next_read(len)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_reads() {
+        let quals: Vec<Vec<u8>> = vec![
+            b"IIIIIIIIII".to_vec(),
+            b"IIIFFFAA##".to_vec(),
+            b"#,2<7AFI#,".to_vec(),
+            vec![],
+            b"I".to_vec(),
+        ];
+        let packed = compress_qualities(quals.iter().map(|q| q.as_slice()));
+        let lens: Vec<usize> = quals.iter().map(|q| q.len()).collect();
+        let back = decompress_qualities(&packed, &lens).unwrap();
+        assert_eq!(back, quals);
+    }
+
+    #[test]
+    fn binned_qualities_compress_strongly() {
+        // Four-symbol Illumina-like stream: entropy ≈ 1 bit/symbol.
+        let mut quals = Vec::new();
+        for i in 0..200 {
+            let mut q = vec![b'I'; 100];
+            for j in 0..100 {
+                if (i + j) % 13 == 0 {
+                    q[j] = b'F';
+                }
+                if (i * j) % 97 == 0 {
+                    q[j] = b'A';
+                }
+            }
+            quals.push(q);
+        }
+        let total: usize = quals.iter().map(|q| q.len()).sum();
+        let packed = compress_qualities(quals.iter().map(|q| q.as_slice()));
+        let ratio = total as f64 / packed.len() as f64;
+        assert!(ratio > 4.0, "quality ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let packed = compress_qualities(std::iter::empty());
+        let back = decompress_qualities(&packed, &[]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        assert!(decompress_qualities(&[], &[10]).is_err());
+    }
+
+    #[test]
+    fn context_buckets_in_range() {
+        for q in 0..=255u8 {
+            assert!(bucket1(q) < PREV1_BUCKETS);
+            assert!(bucket2(q) < PREV2_BUCKETS);
+        }
+    }
+}

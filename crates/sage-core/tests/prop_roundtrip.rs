@@ -1,0 +1,180 @@
+//! Property-based tests: the SAGe codec must be lossless for *any*
+//! read set, including adversarial ones the simulator would never
+//! produce — reads full of `N`, unmappable junk, duplicated reads,
+//! zero-length corner cases.
+
+use proptest::prelude::*;
+use sage_core::quality::{compress_qualities, decompress_qualities};
+use sage_core::{OutputFormat, SageCompressor, SageDecompressor};
+use sage_genomics::{Base, DnaSeq, Read, ReadSet};
+
+/// Strategy: one DNA base, occasionally `N`.
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        40 => Just(Base::A),
+        40 => Just(Base::C),
+        40 => Just(Base::G),
+        40 => Just(Base::T),
+        3 => Just(Base::N),
+    ]
+}
+
+/// Strategy: a "genome" plus reads sampled from it with edits, mixed
+/// with pure-junk reads (which must survive via the raw path).
+fn read_set_strategy(max_reads: usize) -> impl Strategy<Value = ReadSet> {
+    let genome = prop::collection::vec(base_strategy(), 300..1200);
+    (genome, 1..max_reads).prop_flat_map(|(genome, n_reads)| {
+        let g = genome.clone();
+        prop::collection::vec(
+            (
+                0usize..genome.len().saturating_sub(60).max(1),
+                40usize..60,
+                any::<bool>(),   // reverse strand
+                any::<u8>(),     // mutation seed
+                prop::bool::weighted(0.15), // junk read
+            ),
+            1..=n_reads,
+        )
+        .prop_map(move |specs| {
+            let reads = specs
+                .iter()
+                .map(|&(start, len, rev, seed, junk)| {
+                    let mut bases: Vec<Base> = if junk {
+                        // Junk: deterministic pseudo-random unmappable read.
+                        (0..len)
+                            .map(|i| Base::ACGT[(i * 7 + seed as usize) % 4])
+                            .collect()
+                    } else {
+                        let end = (start + len).min(g.len());
+                        g[start..end].to_vec()
+                    };
+                    if bases.is_empty() {
+                        bases.push(Base::A);
+                    }
+                    // Sprinkle a couple of mutations.
+                    let m = seed as usize % bases.len();
+                    bases[m] = bases[m].complement();
+                    let mut seq = DnaSeq::from_bases(bases);
+                    if rev {
+                        seq = seq.reverse_complement();
+                    }
+                    let qual = (0..seq.len())
+                        .map(|i| b'#' + ((i as u8).wrapping_mul(seed) % 60))
+                        .collect();
+                    Read {
+                        id: None,
+                        seq,
+                        qual: Some(qual),
+                    }
+                })
+                .collect();
+            ReadSet::from_reads(reads)
+        })
+    })
+}
+
+fn sorted_content(rs: &ReadSet) -> Vec<(String, Option<Vec<u8>>)> {
+    let mut v: Vec<_> = rs
+        .iter()
+        .map(|r| (r.seq.to_string(), r.qual.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn codec_is_lossless_for_arbitrary_read_sets(rs in read_set_strategy(24)) {
+        let archive = SageCompressor::new().compress(&rs).expect("compress");
+        let bytes = archive.to_bytes();
+        let out = SageDecompressor::new(OutputFormat::Ascii)
+            .decompress_bytes(&bytes)
+            .expect("decompress");
+        prop_assert_eq!(sorted_content(&rs), sorted_content(&out));
+    }
+
+    #[test]
+    fn store_order_restores_exact_order(rs in read_set_strategy(16)) {
+        let archive = SageCompressor::new()
+            .with_store_order(true)
+            .compress(&rs)
+            .expect("compress");
+        let out = SageDecompressor::default().decompress(&archive).expect("decompress");
+        prop_assert_eq!(rs.len(), out.len());
+        for (a, b) in rs.iter().zip(out.iter()) {
+            prop_assert_eq!(&a.seq, &b.seq);
+            prop_assert_eq!(&a.qual, &b.qual);
+        }
+    }
+
+    #[test]
+    fn quality_codec_round_trips(
+        quals in prop::collection::vec(
+            prop::collection::vec(33u8..110, 0..200),
+            0..20,
+        )
+    ) {
+        let packed = compress_qualities(quals.iter().map(|q| q.as_slice()));
+        let lens: Vec<usize> = quals.iter().map(|q| q.len()).collect();
+        let back = decompress_qualities(&packed, &lens).expect("decode");
+        prop_assert_eq!(quals, back);
+    }
+
+    #[test]
+    fn prepared_packed3_matches_ascii(rs in read_set_strategy(10)) {
+        let archive = SageCompressor::new().compress(&rs).expect("compress");
+        let dec = SageDecompressor::new(OutputFormat::Packed3);
+        let reads = dec.decompress(&archive).expect("decompress");
+        match dec.prepare(&archive).expect("prepare") {
+            sage_core::PreparedBatch::Packed3(packed) => {
+                for (r, p) in reads.iter().zip(&packed) {
+                    prop_assert_eq!(&p.unpack(), &r.seq);
+                }
+            }
+            _ => prop_assert!(false, "wrong variant"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitio_round_trips(values in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200)) {
+        use sage_core::bitio::{BitReader, BitWriter};
+        let mut w = BitWriter::new();
+        let masked: Vec<(u64, u32)> = values
+            .iter()
+            .map(|&(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+            .collect();
+        for &(v, n) in &masked {
+            w.write_bits(v, n);
+        }
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        for &(v, n) in &masked {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+        prop_assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn tuning_never_beats_entropy_and_never_loses_to_single_class(
+        hist in prop::collection::vec(0u64..5000, 1..20)
+    ) {
+        use sage_core::tuning::tune_bit_widths;
+        let tuned = tune_bit_widths(&hist, 0.0);
+        let total: u64 = hist.iter().sum();
+        if total > 0 {
+            let max_bits = hist.iter().rposition(|&c| c > 0).unwrap() as u64;
+            // Single class: every value stored with max_bits + 1 guide bit.
+            let single = total * (max_bits + 1);
+            prop_assert!(tuned.total_bits <= single,
+                "tuned {} worse than single-class {}", tuned.total_bits, single);
+            // And the boundary set must cover the maximum.
+            prop_assert_eq!(u64::from(*tuned.widths.last().unwrap()), max_bits);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The DNA alphabet.
+//!
+//! Sequencers emit the four nucleotides A, C, G, T plus `N` for positions
+//! the basecaller could not resolve (§2.1 of the paper). SAGe encodes
+//! A/C/G/T in two bits and treats `N` as a *corner case* (§5.1.4), so the
+//! alphabet type distinguishes the 2-bit-codable subset explicitly.
+
+use std::fmt;
+
+/// A single nucleotide, including the unknown base `N`.
+///
+/// # Example
+///
+/// ```
+/// use sage_genomics::Base;
+///
+/// let b = Base::try_from(b'a').unwrap();
+/// assert_eq!(b, Base::A);
+/// assert_eq!(b.complement(), Base::T);
+/// assert_eq!(b.to_char(), 'A');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Base {
+    /// Adenine (2-bit code 0).
+    A,
+    /// Cytosine (2-bit code 1).
+    C,
+    /// Guanine (2-bit code 2).
+    G,
+    /// Thymine (2-bit code 3).
+    T,
+    /// Unknown base. Not representable in 2 bits; SAGe handles reads
+    /// containing `N` through the corner-case path (§5.1.4).
+    N,
+}
+
+impl Base {
+    /// All four concrete nucleotides, indexed by their 2-bit code.
+    pub const ACGT: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Returns the 2-bit code of this base.
+    ///
+    /// `N` maps to code 0 (the same as `A`); callers that may see `N`
+    /// must track its positions separately (as SAGe's corner-case
+    /// records do).
+    #[inline]
+    pub fn code2(self) -> u8 {
+        match self {
+            Base::A | Base::N => 0,
+            Base::C => 1,
+            Base::G => 2,
+            Base::T => 3,
+        }
+    }
+
+    /// Returns the 3-bit code of this base (`N` = 4), used for the
+    /// optional 3-bit output format of `SAGe_Read`.
+    #[inline]
+    pub fn code3(self) -> u8 {
+        match self {
+            Base::A => 0,
+            Base::C => 1,
+            Base::G => 2,
+            Base::T => 3,
+            Base::N => 4,
+        }
+    }
+
+    /// Builds a base from a 2-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 4`.
+    #[inline]
+    pub fn from_code2(code: u8) -> Base {
+        Base::ACGT[usize::from(code)]
+    }
+
+    /// Builds a base from a 3-bit code, returning `None` for codes > 4.
+    #[inline]
+    pub fn from_code3(code: u8) -> Option<Base> {
+        match code {
+            0 => Some(Base::A),
+            1 => Some(Base::C),
+            2 => Some(Base::G),
+            3 => Some(Base::T),
+            4 => Some(Base::N),
+            _ => None,
+        }
+    }
+
+    /// Returns the Watson-Crick complement (`N` complements to `N`).
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+            Base::N => Base::N,
+        }
+    }
+
+    /// Returns `true` for the unknown base `N`.
+    #[inline]
+    pub fn is_n(self) -> bool {
+        matches!(self, Base::N)
+    }
+
+    /// Returns the upper-case ASCII character for this base.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+            Base::N => 'N',
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Error returned when a byte is not a valid IUPAC-lite DNA character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBaseError(pub u8);
+
+impl fmt::Display for ParseBaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DNA character 0x{:02x}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBaseError {}
+
+impl TryFrom<u8> for Base {
+    type Error = ParseBaseError;
+
+    fn try_from(b: u8) -> Result<Base, ParseBaseError> {
+        match b {
+            b'A' | b'a' => Ok(Base::A),
+            b'C' | b'c' => Ok(Base::C),
+            b'G' | b'g' => Ok(Base::G),
+            b'T' | b't' => Ok(Base::T),
+            b'N' | b'n' => Ok(Base::N),
+            other => Err(ParseBaseError(other)),
+        }
+    }
+}
+
+impl From<Base> for u8 {
+    fn from(b: Base) -> u8 {
+        b.to_char() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code2_round_trips_for_acgt() {
+        for &b in &Base::ACGT {
+            assert_eq!(Base::from_code2(b.code2()), b);
+        }
+    }
+
+    #[test]
+    fn code3_round_trips_including_n() {
+        for b in [Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(Base::from_code3(b.code3()), Some(b));
+        }
+        assert_eq!(Base::from_code3(5), None);
+        assert_eq!(Base::from_code3(7), None);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        for b in [Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn ascii_parse_accepts_lower_and_upper() {
+        assert_eq!(Base::try_from(b'g').unwrap(), Base::G);
+        assert_eq!(Base::try_from(b'G').unwrap(), Base::G);
+        assert_eq!(Base::try_from(b'N').unwrap(), Base::N);
+        assert!(Base::try_from(b'X').is_err());
+    }
+
+    #[test]
+    fn n_maps_to_code_zero_in_2bit() {
+        assert_eq!(Base::N.code2(), 0);
+    }
+
+    #[test]
+    fn display_matches_char() {
+        assert_eq!(Base::T.to_string(), "T");
+        assert_eq!(format!("{}", Base::N), "N");
+    }
+}

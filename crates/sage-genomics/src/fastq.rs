@@ -1,0 +1,286 @@
+//! FASTQ parsing and serialization.
+//!
+//! FASTQ is the most common read-set format (§2.1): four lines per read —
+//! `@header`, bases, `+`, and one ASCII quality character per base
+//! (Phred+33). Data preparation must produce this (or an
+//! accelerator-native packed format) from compressed storage.
+
+use crate::read::{Read as SeqRead, ReadSet};
+use crate::seq::DnaSeq;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line without the leading `@`.
+    pub id: String,
+    /// The bases.
+    pub seq: DnaSeq,
+    /// Phred+33 quality characters, one per base.
+    pub qual: Vec<u8>,
+}
+
+/// Errors produced while parsing FASTQ.
+#[derive(Debug)]
+pub enum FastqError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem, with the offending (1-based) line number.
+    Malformed { line: usize, reason: String },
+}
+
+impl fmt::Display for FastqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastqError::Io(e) => write!(f, "fastq i/o error: {e}"),
+            FastqError::Malformed { line, reason } => {
+                write!(f, "malformed fastq at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastqError::Io(e) => Some(e),
+            FastqError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastqError {
+    fn from(e: io::Error) -> FastqError {
+        FastqError::Io(e)
+    }
+}
+
+/// Streaming FASTQ reader over any [`BufRead`].
+///
+/// # Example
+///
+/// ```
+/// use sage_genomics::fastq::FastqReader;
+///
+/// let data = b"@r1\nACGT\n+\nIIII\n@r2\nTTAA\n+\nHHHH\n";
+/// let records: Result<Vec<_>, _> = FastqReader::new(&data[..]).collect();
+/// let records = records.unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].id, "r1");
+/// ```
+#[derive(Debug)]
+pub struct FastqReader<R> {
+    inner: R,
+    line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Creates a reader. A `&mut` reference also works because `BufRead`
+    /// is implemented for mutable references.
+    pub fn new(inner: R) -> FastqReader<R> {
+        FastqReader {
+            inner,
+            line: 0,
+            buf: String::new(),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<Option<&str>, FastqError> {
+        self.buf.clear();
+        let n = self.inner.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some(self.buf.trim_end_matches(['\n', '\r'])))
+    }
+
+    fn malformed(&self, reason: impl Into<String>) -> FastqError {
+        FastqError::Malformed {
+            line: self.line,
+            reason: reason.into(),
+        }
+    }
+
+    fn read_record(&mut self) -> Result<Option<FastqRecord>, FastqError> {
+        let id = loop {
+            match self.next_line()? {
+                None => return Ok(None),
+                Some(l) if l.is_empty() => continue,
+                Some(l) => {
+                    let Some(stripped) = l.strip_prefix('@') else {
+                        return Err(self.malformed("expected '@' header"));
+                    };
+                    break stripped.to_string();
+                }
+            }
+        };
+        let seq = match self.next_line()? {
+            Some(l) => DnaSeq::from_ascii(l.as_bytes())
+                .map_err(|e| self.malformed(e.to_string()))?,
+            None => return Err(self.malformed("truncated record: missing sequence")),
+        };
+        match self.next_line()? {
+            Some(l) if l.starts_with('+') => {}
+            Some(_) => return Err(self.malformed("expected '+' separator")),
+            None => return Err(self.malformed("truncated record: missing '+'")),
+        }
+        let qual = match self.next_line()? {
+            Some(l) => l.as_bytes().to_vec(),
+            None => return Err(self.malformed("truncated record: missing quality")),
+        };
+        if qual.len() != seq.len() {
+            return Err(self.malformed(format!(
+                "quality length {} does not match sequence length {}",
+                qual.len(),
+                seq.len()
+            )));
+        }
+        Ok(Some(FastqRecord { id, seq, qual }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<FastqRecord, FastqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+/// Writes one FASTQ record to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_record<W: Write>(w: &mut W, rec: &FastqRecord) -> io::Result<()> {
+    w.write_all(b"@")?;
+    w.write_all(rec.id.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(&rec.seq.to_ascii())?;
+    w.write_all(b"\n+\n")?;
+    w.write_all(&rec.qual)?;
+    w.write_all(b"\n")
+}
+
+/// Serializes a whole read set as FASTQ bytes.
+///
+/// Reads without quality scores get the placeholder `I` (Phred 40), the
+/// behaviour of sequencers that do not report quality (§5.1).
+pub fn read_set_to_fastq(reads: &ReadSet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(reads.total_bases() * 2 + reads.len() * 16);
+    for (i, r) in reads.reads().iter().enumerate() {
+        let rec = FastqRecord {
+            id: r.id.clone().unwrap_or_else(|| format!("read{i}")),
+            seq: r.seq.clone(),
+            qual: r
+                .qual
+                .clone()
+                .unwrap_or_else(|| vec![b'I'; r.seq.len()]),
+        };
+        write_record(&mut out, &rec).expect("writing to Vec cannot fail");
+    }
+    out
+}
+
+/// Parses FASTQ bytes into a read set.
+///
+/// # Errors
+///
+/// Returns the first parse error.
+pub fn fastq_to_read_set(bytes: &[u8]) -> Result<ReadSet, FastqError> {
+    let mut reads = Vec::new();
+    for rec in FastqReader::new(bytes) {
+        let rec = rec?;
+        reads.push(SeqRead {
+            id: Some(rec.id),
+            seq: rec.seq,
+            qual: Some(rec.qual),
+        });
+    }
+    Ok(ReadSet::from_reads(reads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let data = b"@a desc\nACGT\n+\nIIII\n@b\nNNTT\n+anything\nFFFF\n";
+        let recs: Vec<_> = FastqReader::new(&data[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a desc");
+        assert_eq!(recs[1].seq.to_string(), "NNTT");
+    }
+
+    #[test]
+    fn rejects_missing_at() {
+        let data = b"r1\nACGT\n+\nIIII\n";
+        let err = FastqReader::new(&data[..]).next().unwrap();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let data = b"@r1\nACGT\n+\nIII\n";
+        let err = FastqReader::new(&data[..]).next().unwrap();
+        assert!(matches!(err, Err(FastqError::Malformed { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let data = b"@r1\nACGT\n";
+        let err = FastqReader::new(&data[..]).next().unwrap();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn write_then_parse_round_trip() {
+        let rec = FastqRecord {
+            id: "x".into(),
+            seq: "ACGTN".parse().unwrap(),
+            qual: b"IIIII".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_record(&mut buf, &rec).unwrap();
+        let parsed: Vec<_> = FastqReader::new(&buf[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn read_set_round_trip() {
+        let rs = ReadSet::from_reads(vec![
+            SeqRead {
+                id: Some("a".into()),
+                seq: "ACGT".parse().unwrap(),
+                qual: Some(b"IIII".to_vec()),
+            },
+            SeqRead {
+                id: None,
+                seq: "TTT".parse().unwrap(),
+                qual: None,
+            },
+        ]);
+        let bytes = read_set_to_fastq(&rs);
+        let back = fastq_to_read_set(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.reads()[1].seq.to_string(), "TTT");
+        assert_eq!(back.reads()[1].qual.as_deref(), Some(&b"III"[..]));
+    }
+
+    #[test]
+    fn skips_blank_lines_between_records() {
+        let data = b"@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n";
+        let recs: Vec<_> = FastqReader::new(&data[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+}

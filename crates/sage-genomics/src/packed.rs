@@ -1,0 +1,201 @@
+//! Packed DNA encodings.
+//!
+//! `SAGe_Read` (§5.4) lets the genome analysis system request the output
+//! in the format its accelerator consumes directly: 2-bit packed for
+//! `N`-free data, 3-bit packed when `N` must be representable, or plain
+//! ASCII. This module implements the packed formats.
+
+use crate::base::Base;
+use crate::seq::DnaSeq;
+
+/// A 2-bit-per-base packed sequence. `N` cannot be represented; packing a
+/// sequence with `N` silently stores it as `A` (callers that care track
+/// `N` positions separately, exactly as SAGe's corner-case records do).
+///
+/// # Example
+///
+/// ```
+/// use sage_genomics::packed::Packed2;
+/// use sage_genomics::DnaSeq;
+///
+/// let s: DnaSeq = "ACGTAC".parse().unwrap();
+/// let p = Packed2::pack(&s);
+/// assert_eq!(p.unpack(), s);
+/// assert_eq!(p.byte_len(), 2); // 6 bases -> 12 bits -> 2 bytes
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Packed2 {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl Packed2 {
+    /// Packs a sequence at 2 bits/base.
+    pub fn pack(seq: &[Base]) -> Packed2 {
+        let mut data = vec![0u8; seq.len().div_ceil(4)];
+        for (i, b) in seq.iter().enumerate() {
+            data[i / 4] |= b.code2() << ((i % 4) * 2);
+        }
+        Packed2 {
+            data,
+            len: seq.len(),
+        }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes of packed storage.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrows the packed bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Returns base `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        Base::from_code2((self.data[i / 4] >> ((i % 4) * 2)) & 0b11)
+    }
+
+    /// Unpacks to an owned sequence.
+    pub fn unpack(&self) -> DnaSeq {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// A 3-bit-per-base packed sequence that can represent `N`.
+///
+/// # Example
+///
+/// ```
+/// use sage_genomics::packed::Packed3;
+/// use sage_genomics::DnaSeq;
+///
+/// let s: DnaSeq = "ACGNT".parse().unwrap();
+/// let p = Packed3::pack(&s);
+/// assert_eq!(p.unpack(), s);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Packed3 {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl Packed3 {
+    /// Packs a sequence at 3 bits/base.
+    pub fn pack(seq: &[Base]) -> Packed3 {
+        let nbits = seq.len() * 3;
+        let mut bits = vec![0u8; nbits.div_ceil(8)];
+        for (i, b) in seq.iter().enumerate() {
+            let code = b.code3();
+            for k in 0..3 {
+                if (code >> k) & 1 == 1 {
+                    let bit = i * 3 + k;
+                    bits[bit / 8] |= 1 << (bit % 8);
+                }
+            }
+        }
+        Packed3 {
+            bits,
+            len: seq.len(),
+        }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes of packed storage.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns base `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or the stored code is invalid.
+    pub fn get(&self, i: usize) -> Base {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut code = 0u8;
+        for k in 0..3 {
+            let bit = i * 3 + k;
+            if (self.bits[bit / 8] >> (bit % 8)) & 1 == 1 {
+                code |= 1 << k;
+            }
+        }
+        Base::from_code3(code).expect("corrupt 3-bit code")
+    }
+
+    /// Unpacks to an owned sequence.
+    pub fn unpack(&self) -> DnaSeq {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed2_round_trip() {
+        let s: DnaSeq = "ACGTACGTAAACCCGGGTTT".parse().unwrap();
+        assert_eq!(Packed2::pack(&s).unpack(), s);
+    }
+
+    #[test]
+    fn packed2_maps_n_to_a() {
+        let s: DnaSeq = "ANT".parse().unwrap();
+        let p = Packed2::pack(&s);
+        assert_eq!(p.get(1), Base::A);
+    }
+
+    #[test]
+    fn packed2_partial_byte() {
+        let s: DnaSeq = "ACG".parse().unwrap();
+        let p = Packed2::pack(&s);
+        assert_eq!(p.byte_len(), 1);
+        assert_eq!(p.unpack(), s);
+    }
+
+    #[test]
+    fn packed3_round_trip_with_n() {
+        let s: DnaSeq = "ACGNTNNACGT".parse().unwrap();
+        assert_eq!(Packed3::pack(&s).unpack(), s);
+    }
+
+    #[test]
+    fn packed_sizes() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(Packed2::pack(&s).byte_len(), 2);
+        assert_eq!(Packed3::pack(&s).byte_len(), 3);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let s = DnaSeq::new();
+        assert!(Packed2::pack(&s).is_empty());
+        assert!(Packed3::pack(&s).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequencing reads and read sets.
+
+use crate::seq::DnaSeq;
+
+/// A single sequencing read: bases plus optional header and quality
+/// scores.
+///
+/// Quality scores are stored as raw Phred+33 bytes, exactly as they
+/// appear in FASTQ; `None` models sequencers/workflows that omit them
+/// (§5.1 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Read {
+    /// FASTQ header without the `@`, if retained.
+    pub id: Option<String>,
+    /// The bases.
+    pub seq: DnaSeq,
+    /// Phred+33 quality bytes, one per base, if present.
+    pub qual: Option<Vec<u8>>,
+}
+
+impl Read {
+    /// Convenience constructor from a sequence only.
+    pub fn from_seq(seq: DnaSeq) -> Read {
+        Read {
+            id: None,
+            seq,
+            qual: None,
+        }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` for a zero-length read.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// An owned collection of reads — the unit SAGe compresses.
+///
+/// # Example
+///
+/// ```
+/// use sage_genomics::{Read, ReadSet};
+///
+/// let rs: ReadSet = vec![Read::from_seq("ACGT".parse().unwrap())]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(rs.total_bases(), 4);
+/// assert!(rs.is_fixed_length());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadSet {
+    reads: Vec<Read>,
+}
+
+impl ReadSet {
+    /// Creates an empty read set.
+    pub fn new() -> ReadSet {
+        ReadSet { reads: Vec::new() }
+    }
+
+    /// Wraps a vector of reads.
+    pub fn from_reads(reads: Vec<Read>) -> ReadSet {
+        ReadSet { reads }
+    }
+
+    /// Borrows the reads.
+    pub fn reads(&self) -> &[Read] {
+        &self.reads
+    }
+
+    /// Mutably borrows the reads.
+    pub fn reads_mut(&mut self) -> &mut Vec<Read> {
+        &mut self.reads
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// `true` when there are no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Adds a read.
+    pub fn push(&mut self, read: Read) {
+        self.reads.push(read);
+    }
+
+    /// Total number of bases across all reads.
+    pub fn total_bases(&self) -> usize {
+        self.reads.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total number of quality-score bytes across all reads.
+    pub fn total_quality_bytes(&self) -> usize {
+        self.reads
+            .iter()
+            .map(|r| r.qual.as_ref().map_or(0, |q| q.len()))
+            .sum()
+    }
+
+    /// `true` if every read has the same length (typical for short-read
+    /// sequencers; lets SAGe skip the per-read length stream).
+    pub fn is_fixed_length(&self) -> bool {
+        match self.reads.first() {
+            None => true,
+            Some(first) => self.reads.iter().all(|r| r.len() == first.len()),
+        }
+    }
+
+    /// Longest read length, or 0 when empty.
+    pub fn max_read_len(&self) -> usize {
+        self.reads.iter().map(|r| r.len()).max().unwrap_or(0)
+    }
+
+    /// `true` if any read carries quality scores.
+    pub fn has_quality(&self) -> bool {
+        self.reads.iter().any(|r| r.qual.is_some())
+    }
+
+    /// Iterator over the reads.
+    pub fn iter(&self) -> std::slice::Iter<'_, Read> {
+        self.reads.iter()
+    }
+
+    /// Returns the multiset of sequences (sorted), used to compare read
+    /// sets when reordering is allowed (SAGe reorders reads by matching
+    /// position, §5.1.3).
+    pub fn sorted_sequences(&self) -> Vec<&DnaSeq> {
+        let mut v: Vec<&DnaSeq> = self.reads.iter().map(|r| &r.seq).collect();
+        v.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        v
+    }
+}
+
+impl FromIterator<Read> for ReadSet {
+    fn from_iter<I: IntoIterator<Item = Read>>(iter: I) -> ReadSet {
+        ReadSet {
+            reads: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Read> for ReadSet {
+    fn extend<I: IntoIterator<Item = Read>>(&mut self, iter: I) {
+        self.reads.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a ReadSet {
+    type Item = &'a Read;
+    type IntoIter = std::slice::Iter<'a, Read>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.reads.iter()
+    }
+}
+
+impl IntoIterator for ReadSet {
+    type Item = Read;
+    type IntoIter = std::vec::IntoIter<Read>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.reads.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(seqs: &[&str]) -> ReadSet {
+        seqs.iter()
+            .map(|s| Read::from_seq(s.parse().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn totals() {
+        let rs = mk(&["ACGT", "AC"]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.total_bases(), 6);
+        assert_eq!(rs.max_read_len(), 4);
+    }
+
+    #[test]
+    fn fixed_length_detection() {
+        assert!(mk(&["ACGT", "TTTT"]).is_fixed_length());
+        assert!(!mk(&["ACGT", "TT"]).is_fixed_length());
+        assert!(ReadSet::new().is_fixed_length());
+    }
+
+    #[test]
+    fn sorted_sequences_is_order_independent() {
+        let a = mk(&["ACGT", "TTTT", "CCCC"]);
+        let b = mk(&["TTTT", "CCCC", "ACGT"]);
+        assert_eq!(a.sorted_sequences(), b.sorted_sequences());
+    }
+
+    #[test]
+    fn quality_accounting() {
+        let mut rs = mk(&["ACGT"]);
+        assert!(!rs.has_quality());
+        rs.reads_mut()[0].qual = Some(vec![b'I'; 4]);
+        assert!(rs.has_quality());
+        assert_eq!(rs.total_quality_bytes(), 4);
+    }
+}

@@ -1,0 +1,21 @@
+//! # sage-hw — SAGe's decompression hardware model
+//!
+//! The hardware half of the co-design (§5.2): per-channel Scan Units
+//! (SU), Read Construction Units (RCU), a Control Unit (CU), and — for
+//! in-SSD integration (mode 3 of Fig. 12) — double registers for
+//! operating on flash data streams.
+//!
+//! The paper synthesizes these units at 22 nm (Table 1) and feeds their
+//! latency/throughput into a system simulator; this crate does the
+//! same: [`cost`] carries the synthesized area/power constants,
+//! [`units`] is a cycle model of the SU/RCU pipeline, and
+//! [`throughput`] derives end-to-end decompression bandwidth (which the
+//! paper shows is NAND-read-bound, not logic-bound, §8.2).
+
+pub mod cost;
+pub mod throughput;
+pub mod units;
+
+pub use cost::{HwCost, IntegrationMode, LogicUnitCost};
+pub use throughput::ThroughputModel;
+pub use units::{CycleModel, DecodeWorkload};

@@ -1,0 +1,113 @@
+//! Genome analysis accelerator models (§7).
+//!
+//! - **GEM** — the state-of-the-art near-memory read-mapping
+//!   accelerator; the paper uses its reported throughput (69,200
+//!   KReads/s on ~100 bp reads ≈ 6.9 Gbases/s).
+//! - **GenStore ISF** — the in-storage filter: discards reads that do
+//!   not need expensive mapping *inside the SSD* at internal bandwidth,
+//!   sending only the remainder to GEM. The fraction filtered is a
+//!   dataset/application property.
+
+/// GEM's mapping throughput in bases/second (69.2 MReads/s × 100 bp).
+pub const GEM_BASES_PER_SEC: f64 = 6.92e9;
+
+/// The baseline software mapper (minimap2-class) in bases/second
+/// (446 KReads/s × 100 bp, Fig. 1).
+pub const BASELINE_SW_MAPPER_BASES_PER_SEC: f64 = 4.46e7;
+
+/// GenStore ISF in-storage processing rate per SSD (bases/second):
+/// the filter's k-mer lookups over decompressed reads inside the
+/// controller. Finite — for high-filter datasets the ISF itself sits
+/// on the critical path, which is why those datasets gain from more
+/// SSDs (Fig. 15).
+pub const ISF_BASES_PER_SEC_PER_SSD: f64 = 2.5e10;
+
+/// Which analysis system consumes the prepared reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnalysisKind {
+    /// GEM read-mapping accelerator alone.
+    Gem,
+    /// GenStore in-storage filter in front of GEM. Requires in-SSD
+    /// data preparation (§7: SAGe is the only configuration light
+    /// enough for that).
+    GenStoreIsf {
+        /// Fraction of reads the ISF discards in-SSD.
+        filter_fraction: f64,
+    },
+    /// The software baseline mapper (Fig. 1's `Baseline`).
+    SoftwareMapper,
+}
+
+impl AnalysisKind {
+    /// Mapping rate in *original dataset* bases/second: a filter that
+    /// discards fraction `f` in-SSD lets the mapper cover the dataset
+    /// `1/(1-f)` times faster.
+    pub fn mapper_rate_original_bases(&self) -> f64 {
+        match self {
+            AnalysisKind::Gem => GEM_BASES_PER_SEC,
+            AnalysisKind::SoftwareMapper => BASELINE_SW_MAPPER_BASES_PER_SEC,
+            AnalysisKind::GenStoreIsf { filter_fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(filter_fraction),
+                    "filter fraction out of range"
+                );
+                if *filter_fraction >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    GEM_BASES_PER_SEC / (1.0 - filter_fraction)
+                }
+            }
+        }
+    }
+
+    /// `true` when the configuration filters inside the SSD.
+    pub fn filters_in_storage(&self) -> bool {
+        matches!(self, AnalysisKind::GenStoreIsf { .. })
+    }
+
+    /// Fraction of bases that must cross the host interface (1.0
+    /// without an in-storage filter).
+    pub fn host_traffic_fraction(&self) -> f64 {
+        match self {
+            AnalysisKind::GenStoreIsf { filter_fraction } => 1.0 - filter_fraction,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gem_is_much_faster_than_software() {
+        assert!(GEM_BASES_PER_SEC / BASELINE_SW_MAPPER_BASES_PER_SEC > 100.0);
+    }
+
+    #[test]
+    fn isf_scales_effective_rate() {
+        let isf = AnalysisKind::GenStoreIsf {
+            filter_fraction: 0.8,
+        };
+        let r = isf.mapper_rate_original_bases();
+        assert!((r / GEM_BASES_PER_SEC - 5.0).abs() < 1e-9);
+        assert!((isf.host_traffic_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_filter_equals_gem() {
+        let isf = AnalysisKind::GenStoreIsf {
+            filter_fraction: 0.0,
+        };
+        assert_eq!(isf.mapper_rate_original_bases(), GEM_BASES_PER_SEC);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter fraction out of range")]
+    fn invalid_fraction_panics() {
+        AnalysisKind::GenStoreIsf {
+            filter_fraction: 1.5,
+        }
+        .mapper_rate_original_bases();
+    }
+}

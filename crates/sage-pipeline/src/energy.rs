@@ -1,0 +1,134 @@
+//! Energy accounting (§7, Fig. 16).
+//!
+//! End-to-end energy = Σ component (idle + dynamic) power × execution
+//! time: host processor, host DRAM, SSD(s), the analysis accelerator,
+//! and SAGe's logic (mW-scale, Table 1). Configurations that decompress
+//! on the host keep its cores (and memory) active for the whole
+//! pipelined run; hardware configurations leave the host idle.
+
+use sage_hw::{HwCost, IntegrationMode};
+
+/// Host system power model (AMD EPYC 7742-class server, §7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostPower {
+    /// Package power when the decompressor saturates the cores (W).
+    pub active_w: f64,
+    /// Package power when idle (W).
+    pub idle_w: f64,
+    /// DRAM power (W), always on.
+    pub dram_w: f64,
+}
+
+impl Default for HostPower {
+    fn default() -> HostPower {
+        HostPower {
+            active_w: 280.0,
+            idle_w: 95.0,
+            dram_w: 22.0,
+        }
+    }
+}
+
+/// Power of the analysis accelerator (GEM-class ASIC, W).
+pub const ANALYSIS_ACCEL_W: f64 = 15.0;
+
+/// Inputs to the energy computation for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyInputs {
+    /// End-to-end execution time (s).
+    pub seconds: f64,
+    /// Whether the host CPU runs the decompressor.
+    pub host_cpu_active: bool,
+    /// Number of SSDs.
+    pub n_ssds: usize,
+    /// Per-SSD active power (W).
+    pub ssd_active_w: f64,
+    /// Whether SAGe hardware is present, and in which mode.
+    pub sage_hw: Option<IntegrationMode>,
+    /// SAGe hardware channel count (per device).
+    pub sage_channels: usize,
+}
+
+/// Computes end-to-end energy in joules.
+pub fn energy_joules(host: &HostPower, inp: &EnergyInputs) -> f64 {
+    let host_w = if inp.host_cpu_active {
+        host.active_w
+    } else {
+        host.idle_w
+    };
+    let mut total_w = host_w + host.dram_w + ANALYSIS_ACCEL_W;
+    total_w += inp.ssd_active_w * inp.n_ssds as f64;
+    if let Some(mode) = inp.sage_hw {
+        let hw = HwCost::new(inp.sage_channels, mode);
+        total_w += hw.total_power_mw() * 1e-3 * inp.n_ssds as f64;
+    }
+    total_w * inp.seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> EnergyInputs {
+        EnergyInputs {
+            seconds: 10.0,
+            host_cpu_active: false,
+            n_ssds: 1,
+            ssd_active_w: 18.0,
+            sage_hw: None,
+            sage_channels: 8,
+        }
+    }
+
+    #[test]
+    fn host_activity_dominates() {
+        let host = HostPower::default();
+        let idle = energy_joules(&host, &base_inputs());
+        let active = energy_joules(
+            &host,
+            &EnergyInputs {
+                host_cpu_active: true,
+                ..base_inputs()
+            },
+        );
+        assert!(active > 2.0 * idle);
+    }
+
+    #[test]
+    fn sage_logic_energy_is_negligible() {
+        let host = HostPower::default();
+        let without = energy_joules(&host, &base_inputs());
+        let with = energy_joules(
+            &host,
+            &EnergyInputs {
+                sage_hw: Some(IntegrationMode::InSsd),
+                ..base_inputs()
+            },
+        );
+        // Table 1: sub-milliwatt logic — invisible at system scale.
+        assert!((with - without) / without < 1e-4);
+        assert!(with > without);
+    }
+
+    #[test]
+    fn energy_scales_with_time_and_ssds() {
+        let host = HostPower::default();
+        let one = energy_joules(&host, &base_inputs());
+        let double_time = energy_joules(
+            &host,
+            &EnergyInputs {
+                seconds: 20.0,
+                ..base_inputs()
+            },
+        );
+        assert!((double_time / one - 2.0).abs() < 1e-9);
+        let four_ssds = energy_joules(
+            &host,
+            &EnergyInputs {
+                n_ssds: 4,
+                ..base_inputs()
+            },
+        );
+        assert!(four_ssds > one);
+    }
+}

@@ -1,0 +1,24 @@
+//! # sage-pipeline — the end-to-end evaluation simulator
+//!
+//! Models the paper's methodology (§7): I/O, data preparation, and
+//! genome analysis execute on batches in a pipelined manner; end-to-end
+//! throughput is set by the slowest stage, and energy follows from
+//! per-component power × time. The simulator composes:
+//!
+//! - [`stage`] — pipelined-batch timing algebra;
+//! - [`prep`] — the seven data-preparation configurations of §7
+//!   (pigz, (N)Spr, (N)SprAC, 0TimeDec, SAGeSW, SAGe, SAGeSSD);
+//! - [`analysis`] — the GEM read-mapping accelerator and the GenStore
+//!   in-storage filter (ISF);
+//! - [`energy`] — host/DRAM/SSD/accelerator/SAGe-logic energy;
+//! - [`endtoend`] — the experiment runner used by every figure harness.
+
+pub mod analysis;
+pub mod endtoend;
+pub mod energy;
+pub mod prep;
+pub mod stage;
+
+pub use analysis::AnalysisKind;
+pub use endtoend::{run_experiment, DatasetModel, Outcome, SystemConfig};
+pub use prep::PrepKind;

@@ -1,0 +1,208 @@
+//! SAGe's interface commands and the device model (§5.4).
+//!
+//! `SAGe_Read` requests genomic data *in the format the analysis
+//! system wants* (2-bit, 3-bit, ASCII); `SAGe_Write` writes compressed
+//! genomic data through the aligned layout and updates the FTL.
+//! Conventional reads/writes pass through untouched, so the device
+//! behaves like a normal SSD for everything else.
+
+use crate::config::SsdConfig;
+use crate::ftl::Ftl;
+use crate::nand::{random_read_latency_seconds, striped_read_seconds, striped_write_seconds};
+
+/// Requested output format of a `SAGe_Read` (§5.4). Mirrors
+/// `sage_core::OutputFormat` but lives here so the storage layer does
+/// not depend on decode internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadFormat {
+    /// ASCII bases.
+    Ascii,
+    /// 2-bit packed.
+    Packed2,
+    /// 3-bit packed.
+    Packed3,
+}
+
+/// Commands the host can issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SsdCommand {
+    /// Specialized genomic read: stream `bytes` of SAGe-compressed
+    /// data (decompression happens in the per-channel SAGe hardware).
+    SageRead {
+        /// Compressed bytes to stream.
+        bytes: usize,
+        /// Output format for the RCU's format encoder.
+        format: ReadFormat,
+    },
+    /// Specialized genomic write with aligned layout.
+    SageWrite {
+        /// Compressed bytes to place.
+        bytes: usize,
+    },
+    /// Conventional read (vendor path).
+    Read {
+        /// Bytes to read.
+        bytes: usize,
+        /// Whether the access pattern is sequential.
+        sequential: bool,
+    },
+    /// Conventional write.
+    Write {
+        /// Bytes to write.
+        bytes: usize,
+    },
+}
+
+/// Outcome of a command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsdResponse {
+    /// Device-side service time in seconds.
+    pub seconds: f64,
+    /// Bytes moved.
+    pub bytes: usize,
+}
+
+/// A device: configuration + FTL + timing.
+#[derive(Debug, Clone)]
+pub struct SsdModel {
+    cfg: SsdConfig,
+    ftl: Ftl,
+    next_lpn: u64,
+}
+
+impl SsdModel {
+    /// Creates a device.
+    pub fn new(cfg: SsdConfig) -> SsdModel {
+        SsdModel {
+            ftl: Ftl::new(cfg.clone()),
+            cfg,
+            next_lpn: 0,
+        }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Borrow the FTL (e.g. to inspect alignment in tests).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Executes a command, returning its service time.
+    pub fn execute(&mut self, cmd: SsdCommand) -> SsdResponse {
+        match cmd {
+            SsdCommand::SageRead { bytes, .. } => {
+                let pages = bytes.div_ceil(self.cfg.page_bytes);
+                SsdResponse {
+                    seconds: striped_read_seconds(&self.cfg, pages, true),
+                    bytes,
+                }
+            }
+            SsdCommand::SageWrite { bytes } => {
+                let pages = bytes.div_ceil(self.cfg.page_bytes);
+                for _ in 0..pages {
+                    let lpn = self.next_lpn;
+                    self.next_lpn += 1;
+                    self.ftl.write_genomic(lpn);
+                }
+                SsdResponse {
+                    seconds: striped_write_seconds(&self.cfg, pages),
+                    bytes,
+                }
+            }
+            SsdCommand::Read { bytes, sequential } => {
+                let pages = bytes.div_ceil(self.cfg.page_bytes);
+                let seconds = if sequential {
+                    striped_read_seconds(&self.cfg, pages, false)
+                } else {
+                    pages as f64 * random_read_latency_seconds(&self.cfg, self.cfg.page_bytes)
+                };
+                SsdResponse { seconds, bytes }
+            }
+            SsdCommand::Write { bytes } => {
+                let pages = bytes.div_ceil(self.cfg.page_bytes);
+                for _ in 0..pages {
+                    let lpn = self.next_lpn;
+                    self.next_lpn += 1;
+                    let unit = (lpn % 7) as usize;
+                    self.ftl.write_normal(lpn, unit);
+                }
+                SsdResponse {
+                    seconds: striped_write_seconds(&self.cfg, pages),
+                    bytes,
+                }
+            }
+        }
+    }
+
+    /// Effective bandwidth of a command type in bytes/second.
+    pub fn bandwidth(&mut self, cmd: SsdCommand) -> f64 {
+        let r = self.execute(cmd);
+        if r.seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            r.bytes as f64 / r.seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sage_read_is_faster_than_random_read() {
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        let n = 64 * 1024 * 1024;
+        let sage = ssd.execute(SsdCommand::SageRead {
+            bytes: n,
+            format: ReadFormat::Packed2,
+        });
+        let rand = ssd.execute(SsdCommand::Read {
+            bytes: n,
+            sequential: false,
+        });
+        assert!(sage.seconds < rand.seconds / 4.0);
+    }
+
+    #[test]
+    fn sage_write_maintains_alignment() {
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        ssd.execute(SsdCommand::SageWrite {
+            bytes: 8 * 1024 * 1024,
+        });
+        assert!(ssd.ftl().genomic_alignment_holds());
+    }
+
+    #[test]
+    fn mixed_traffic_keeps_genomic_alignment() {
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        ssd.execute(SsdCommand::SageWrite { bytes: 1 << 20 });
+        ssd.execute(SsdCommand::Write { bytes: 1 << 20 });
+        ssd.execute(SsdCommand::SageWrite { bytes: 1 << 20 });
+        assert!(ssd.ftl().genomic_alignment_holds());
+    }
+
+    #[test]
+    fn sage_read_bandwidth_matches_internal_bw() {
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        let bw = ssd.bandwidth(SsdCommand::SageRead {
+            bytes: 1 << 30,
+            format: ReadFormat::Ascii,
+        });
+        let expected = ssd.config().internal_read_bw(true);
+        assert!((bw / expected - 1.0).abs() < 0.05, "bw {bw} vs {expected}");
+    }
+
+    #[test]
+    fn zero_byte_commands_are_free() {
+        let mut ssd = SsdModel::new(SsdConfig::sata());
+        let r = ssd.execute(SsdCommand::SageRead {
+            bytes: 0,
+            format: ReadFormat::Ascii,
+        });
+        assert_eq!(r.seconds, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sage-ssd — the storage substrate
+//!
+//! SAGe's third and fourth co-design aspects live in the SSD (§5.3,
+//! §5.4): a data layout that stripes compressed genomic data across
+//! channels with aligned page offsets (enabling multi-plane reads at
+//! full internal bandwidth), an FTL extension that preserves that
+//! layout through garbage collection, and two interface commands
+//! (`SAGe_Read`, `SAGe_Write`).
+//!
+//! This crate is an MQSim-style analytical model plus a functional FTL:
+//! [`config`] holds device presets (a PCIe PM1735-like and a SATA
+//! 870 EVO-like drive), [`nand`] models die/plane/bus timing,
+//! [`layout`] implements the round-robin genomic placement, [`ftl`] the
+//! mapping + grouped GC, and [`interface`] the command set.
+
+pub mod config;
+pub mod ftl;
+pub mod interface;
+pub mod layout;
+pub mod nand;
+
+pub use config::SsdConfig;
+pub use ftl::{Ftl, GcReport};
+pub use interface::{ReadFormat, SsdCommand, SsdModel, SsdResponse};
+pub use layout::SageLayout;

@@ -1,0 +1,95 @@
+//! NAND timing model.
+//!
+//! Computes the service time of page-granular reads and writes given
+//! the device geometry. With SAGe's layout, stripes hit every channel
+//! at the same page offset, so multi-plane array reads overlap with bus
+//! transfers and the channel buses stay saturated.
+
+use crate::config::SsdConfig;
+
+/// A physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageAddr {
+    /// Channel index.
+    pub channel: u32,
+    /// Die index within the channel.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+/// Time to read `n_pages` striped uniformly over all channels with
+/// aligned offsets (multi-plane capable).
+pub fn striped_read_seconds(cfg: &SsdConfig, n_pages: usize, aligned: bool) -> f64 {
+    if n_pages == 0 {
+        return 0.0;
+    }
+    let bytes = (n_pages * cfg.page_bytes) as f64;
+    bytes / cfg.internal_read_bw(aligned)
+}
+
+/// Time to program `n_pages` striped over all channels.
+pub fn striped_write_seconds(cfg: &SsdConfig, n_pages: usize) -> f64 {
+    if n_pages == 0 {
+        return 0.0;
+    }
+    // Program time dominates; planes program in parallel.
+    let parallel_units = (cfg.channels * cfg.dies_per_channel * cfg.planes_per_die) as f64;
+    let rounds = (n_pages as f64 / parallel_units).ceil();
+    let transfer = (n_pages * cfg.page_bytes) as f64
+        / (cfg.channel_bytes_per_sec * cfg.channels as f64);
+    rounds * cfg.t_prog_us * 1e-6 + transfer
+}
+
+/// Latency of one random 4 KiB-equivalent read (tR + partial transfer):
+/// the access pattern genomic decompressors other than SAGe impose
+/// when they chase pointers inside the SSD (§3.2).
+pub fn random_read_latency_seconds(cfg: &SsdConfig, bytes: usize) -> f64 {
+    cfg.t_read_us * 1e-6 + bytes as f64 / cfg.channel_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pages_cost_nothing() {
+        let cfg = SsdConfig::pcie();
+        assert_eq!(striped_read_seconds(&cfg, 0, true), 0.0);
+        assert_eq!(striped_write_seconds(&cfg, 0), 0.0);
+    }
+
+    #[test]
+    fn aligned_reads_are_faster() {
+        let cfg = SsdConfig::pcie();
+        let fast = striped_read_seconds(&cfg, 10_000, true);
+        let slow = striped_read_seconds(&cfg, 10_000, false);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let cfg = SsdConfig::pcie();
+        assert!(striped_write_seconds(&cfg, 1_000) > striped_read_seconds(&cfg, 1_000, true));
+    }
+
+    #[test]
+    fn random_reads_dominated_by_tr() {
+        let cfg = SsdConfig::pcie();
+        let lat = random_read_latency_seconds(&cfg, 4096);
+        assert!(lat > cfg.t_read_us * 1e-6);
+        assert!(lat < 2.0 * cfg.t_read_us * 1e-6);
+    }
+
+    #[test]
+    fn striped_read_scales_linearly() {
+        let cfg = SsdConfig::sata();
+        let t1 = striped_read_seconds(&cfg, 1_000, true);
+        let t2 = striped_read_seconds(&cfg, 2_000, true);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

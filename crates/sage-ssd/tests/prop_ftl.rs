@@ -1,0 +1,82 @@
+//! Property-based tests: the FTL's genomic alignment invariant must
+//! survive arbitrary interleavings of writes, invalidations, and
+//! garbage collection.
+
+use proptest::prelude::*;
+use sage_ssd::{Ftl, SsdConfig};
+
+fn small_cfg() -> SsdConfig {
+    SsdConfig {
+        channels: 2,
+        dies_per_channel: 1,
+        planes_per_die: 2,
+        pages_per_block: 4,
+        blocks_per_plane: 16,
+        ..SsdConfig::pcie()
+    }
+}
+
+/// Random FTL operation.
+#[derive(Debug, Clone)]
+enum Op {
+    WriteGenomic(u64),
+    WriteNormal(u64, usize),
+    Invalidate(u64),
+    GcGenomic(u32),
+    GcNormal(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..64).prop_map(Op::WriteGenomic),
+        2 => ((1000u64..1064), (0usize..4)).prop_map(|(l, u)| Op::WriteNormal(l, u)),
+        2 => (0u64..64).prop_map(Op::Invalidate),
+        1 => (0u32..16).prop_map(Op::GcGenomic),
+        1 => (0usize..4).prop_map(Op::GcNormal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alignment_survives_arbitrary_op_sequences(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut ftl = Ftl::new(small_cfg());
+        let mut live: std::collections::BTreeSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                Op::WriteGenomic(lpn) => {
+                    if ftl.write_genomic(lpn).is_some() {
+                        live.insert(lpn);
+                    }
+                }
+                Op::WriteNormal(lpn, unit) => {
+                    if ftl.write_normal(lpn, unit).is_some() {
+                        live.insert(lpn);
+                    }
+                }
+                Op::Invalidate(lpn) => {
+                    ftl.invalidate(lpn);
+                    live.remove(&lpn);
+                }
+                Op::GcGenomic(block) => {
+                    let report = ftl.gc_genomic(block);
+                    prop_assert!(report.alignment_preserved);
+                }
+                Op::GcNormal(unit) => {
+                    let _ = ftl.gc_normal(unit);
+                }
+            }
+            prop_assert!(ftl.genomic_alignment_holds());
+        }
+        // Every live page must still translate; every dead one must not.
+        for lpn in 0u64..1064 {
+            prop_assert_eq!(
+                ftl.translate(lpn).is_some(),
+                live.contains(&lpn),
+                "lpn {} mapping inconsistent", lpn
+            );
+        }
+        prop_assert_eq!(ftl.mapped_pages(), live.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! # SAGe — facade crate
+//!
+//! This crate re-exports the entire SAGe reproduction workspace so that
+//! examples, integration tests, and downstream users can depend on a single
+//! crate.
+//!
+//! SAGe (HPCA 2026) is an algorithm-architecture co-design for
+//! highly-compressed storage and high-performance access of large-scale
+//! genomic sequence data. The workspace contains:
+//!
+//! - [`genomics`] — DNA/FASTQ data model and a sequencing simulator that
+//!   synthesizes read sets with the statistical properties the paper's
+//!   optimizations exploit.
+//! - [`core`] — the SAGe codec itself: hardware-friendly arrays with tuned
+//!   bit widths, the compressor, and the software Scan-Unit /
+//!   Read-Construction-Unit decoder.
+//! - [`baselines`] — from-scratch comparison compressors (a gzip/pigz-like
+//!   general-purpose codec and a Spring/NanoSpring-like genomic codec).
+//! - [`hw`] — the cycle-level model of SAGe's decompression hardware with
+//!   the paper's Table 1 area/power constants.
+//! - [`ssd`] — the SSD substrate: NAND timing, SAGe's data layout, FTL and
+//!   GC, and the `SAGe_Read`/`SAGe_Write` interface commands.
+//! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
+//!   paper's evaluation figures (GEM and GenStore integration, energy).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sage::genomics::sim::{DatasetProfile, simulate_dataset};
+//! use sage::core::{SageCompressor, SageDecompressor, OutputFormat};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Synthesize a small short-read dataset and compress it.
+//! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 42);
+//! let archive = SageCompressor::new().compress(&ds.reads)?;
+//! let reads = SageDecompressor::new(OutputFormat::Ascii).decompress(&archive)?;
+//! assert_eq!(reads.len(), ds.reads.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sage_baselines as baselines;
+pub use sage_core as core;
+pub use sage_genomics as genomics;
+pub use sage_hw as hw;
+pub use sage_pipeline as pipeline;
+pub use sage_ssd as ssd;

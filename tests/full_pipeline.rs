@@ -1,0 +1,125 @@
+//! Cross-crate integration: simulator → codec → container → storage →
+//! decompression → FASTQ, i.e. the whole data-preparation path a
+//! `SAGe_Read` serves.
+
+use sage::core::{OutputFormat, SageCompressor, SageDecompressor};
+use sage::genomics::fastq::{fastq_to_read_set, read_set_to_fastq};
+use sage::genomics::sim::{simulate_dataset, DatasetProfile};
+use sage::genomics::{Read, ReadSet};
+use sage_baselines::SpringLike;
+
+fn sorted_content(rs: &ReadSet) -> Vec<(String, Option<Vec<u8>>)> {
+    let mut v: Vec<_> = rs
+        .iter()
+        .map(|r: &Read| (r.seq.to_string(), r.qual.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn short_read_fastq_round_trip_through_sage() {
+    let ds = simulate_dataset(&DatasetProfile::tiny_short(), 101);
+    // FASTQ in...
+    let fastq = read_set_to_fastq(&ds.reads);
+    let reads = fastq_to_read_set(&fastq).expect("parse");
+    // ...compressed, serialized, decompressed...
+    let archive = SageCompressor::new().compress(&reads).expect("compress");
+    let bytes = archive.to_bytes();
+    let out = SageDecompressor::new(OutputFormat::Ascii)
+        .decompress_bytes(&bytes)
+        .expect("decompress");
+    // ...FASTQ out: content identical up to reordering.
+    assert_eq!(sorted_content(&reads), sorted_content(&out));
+    let fastq_out = read_set_to_fastq(&out);
+    let reparsed = fastq_to_read_set(&fastq_out).expect("reparse");
+    assert_eq!(sorted_content(&out), sorted_content(&reparsed));
+}
+
+#[test]
+fn long_read_round_trip_with_order() {
+    let ds = simulate_dataset(&DatasetProfile::tiny_long(), 102);
+    let archive = SageCompressor::new()
+        .with_store_order(true)
+        .compress(&ds.reads)
+        .expect("compress");
+    let out = SageDecompressor::default()
+        .decompress(&archive)
+        .expect("decompress");
+    assert_eq!(out.len(), ds.reads.len());
+    for (a, b) in ds.reads.iter().zip(out.iter()) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.qual, b.qual);
+    }
+}
+
+#[test]
+fn sage_and_spring_agree_on_content() {
+    let ds = simulate_dataset(&DatasetProfile::tiny_short(), 103);
+    let sage_out = SageDecompressor::default()
+        .decompress(&SageCompressor::new().compress(&ds.reads).expect("compress"))
+        .expect("decompress");
+    let spring = SpringLike::new();
+    let spring_out = spring
+        .decompress(&spring.compress(&ds.reads))
+        .expect("decompress");
+    assert_eq!(sorted_content(&sage_out), sorted_content(&spring_out));
+    assert_eq!(sorted_content(&sage_out), sorted_content(&ds.reads));
+}
+
+#[test]
+fn quality_optionality_is_respected_end_to_end() {
+    let mut ds = simulate_dataset(&DatasetProfile::tiny_long(), 104);
+    // NanoSpring-style: drop quality at compression time.
+    let archive = SageCompressor::new()
+        .with_quality(false)
+        .compress(&ds.reads)
+        .expect("compress");
+    let out = SageDecompressor::default()
+        .decompress(&archive)
+        .expect("decompress");
+    assert!(out.iter().all(|r| r.qual.is_none()));
+    // Bases still lossless.
+    for r in ds.reads.reads_mut() {
+        r.qual = None;
+    }
+    assert_eq!(sorted_content(&ds.reads), sorted_content(&out));
+}
+
+#[test]
+fn prepared_formats_serve_accelerator_needs() {
+    let ds = simulate_dataset(&DatasetProfile::tiny_short(), 105);
+    let archive = SageCompressor::new().compress(&ds.reads).expect("compress");
+    let ascii = SageDecompressor::new(OutputFormat::Ascii)
+        .prepare(&archive)
+        .expect("ascii");
+    let p2 = SageDecompressor::new(OutputFormat::Packed2)
+        .prepare(&archive)
+        .expect("packed2");
+    assert_eq!(ascii.len(), ds.reads.len());
+    assert_eq!(p2.len(), ds.reads.len());
+    // 2-bit packing quarters the interface traffic (the SAGeSSD+ISF
+    // advantage in the pipeline model).
+    if let (sage::core::PreparedBatch::Ascii(a), sage::core::PreparedBatch::Packed2(p)) =
+        (ascii, p2)
+    {
+        let ascii_bytes: usize = a.iter().map(|r| r.len()).sum();
+        let packed_bytes: usize = p.iter().map(|r| r.byte_len()).sum();
+        assert!(packed_bytes * 3 < ascii_bytes);
+    } else {
+        panic!("unexpected variants");
+    }
+}
+
+#[test]
+fn reference_based_compression_round_trips() {
+    let ds = simulate_dataset(&DatasetProfile::tiny_short(), 106);
+    let archive = SageCompressor::new()
+        .with_reference(ds.reference.clone())
+        .compress(&ds.reads)
+        .expect("compress");
+    let out = SageDecompressor::default()
+        .decompress(&archive)
+        .expect("decompress");
+    assert_eq!(sorted_content(&ds.reads), sorted_content(&out));
+}
