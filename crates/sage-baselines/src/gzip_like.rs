@@ -81,17 +81,16 @@ impl GzipLike {
             let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); chunks.len()];
             let workers = self.threads.min(chunks.len());
             let per = chunks.len().div_ceil(workers);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (w, out_slice) in blocks.chunks_mut(per).enumerate() {
                     let in_slice = &chunks[w * per..(w * per + out_slice.len())];
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for (o, c) in out_slice.iter_mut().zip(in_slice) {
                             *o = deflate_block(c);
                         }
                     });
                 }
-            })
-            .expect("compression worker panicked");
+            });
             blocks
         };
         let mut out = Vec::with_capacity(data.len() / 2 + 64);

@@ -1,0 +1,151 @@
+//! Store throughput: concurrent random-access reads against the
+//! sharded chunk store (`sage-store`), swept over shard granularity ×
+//! LRU cache size × client count.
+//!
+//! Each cell starts a [`StoreServer`] (bounded queue, one worker per
+//! client) and `clients` client threads, each issuing a deterministic
+//! stream of random `Get` ranges; reported are served requests/sec and
+//! the decoded-chunk cache hit rate. The final section replays one
+//! range stream twice against a cold and a warm cache to show the LRU
+//! cache beating the cold path.
+//!
+//! Run with: `cargo run --release --bin store_throughput`
+//! (`SAGE_SCALE` scales the dataset like every other harness).
+
+use sage_bench::{banner, dataset, row};
+use sage_genomics::sim::DatasetProfile;
+use sage_store::{
+    encode_sharded, EngineConfig, Request, Response, StoreEngine, StoreOptions, StoreServer,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Gets issued by each client thread.
+const GETS_PER_CLIENT: u64 = 200;
+
+/// Deterministic per-client range stream (SplitMix64 over a counter).
+fn range_for(client: u64, i: u64, total: u64, span: u64) -> std::ops::Range<u64> {
+    let mut z = (client << 32 | i).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let start = z % total;
+    let end = (start + 1 + z % span).min(total);
+    start..end
+}
+
+fn drive_clients(server: &Arc<StoreServer>, clients: u64, total: u64, span: u64) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let server = Arc::clone(server);
+            s.spawn(move || {
+                for i in 0..GETS_PER_CLIENT {
+                    let range = range_for(c, i, total, span);
+                    match server.call(Request::Get(range)).expect("get") {
+                        Response::Reads(_) => {}
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner("store_throughput: sharded store under concurrent random gets");
+    let ds = dataset(&DatasetProfile::rs1().scaled(0.05));
+    let total = ds.reads.len() as u64;
+    println!(
+        "dataset: {} reads ({} bases); {} gets per client\n",
+        total,
+        ds.reads.total_bases(),
+        GETS_PER_CLIENT
+    );
+
+    let widths = [8, 8, 8, 10, 10, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "chunk".into(),
+                "cache".into(),
+                "clients".into(),
+                "req/s".into(),
+                "hit rate".into(),
+                "evict".into(),
+            ],
+            &widths
+        )
+    );
+
+    for &chunk_reads in &[64usize, 256] {
+        let sharded =
+            encode_sharded(&ds.reads, &StoreOptions::new(chunk_reads)).expect("encode store");
+        let n_chunks = sharded.n_chunks();
+        for &cache_chunks in &[n_chunks.div_ceil(8).max(1), n_chunks] {
+            for &clients in &[4u64, 8] {
+                let engine = Arc::new(StoreEngine::open(
+                    sharded.clone(),
+                    EngineConfig::default().with_cache_chunks(cache_chunks),
+                ));
+                let server = Arc::new(StoreServer::start(
+                    Arc::clone(&engine),
+                    clients as usize,
+                    2 * clients as usize,
+                ));
+                let secs = drive_clients(&server, clients, total, 2 * chunk_reads as u64);
+                let served = engine.requests_served();
+                let stats = engine.cache_stats();
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            format!("{chunk_reads}"),
+                            format!("{cache_chunks}/{n_chunks}"),
+                            format!("{clients}"),
+                            format!("{:.0}", served as f64 / secs),
+                            format!("{:.1}%", stats.hit_rate() * 100.0),
+                            format!("{}", stats.evictions),
+                        ],
+                        &widths
+                    )
+                );
+            }
+        }
+    }
+
+    banner("warm LRU cache vs cold path (same ranges, 4 clients)");
+    let sharded = encode_sharded(&ds.reads, &StoreOptions::new(64)).expect("encode store");
+    let n_chunks = sharded.n_chunks();
+    let engine = Arc::new(StoreEngine::open(
+        sharded,
+        EngineConfig::default().with_cache_chunks(n_chunks),
+    ));
+    let server = Arc::new(StoreServer::start(Arc::clone(&engine), 4, 8));
+    let cold = drive_clients(&server, 4, total, 128);
+    let after_cold = engine.cache_stats();
+    let warm = drive_clients(&server, 4, total, 128);
+    let after_warm = engine.cache_stats();
+    let warm_hits = after_warm.hits - after_cold.hits;
+    let warm_misses = after_warm.misses - after_cold.misses;
+    println!(
+        "cold pass: {:.0} req/s ({} misses)",
+        4.0 * GETS_PER_CLIENT as f64 / cold,
+        after_cold.misses
+    );
+    println!(
+        "warm pass: {:.0} req/s ({} hits, {} misses)",
+        4.0 * GETS_PER_CLIENT as f64 / warm,
+        warm_hits,
+        warm_misses
+    );
+    println!(
+        "warm/cold speedup: {:.2}x (cache holds every decoded chunk)",
+        cold / warm
+    );
+    // Only the deterministic counter is asserted — wall-clock
+    // comparisons flake on loaded CI runners; the printed speedup is
+    // the measurement.
+    assert!(warm_misses == 0, "warm pass must be all hits");
+}

@@ -216,20 +216,63 @@ impl SageArchive {
 
     /// Parses an archive.
     ///
+    /// Trailing bytes after the archive are ignored; use
+    /// [`SageArchive::from_bytes_prefix`] to learn where the archive
+    /// ends (e.g. when scanning a container of concatenated chunks).
+    ///
     /// # Errors
     ///
-    /// Returns [`SageError::Corrupt`] / [`SageError::Unsupported`] on
+    /// Returns the typed header-validation variants
+    /// ([`SageError::BadMagic`], [`SageError::BadVersion`],
+    /// [`SageError::Truncated`]) or [`SageError::Corrupt`] on other
     /// malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<SageArchive> {
+        Ok(SageArchive::from_bytes_prefix(bytes)?.0)
+    }
+
+    /// Parses an archive from a slice of `blob` described by `extent`.
+    ///
+    /// This is the random-access entry point used by chunked stores:
+    /// each chunk is an independently decodable archive addressed by a
+    /// byte extent inside a shared container blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SageError::Truncated`] when the extent reaches past
+    /// `blob`, plus everything [`SageArchive::from_bytes`] returns.
+    pub fn from_extent(blob: &[u8], extent: Extent) -> Result<SageArchive> {
+        let end = extent.offset.checked_add(extent.len);
+        match end {
+            Some(end) if end <= blob.len() => {
+                SageArchive::from_bytes(&blob[extent.offset..end])
+            }
+            _ => Err(SageError::Truncated {
+                offset: extent.offset,
+                needed: extent.len,
+                available: blob.len().saturating_sub(extent.offset.min(blob.len())),
+            }),
+        }
+    }
+
+    /// Parses one archive from the front of `bytes`, returning it
+    /// together with the number of bytes it occupied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SageArchive::from_bytes`].
+    pub fn from_bytes_prefix(bytes: &[u8]) -> Result<(SageArchive, usize)> {
         let mut c = Cursor { bytes, pos: 0 };
-        if c.take(4)? != MAGIC {
-            return Err(SageError::Corrupt("bad magic".into()));
+        if bytes.len() < 4 || c.take(4)? != MAGIC {
+            return Err(SageError::BadMagic {
+                found: bytes[..bytes.len().min(4)].to_vec(),
+            });
         }
         let version = c.u16()?;
         if version != VERSION {
-            return Err(SageError::Unsupported(format!(
-                "format version {version} (expected {VERSION})"
-            )));
+            return Err(SageError::BadVersion {
+                found: version,
+                expected: VERSION,
+            });
         }
         let flags = c.u16()?;
         let n_reads = c.u64()?;
@@ -288,23 +331,42 @@ impl SageArchive {
         let order = read_stream(&mut c)?;
         let qual_len = c.u64()? as usize;
         let qual = c.take(qual_len)?.to_vec();
-        Ok(SageArchive {
-            header,
-            consensus,
-            streams: Streams {
-                mpga,
-                mpa,
-                mmpga,
-                mmpa,
-                mbta,
-                corner,
-                lenga,
-                lena,
-                raw,
-                order,
-                qual,
+        Ok((
+            SageArchive {
+                header,
+                consensus,
+                streams: Streams {
+                    mpga,
+                    mpa,
+                    mmpga,
+                    mmpa,
+                    mbta,
+                    corner,
+                    lenga,
+                    lena,
+                    raw,
+                    order,
+                    qual,
+                },
             },
-        })
+            c.pos,
+        ))
+    }
+}
+
+/// A byte extent inside a container blob: `offset..offset + len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// First byte of the extent.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl Extent {
+    /// One past the last byte.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
     }
 }
 
@@ -331,8 +393,14 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(SageError::Corrupt("unexpected end of archive".into()));
+        // `pos <= len` is an invariant; comparing against the remainder
+        // keeps hostile length fields (n ~ usize::MAX) from overflowing.
+        if n > self.bytes.len() - self.pos {
+            return Err(SageError::Truncated {
+                offset: self.pos,
+                needed: n,
+                available: self.bytes.len() - self.pos,
+            });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -445,31 +513,107 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample_archive().to_bytes();
         bytes[0] = b'X';
-        assert!(matches!(
-            SageArchive::from_bytes(&bytes),
-            Err(SageError::Corrupt(_))
-        ));
+        match SageArchive::from_bytes(&bytes) {
+            Err(SageError::BadMagic { found }) => {
+                assert_eq!(found, vec![b'X', b'A', b'G', b'E']);
+            }
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_input_is_bad_magic() {
+        match SageArchive::from_bytes(b"SA") {
+            Err(SageError::BadMagic { found }) => assert_eq!(found, b"SA".to_vec()),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
     }
 
     #[test]
     fn wrong_version_rejected() {
         let mut bytes = sample_archive().to_bytes();
         bytes[4] = 99;
-        assert!(matches!(
-            SageArchive::from_bytes(&bytes),
-            Err(SageError::Unsupported(_))
-        ));
+        match SageArchive::from_bytes(&bytes) {
+            Err(SageError::BadVersion { found, expected }) => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, VERSION);
+            }
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
     }
 
     #[test]
     fn truncation_rejected() {
         let bytes = sample_archive().to_bytes();
         for cut in [5, 20, bytes.len() - 2] {
-            assert!(
-                SageArchive::from_bytes(&bytes[..cut]).is_err(),
-                "truncation at {cut} accepted"
-            );
+            match SageArchive::from_bytes(&bytes[..cut]) {
+                Err(SageError::Truncated { available, .. }) => {
+                    assert!(available <= cut, "truncation at {cut}: available {available}");
+                }
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn hostile_length_fields_truncate_cleanly() {
+        // Rewrite the trailing quality-length field to u64::MAX; the
+        // parser must report Truncated, not panic on `pos + n`
+        // overflowing.
+        let a = sample_archive();
+        let mut evil = a.to_bytes();
+        let qual_len_at = evil.len() - a.streams.qual.len() - 8;
+        evil[qual_len_at..qual_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            SageArchive::from_bytes(&evil),
+            Err(SageError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_parse_walks_concatenated_archives() {
+        let a = sample_archive();
+        let one = a.to_bytes();
+        let mut blob = one.clone();
+        blob.extend_from_slice(&one);
+        let (first, used) = SageArchive::from_bytes_prefix(&blob).unwrap();
+        assert_eq!(used, one.len());
+        assert_eq!(first, a);
+        let (second, used2) = SageArchive::from_bytes_prefix(&blob[used..]).unwrap();
+        assert_eq!(used2, one.len());
+        assert_eq!(second, a);
+    }
+
+    #[test]
+    fn extent_addressing_reads_the_middle_chunk() {
+        let a = sample_archive();
+        let one = a.to_bytes();
+        let mut blob = vec![0xAAu8; 17]; // leading junk the extent skips
+        let offset = blob.len();
+        blob.extend_from_slice(&one);
+        blob.extend_from_slice(&[0x55; 9]);
+        let got = SageArchive::from_extent(
+            &blob,
+            Extent {
+                offset,
+                len: one.len(),
+            },
+        )
+        .unwrap();
+        assert_eq!(got, a);
+    }
+
+    #[test]
+    fn out_of_bounds_extent_is_truncated() {
+        let blob = sample_archive().to_bytes();
+        let e = SageArchive::from_extent(
+            &blob,
+            Extent {
+                offset: blob.len() - 1,
+                len: 10,
+            },
+        );
+        assert!(matches!(e, Err(SageError::Truncated { .. })));
     }
 
     #[test]

@@ -271,6 +271,40 @@ impl SageCompressor {
         Ok((archive, stats))
     }
 
+    /// Compresses a read set into fixed-population chunks: every
+    /// `reads_per_chunk` consecutive reads become one independently
+    /// decodable archive (the final chunk may be smaller).
+    ///
+    /// Chunking trades a little compression ratio (each chunk carries
+    /// its own consensus and tuned tables) for random access: a store
+    /// can decode any chunk without touching the others, which is what
+    /// the paper's SSD layout (§5.3) serves. Chunks inherit this
+    /// compressor's options unchanged; stores that address reads by
+    /// dataset position must enable `store_order` so each chunk
+    /// restores its reads in input order (`sage-store` does this, and
+    /// its parallel `encode_sharded` produces chunk-for-chunk the same
+    /// archives this sequential entry point does).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`compress`](Self::compress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_chunk` is 0.
+    pub fn compress_chunked(
+        &self,
+        reads: &ReadSet,
+        reads_per_chunk: usize,
+    ) -> Result<Vec<SageArchive>> {
+        assert!(reads_per_chunk > 0, "chunks must hold at least one read");
+        reads
+            .reads()
+            .chunks(reads_per_chunk)
+            .map(|chunk| self.compress(&ReadSet::from_reads(chunk.to_vec())))
+            .collect()
+    }
+
     /// Maps the reads and returns the alignments without encoding —
     /// used by the dataset-property harnesses (Fig. 7 / Fig. 10) and
     /// the ablation accounting.

@@ -49,7 +49,7 @@ pub mod rangecoder;
 pub mod tuning;
 
 pub use consensus::{ConsensusConfig, ConsensusMode};
-pub use container::{ArchiveHeader, SageArchive, Streams};
+pub use container::{ArchiveHeader, Extent, SageArchive, Streams};
 pub use decode::{DecodeStats, OutputFormat, PreparedBatch, ReadStream, SageDecompressor};
 pub use encode::{Breakdown, CompressOptions, CompressionStats, SageCompressor};
 pub use error::{Result, SageError};

@@ -10,7 +10,6 @@ use crate::prep::PrepKind;
 use crate::stage::{bottleneck, pipeline_seconds, Stage};
 use sage_hw::{CycleModel, IntegrationMode};
 use sage_ssd::SsdConfig;
-use serde::Serialize;
 
 /// Bytes per base when reads cross an interface in SAGe's 2-bit packed
 /// format (the `SAGe_Read` format parameter, §5.4).
@@ -19,7 +18,7 @@ pub const PACKED_BYTES_PER_BASE: f64 = 0.25;
 /// What the pipeline needs to know about a dataset. Ratios come from
 /// *actual* compression runs (the figure harnesses measure them with
 /// the real codecs).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetModel {
     /// Label (e.g. `"RS2"`).
     pub name: String,
@@ -57,7 +56,9 @@ impl DatasetModel {
         match prep {
             PrepKind::Pigz => self.ratio_pigz,
             PrepKind::NSpr | PrepKind::NSprAc | PrepKind::ZeroTimeDec => self.ratio_spring,
-            PrepKind::SageSw | PrepKind::SageHw | PrepKind::SageSsd => self.ratio_sage,
+            PrepKind::SageSw | PrepKind::SageStore | PrepKind::SageHw | PrepKind::SageSsd => {
+                self.ratio_sage
+            }
         }
     }
 }
@@ -107,7 +108,7 @@ impl SystemConfig {
 }
 
 /// Result of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// End-to-end wall time (s).
     pub seconds: f64,
@@ -153,7 +154,8 @@ pub fn run_experiment(
     let prep_rate;
     let io_rate;
     match prep {
-        PrepKind::Pigz | PrepKind::NSpr | PrepKind::NSprAc | PrepKind::SageSw => {
+        PrepKind::Pigz | PrepKind::NSpr | PrepKind::NSprAc | PrepKind::SageSw
+        | PrepKind::SageStore => {
             // Compressed data crosses the interface; the host inflates.
             io_rate = host_if * ratio;
             stages.push(Stage::new("io", io_rate));

@@ -8,7 +8,9 @@
 
 use crate::config::SsdConfig;
 use crate::ftl::Ftl;
-use crate::nand::{random_read_latency_seconds, striped_read_seconds, striped_write_seconds};
+use crate::nand::{
+    extent_read_seconds, random_read_latency_seconds, striped_read_seconds, striped_write_seconds,
+};
 
 /// Requested output format of a `SAGe_Read` (§5.4). Mirrors
 /// `sage_core::OutputFormat` but lives here so the storage layer does
@@ -30,6 +32,19 @@ pub enum SsdCommand {
     /// data (decompression happens in the per-channel SAGe hardware).
     SageRead {
         /// Compressed bytes to stream.
+        bytes: usize,
+        /// Output format for the RCU's format encoder.
+        format: ReadFormat,
+    },
+    /// Random-access genomic read of one byte extent (a chunk of a
+    /// sharded container) out of the aligned layout. Engages only the
+    /// channels the extent's pages land on, so small chunks pay a
+    /// parallelism penalty relative to [`SsdCommand::SageRead`] —
+    /// exactly the trade-off a chunk store's cache exists to hide.
+    SageReadExtent {
+        /// Byte offset of the extent inside the placed dataset.
+        offset: usize,
+        /// Extent length in bytes.
         bytes: usize,
         /// Output format for the RCU's format encoder.
         format: ReadFormat,
@@ -100,6 +115,13 @@ impl SsdModel {
                     bytes,
                 }
             }
+            SsdCommand::SageReadExtent { offset, bytes, .. } => {
+                let pages = crate::layout::extent_page_span(&self.cfg, offset, bytes);
+                SsdResponse {
+                    seconds: extent_read_seconds(&self.cfg, pages, true),
+                    bytes,
+                }
+            }
             SsdCommand::SageWrite { bytes } => {
                 let pages = bytes.div_ceil(self.cfg.page_bytes);
                 for _ in 0..pages {
@@ -165,6 +187,53 @@ mod tests {
             sequential: false,
         });
         assert!(sage.seconds < rand.seconds / 4.0);
+    }
+
+    #[test]
+    fn extent_reads_sit_between_streaming_and_random() {
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        let chunk = 4 * ssd.config().page_bytes; // a few-page chunk
+        let ext = ssd.execute(SsdCommand::SageReadExtent {
+            offset: 3 * chunk + 100,
+            bytes: chunk,
+            format: ReadFormat::Packed2,
+        });
+        let stream = ssd.execute(SsdCommand::SageRead {
+            bytes: chunk,
+            format: ReadFormat::Packed2,
+        });
+        let rand = ssd.execute(SsdCommand::Read {
+            bytes: chunk,
+            sequential: false,
+        });
+        assert!(
+            stream.seconds < ext.seconds && ext.seconds < rand.seconds,
+            "stream {} ext {} rand {}",
+            stream.seconds,
+            ext.seconds,
+            rand.seconds
+        );
+    }
+
+    #[test]
+    fn unaligned_extent_pays_for_the_extra_page() {
+        // Below the channel count extra pages ride free (each lands on
+        // an idle channel); past a full stripe the straddled page costs
+        // real transfer time.
+        let mut ssd = SsdModel::new(SsdConfig::pcie());
+        let page = ssd.config().page_bytes;
+        let stripe = ssd.config().channels * page;
+        let aligned = ssd.execute(SsdCommand::SageReadExtent {
+            offset: 0,
+            bytes: stripe,
+            format: ReadFormat::Ascii,
+        });
+        let straddling = ssd.execute(SsdCommand::SageReadExtent {
+            offset: page / 2,
+            bytes: stripe,
+            format: ReadFormat::Ascii,
+        });
+        assert!(straddling.seconds > aligned.seconds);
     }
 
     #[test]

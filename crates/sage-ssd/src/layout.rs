@@ -10,6 +10,17 @@
 use crate::config::SsdConfig;
 use crate::nand::PageAddr;
 
+/// Number of layout pages a byte extent `offset..offset + bytes`
+/// spans, counting the partially-covered first and last pages.
+pub fn extent_page_span(cfg: &SsdConfig, offset: usize, bytes: usize) -> usize {
+    if bytes == 0 {
+        return 0;
+    }
+    let first = offset / cfg.page_bytes;
+    let last = (offset + bytes - 1) / cfg.page_bytes;
+    last - first + 1
+}
+
 /// A placed genomic dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SageLayout {
@@ -25,18 +36,33 @@ impl SageLayout {
     /// Places `bytes` of compressed genomic data round-robin across
     /// channels starting at block `start_block`, page offset 0.
     pub fn place(cfg: &SsdConfig, bytes: usize, start_block: u32) -> SageLayout {
+        let mut layout = SageLayout {
+            pages: Vec::new(),
+            bytes: 0,
+            page_bytes: cfg.page_bytes,
+        };
+        layout.extend_to(cfg, bytes, start_block);
+        layout
+    }
+
+    /// Grows the placement to cover `bytes` total, appending only the
+    /// new pages (an O(new pages) append, not a rebuild — the store's
+    /// append path calls this once per appended chunk).
+    ///
+    /// `start_block` must match the value the layout was placed with.
+    /// Shrinking is not supported; a smaller `bytes` is a no-op.
+    pub fn extend_to(&mut self, cfg: &SsdConfig, bytes: usize, start_block: u32) {
         let n_pages = bytes.div_ceil(cfg.page_bytes);
-        let mut pages = Vec::with_capacity(n_pages);
         let channels = cfg.channels as u32;
         let planes = (cfg.dies_per_channel * cfg.planes_per_die) as u32;
-        for i in 0..n_pages as u32 {
+        for i in self.pages.len() as u32..n_pages as u32 {
             // Round-robin: channel fastest, then plane (die-major), then
             // page offset — every channel's active block is at the same
             // page offset at any instant.
             let channel = i % channels;
             let unit = (i / channels) % planes;
             let page_seq = i / (channels * planes);
-            pages.push(PageAddr {
+            self.pages.push(PageAddr {
                 channel,
                 die: unit / cfg.planes_per_die as u32,
                 plane: unit % cfg.planes_per_die as u32,
@@ -44,11 +70,7 @@ impl SageLayout {
                 page: page_seq % cfg.pages_per_block as u32,
             });
         }
-        SageLayout {
-            pages,
-            bytes,
-            page_bytes: cfg.page_bytes,
-        }
+        self.bytes = self.bytes.max(bytes);
     }
 
     /// Number of pages.
@@ -66,6 +88,26 @@ impl SageLayout {
                 .iter()
                 .all(|p| (p.block, p.page) == (chunk[0].block, chunk[0].page))
         })
+    }
+
+    /// The placements covering byte extent `offset..offset + len` of
+    /// the dataset, in logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent reaches past the placed dataset.
+    pub fn pages_for_extent(&self, offset: usize, len: usize) -> &[PageAddr] {
+        assert!(
+            offset + len <= self.bytes,
+            "extent {offset}+{len} outside placed dataset ({} bytes)",
+            self.bytes
+        );
+        if len == 0 {
+            return &[];
+        }
+        let first = offset / self.page_bytes;
+        let last = (offset + len - 1) / self.page_bytes;
+        &self.pages[first..=last]
     }
 
     /// Per-channel page counts (uniform partitioning check).
@@ -118,6 +160,45 @@ mod tests {
         assert_eq!(layout.pages[0].block, 5);
         assert_eq!(layout.pages.last().unwrap().block, 6);
         assert!(layout.is_aligned(&cfg));
+    }
+
+    #[test]
+    fn extending_matches_fresh_placement() {
+        let cfg = SsdConfig::pcie();
+        let mut grown = SageLayout::place(&cfg, cfg.page_bytes * 7 + 3, 2);
+        grown.extend_to(&cfg, cfg.page_bytes * 300 + 11, 2);
+        let fresh = SageLayout::place(&cfg, cfg.page_bytes * 300 + 11, 2);
+        assert_eq!(grown, fresh);
+        // Shrinking is a no-op.
+        grown.extend_to(&cfg, 5, 2);
+        assert_eq!(grown, fresh);
+    }
+
+    #[test]
+    fn extent_pages_cover_partial_boundaries() {
+        let cfg = SsdConfig::pcie();
+        let layout = SageLayout::place(&cfg, cfg.page_bytes * 8, 0);
+        // An extent straddling a page boundary needs both pages.
+        let pages = layout.pages_for_extent(cfg.page_bytes - 1, 2);
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0], layout.pages[0]);
+        assert_eq!(pages[1], layout.pages[1]);
+        // Zero-length extents touch nothing.
+        assert!(layout.pages_for_extent(17, 0).is_empty());
+        // A one-page extent exactly aligned touches one page.
+        assert_eq!(layout.pages_for_extent(cfg.page_bytes * 3, cfg.page_bytes).len(), 1);
+        // Extents past the placed byte count (even inside the last
+        // partially-filled page's rounding slack) are rejected.
+        let ragged = SageLayout::place(&cfg, cfg.page_bytes + 1, 0);
+        assert!(std::panic::catch_unwind(|| {
+            ragged.pages_for_extent(cfg.page_bytes + 1, cfg.page_bytes - 1)
+        })
+        .is_err());
+        // Consistency with the span helper used by the device model.
+        assert_eq!(
+            extent_page_span(&cfg, cfg.page_bytes - 1, 2),
+            layout.pages_for_extent(cfg.page_bytes - 1, 2).len()
+        );
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub mod nand;
 pub use config::SsdConfig;
 pub use ftl::{Ftl, GcReport};
 pub use interface::{ReadFormat, SsdCommand, SsdModel, SsdResponse};
-pub use layout::SageLayout;
+pub use layout::{extent_page_span, SageLayout};

@@ -45,6 +45,24 @@ pub fn striped_write_seconds(cfg: &SsdConfig, n_pages: usize) -> f64 {
     rounds * cfg.t_prog_us * 1e-6 + transfer
 }
 
+/// Time to read a *partial* stripe of `n_pages` consecutive pages from
+/// the round-robin genomic layout (a chunk extent, not the whole
+/// dataset).
+///
+/// Consecutive layout pages land on distinct channels, so an extent of
+/// `n_pages` engages `min(n_pages, channels)` channels; smaller extents
+/// see proportionally less internal parallelism, plus one array-read
+/// latency (tR) to reach the extent's first page — the cost profile a
+/// chunk store trades against decoding whole archives.
+pub fn extent_read_seconds(cfg: &SsdConfig, n_pages: usize, aligned: bool) -> f64 {
+    if n_pages == 0 {
+        return 0.0;
+    }
+    let engaged = n_pages.min(cfg.channels) as f64;
+    let bw = cfg.internal_read_bw(aligned) * engaged / cfg.channels as f64;
+    cfg.t_read_us * 1e-6 + (n_pages * cfg.page_bytes) as f64 / bw
+}
+
 /// Latency of one random 4 KiB-equivalent read (tR + partial transfer):
 /// the access pattern genomic decompressors other than SAGe impose
 /// when they chase pointers inside the SSD (§3.2).
@@ -83,6 +101,29 @@ mod tests {
         let lat = random_read_latency_seconds(&cfg, 4096);
         assert!(lat > cfg.t_read_us * 1e-6);
         assert!(lat < 2.0 * cfg.t_read_us * 1e-6);
+    }
+
+    #[test]
+    fn extent_reads_lose_parallelism_below_channel_count() {
+        let cfg = SsdConfig::pcie();
+        // Per-page service time should shrink as the extent grows
+        // toward a full stripe, then flatten.
+        let per_page = |n: usize| extent_read_seconds(&cfg, n, true) / n as f64;
+        assert!(per_page(1) > per_page(cfg.channels / 2));
+        assert!(per_page(cfg.channels / 2) > per_page(cfg.channels));
+        // At many stripes the extent path approaches full striped
+        // bandwidth (modulo the single tR of startup latency).
+        let n = cfg.channels * 64;
+        let full = striped_read_seconds(&cfg, n, true);
+        let ext = extent_read_seconds(&cfg, n, true);
+        assert!(ext > full);
+        assert!(ext < full + 2.0 * cfg.t_read_us * 1e-6);
+    }
+
+    #[test]
+    fn zero_page_extent_is_free() {
+        let cfg = SsdConfig::sata();
+        assert_eq!(extent_read_seconds(&cfg, 0, true), 0.0);
     }
 
     #[test]

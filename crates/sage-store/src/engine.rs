@@ -1,0 +1,646 @@
+//! The concurrent query engine and its request-queue server.
+//!
+//! [`StoreEngine`] is the shared-state core: an immutable-ish sharded
+//! container behind a `RwLock` (appends take the write lock), an LRU
+//! cache of decoded chunks, and optional SSD timing. Every method
+//! takes `&self`, so one engine in an `Arc` serves any number of
+//! client threads.
+//!
+//! [`StoreServer`] puts a *bounded* request queue in front of an
+//! engine: clients submit [`Request`]s and block when the queue is
+//! full (backpressure instead of unbounded memory), while a pool of
+//! worker threads drains the queue and answers through per-request
+//! response channels.
+
+use crate::codec::{order_preserving_compressor, ShardedStore};
+use crate::lru::{CacheSnapshot, CacheStats, LruCache};
+use crate::manifest::ChunkMeta;
+use crate::timing::{SsdTiming, TimingSnapshot};
+use crate::{parse_chunk, Result, StoreError};
+use sage_core::{CompressOptions, OutputFormat, SageDecompressor};
+use sage_genomics::{Read, ReadSet};
+use sage_ssd::SsdConfig;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Decoded chunks the LRU cache may pin.
+    pub cache_chunks: usize,
+    /// When set, chunk fetches and appends charge this device model
+    /// (the SSD-backed timing mode).
+    pub ssd: Option<SsdConfig>,
+    /// Codec options for appended chunks. Chunk population always
+    /// comes from the manifest (appended chunks must look like the
+    /// existing ones), and `store_order` is forced on.
+    pub codec: CompressOptions,
+    /// Worker threads compressing appended chunks (0 ⇒ available
+    /// parallelism).
+    pub append_workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_chunks: 16,
+            ssd: None,
+            codec: CompressOptions::default(),
+            append_workers: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the cache capacity (in chunks).
+    pub fn with_cache_chunks(mut self, n: usize) -> EngineConfig {
+        self.cache_chunks = n;
+        self
+    }
+
+    /// Enables the SSD timing mode.
+    pub fn with_ssd(mut self, cfg: SsdConfig) -> EngineConfig {
+        self.ssd = Some(cfg);
+        self
+    }
+}
+
+/// The mutable store state (blob + manifest) behind the engine's lock.
+#[derive(Debug)]
+struct StoreState {
+    store: ShardedStore,
+}
+
+/// The concurrent random-access query engine.
+#[derive(Debug)]
+pub struct StoreEngine {
+    state: RwLock<StoreState>,
+    cache: Mutex<LruCache>,
+    stats: CacheStats,
+    timing: Option<SsdTiming>,
+    codec: CompressOptions,
+    append_workers: usize,
+    requests_served: AtomicU64,
+}
+
+impl StoreEngine {
+    /// Opens an engine over an encoded store.
+    pub fn open(store: ShardedStore, cfg: EngineConfig) -> StoreEngine {
+        let timing = cfg
+            .ssd
+            .map(|ssd| SsdTiming::new(ssd, store.blob.len()));
+        StoreEngine {
+            cache: Mutex::new(LruCache::new(cfg.cache_chunks)),
+            stats: CacheStats::default(),
+            timing,
+            codec: cfg.codec,
+            append_workers: cfg.append_workers,
+            requests_served: AtomicU64::new(0),
+            state: RwLock::new(StoreState { store }),
+        }
+    }
+
+    /// Total reads currently stored.
+    pub fn total_reads(&self) -> u64 {
+        self.state.read().expect("state poisoned").store.total_reads()
+    }
+
+    /// Requests served so far (gets + scans + appends).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Accumulated SSD accounting (all zeros when timing is off).
+    pub fn timing_snapshot(&self) -> TimingSnapshot {
+        self.timing
+            .as_ref()
+            .map(SsdTiming::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Fetches one decoded chunk through the cache.
+    ///
+    /// The decode runs *outside* both the cache lock and the state
+    /// lock: concurrent misses on different chunks overlap, and a
+    /// pending `append` only waits for the brief extent-bytes copy,
+    /// not for mapper-scale decode work. Two racing misses on the
+    /// same chunk may both decode, with the last insert winning —
+    /// wasted work, never wrong answers.
+    fn fetch_chunk(&self, meta: ChunkMeta) -> Result<Arc<ReadSet>> {
+        let chunk_id = meta.id;
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .get(chunk_id)
+        {
+            self.stats.hit();
+            return Ok(hit);
+        }
+        self.stats.miss();
+        if let Some(t) = &self.timing {
+            t.charge_chunk_read(meta.extent);
+        }
+        // Chunks are immutable once written (appends only add new
+        // ones), so a copy of the extent bytes taken under a short
+        // read guard stays valid after the guard drops.
+        let chunk_bytes = {
+            let state = self.state.read().expect("state poisoned");
+            if meta.extent.end() > state.store.blob.len() {
+                return Err(StoreError::CorruptChunk {
+                    chunk_id,
+                    cause: sage_core::error::SageError::Corrupt(
+                        "chunk extent outside blob".into(),
+                    ),
+                });
+            }
+            state.store.blob[meta.extent.offset..meta.extent.end()].to_vec()
+        };
+        let archive = parse_chunk(
+            &chunk_bytes,
+            sage_core::Extent {
+                offset: 0,
+                len: chunk_bytes.len(),
+            },
+            chunk_id,
+        )?;
+        let reads = SageDecompressor::new(OutputFormat::Ascii)
+            .decompress(&archive)
+            .map_err(|cause| StoreError::CorruptChunk { chunk_id, cause })?;
+        // The manifest may come from a separate object than the blob;
+        // a population mismatch means one of them lies, and slicing by
+        // manifest coordinates would walk off the decoded reads.
+        if reads.len() as u64 != meta.n_reads {
+            return Err(StoreError::CorruptChunk {
+                chunk_id,
+                cause: sage_core::error::SageError::Corrupt(format!(
+                    "chunk decoded {} reads but manifest claims {}",
+                    reads.len(),
+                    meta.n_reads
+                )),
+            });
+        }
+        let reads = Arc::new(reads);
+        let evicted = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(chunk_id, Arc::clone(&reads));
+        self.stats.evicted(evicted);
+        Ok(reads)
+    }
+
+    /// Returns reads `range` (dataset-global ids, half-open), decoding
+    /// only the chunks the range touches.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RangeOutOfBounds`] when the range reaches past
+    /// the stored dataset; [`StoreError::CorruptChunk`] when a chunk
+    /// fails validation.
+    pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the touched chunk metas under a short guard; decode
+        // happens unlocked (chunks are immutable once written).
+        let metas: Vec<ChunkMeta> = {
+            let state = self.state.read().expect("state poisoned");
+            let total = state.store.total_reads();
+            if range.end > total {
+                return Err(StoreError::RangeOutOfBounds {
+                    start: range.start,
+                    end: range.end,
+                    total,
+                });
+            }
+            state
+                .store
+                .manifest
+                .chunks_for_range(range.start, range.end)
+                .to_vec()
+        };
+        let mut out = ReadSet::new();
+        for (meta, chunk) in metas.iter().zip(self.fetch_chunks(&metas)) {
+            let chunk = chunk?;
+            let lo = range.start.saturating_sub(meta.first_read) as usize;
+            let hi = (range.end.min(meta.end_read()) - meta.first_read) as usize;
+            for r in &chunk.reads()[lo..hi] {
+                out.push(r.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetches several chunks, fanning cold misses out over the codec
+    /// worker pool so a wide cold `get`/`scan` does not decode
+    /// one-chunk-at-a-time on the request thread. Cache hits are
+    /// served inline first — a warm request never pays thread-spawn
+    /// overhead.
+    fn fetch_chunks(&self, metas: &[ChunkMeta]) -> Vec<Result<Arc<ReadSet>>> {
+        let mut out: Vec<Option<Result<Arc<ReadSet>>>> = Vec::with_capacity(metas.len());
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (i, meta) in metas.iter().enumerate() {
+                match cache.get(meta.id) {
+                    Some(hit) => {
+                        self.stats.hit();
+                        out.push(Some(Ok(hit)));
+                    }
+                    None => {
+                        out.push(None);
+                        missing.push(i);
+                    }
+                }
+            }
+        }
+        // fetch_chunk re-checks the cache, so a miss filled by a
+        // racing thread in the meantime still becomes a cheap hit.
+        match missing.len() {
+            0 => {}
+            1 => out[missing[0]] = Some(self.fetch_chunk(metas[missing[0]])),
+            n => {
+                let fetched = crate::codec::run_pool(n, crate::codec::default_workers(), |j| {
+                    self.fetch_chunk(metas[missing[j]])
+                });
+                for (&i, r) in missing.iter().zip(fetched) {
+                    out[i] = Some(r);
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("slot filled")).collect()
+    }
+
+    /// Returns every stored read matching `predicate`, walking all
+    /// chunks through the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptChunk`] when a chunk fails validation.
+    pub fn scan<F: Fn(&Read) -> bool>(&self, predicate: F) -> Result<ReadSet> {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the chunk table; reads appended mid-scan are not
+        // part of this scan's view.
+        let metas: Vec<ChunkMeta> = {
+            let state = self.state.read().expect("state poisoned");
+            state.store.manifest.chunks.clone()
+        };
+        let mut out = ReadSet::new();
+        for chunk in self.fetch_chunks(&metas) {
+            for r in chunk?.iter().filter(|r| predicate(r)) {
+                out.push(r.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Appends reads as new chunk(s) at the end of the dataset,
+    /// returning the id of the first appended read.
+    ///
+    /// Appended reads always form *new* chunks — an undersized tail
+    /// chunk is never reopened (chunks are immutable, which is what
+    /// lets readers run unlocked); repeated small appends therefore
+    /// accumulate undersized chunks until a future compaction pass.
+    ///
+    /// The chunks are compressed *before* the state write lock is
+    /// taken (in parallel over the codec's worker pool), so concurrent
+    /// `get`/`scan` traffic only waits for the cheap blob/manifest
+    /// splice. Concurrent appends serialize at the splice; their read
+    /// ids are assigned there, in splice order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures from compressing the new chunks.
+    pub fn append(&self, reads: &ReadSet) -> Result<u64> {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        if reads.is_empty() {
+            return Ok(self.total_reads());
+        }
+        // Chunk population never changes after encode, so reading it
+        // outside the write lock is safe.
+        let per_chunk = {
+            let state = self.state.read().expect("state poisoned");
+            state.store.manifest.reads_per_chunk.max(1) as usize
+        };
+        let chunks: Vec<&[sage_genomics::Read]> = reads.reads().chunks(per_chunk).collect();
+        let workers = if self.append_workers > 0 {
+            self.append_workers
+        } else {
+            crate::codec::default_workers()
+        };
+        // Encoding fails before splicing anything: an error must not
+        // leave a partial append behind.
+        let encoded =
+            crate::codec::encode_chunks(&chunks, &order_preserving_compressor(&self.codec), workers)?;
+
+        let mut state = self.state.write().expect("state poisoned");
+        let first_id = state.store.total_reads();
+        for (chunk, bytes) in chunks.iter().zip(encoded) {
+            state.store.splice_chunk(chunk.len() as u64, &bytes);
+            if let Some(t) = &self.timing {
+                t.charge_append(state.store.blob.len());
+            }
+        }
+        Ok(first_id)
+    }
+}
+
+/// A query against a [`StoreServer`].
+pub enum Request {
+    /// Fetch reads `range` (dataset-global ids).
+    Get(Range<u64>),
+    /// Return all reads matching the predicate.
+    Scan(Box<dyn Fn(&Read) -> bool + Send>),
+    /// Append reads to the dataset.
+    Append(ReadSet),
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Request::Get(r) => write!(f, "Get({r:?})"),
+            Request::Scan(_) => write!(f, "Scan(..)"),
+            Request::Append(rs) => write!(f, "Append({} reads)", rs.len()),
+        }
+    }
+}
+
+/// A server's answer to one [`Request`].
+#[derive(Debug)]
+pub enum Response {
+    /// Reads for a `Get` or `Scan`.
+    Reads(ReadSet),
+    /// First read id assigned by an `Append`.
+    Appended(u64),
+}
+
+/// A pending answer; [`RequestTicket::wait`] blocks for it.
+#[derive(Debug)]
+pub struct RequestTicket {
+    rx: Receiver<Result<Response>>,
+}
+
+impl RequestTicket {
+    /// Blocks until the server answers.
+    ///
+    /// # Errors
+    ///
+    /// The request's own error, or [`StoreError::QueueClosed`] when
+    /// the server shut down first.
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().map_err(|_| StoreError::QueueClosed)?
+    }
+}
+
+enum Job {
+    Work(Request, SyncSender<Result<Response>>),
+    Shutdown,
+}
+
+/// A bounded request queue with a worker pool in front of an engine.
+#[derive(Debug)]
+pub struct StoreServer {
+    engine: Arc<StoreEngine>,
+    tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl StoreServer {
+    /// Starts `n_workers` threads draining a queue of at most
+    /// `queue_depth` in-flight requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` or `queue_depth` is 0.
+    pub fn start(engine: Arc<StoreEngine>, n_workers: usize, queue_depth: usize) -> StoreServer {
+        assert!(n_workers > 0, "need at least one worker");
+        assert!(queue_depth > 0, "need a non-empty queue");
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n_workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing, so
+                    // workers serve concurrently.
+                    let job = rx.lock().expect("queue poisoned").recv();
+                    match job {
+                        Ok(Job::Work(req, reply)) => {
+                            let result = match req {
+                                Request::Get(range) => engine.get(range).map(Response::Reads),
+                                Request::Scan(pred) => {
+                                    engine.scan(|r| pred(r)).map(Response::Reads)
+                                }
+                                Request::Append(reads) => {
+                                    engine.append(&reads).map(Response::Appended)
+                                }
+                            };
+                            // A client that dropped its ticket is not
+                            // an error.
+                            let _ = reply.send(result);
+                        }
+                        Ok(Job::Shutdown) | Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        StoreServer {
+            engine,
+            tx,
+            workers,
+        }
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<StoreEngine> {
+        &self.engine
+    }
+
+    /// Enqueues a request, blocking while the queue is full
+    /// (backpressure), and returns a ticket for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QueueClosed`] when the server already shut down.
+    pub fn submit(&self, request: Request) -> Result<RequestTicket> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.tx
+            .send(Job::Work(request, reply_tx))
+            .map_err(|_| StoreError::QueueClosed)?;
+        Ok(RequestTicket { rx: reply_rx })
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreServer::submit`] plus the request's own error.
+    pub fn call(&self, request: Request) -> Result<Response> {
+        self.submit(request)?.wait()
+    }
+
+    /// Stops the workers after the queue drains and joins them.
+    /// (Dropping the server does the same.)
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Sends one shutdown token per live worker and joins them.
+    /// Idempotent: a second call finds no workers left.
+    fn stop(&mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_sharded;
+    use crate::StoreOptions;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+    fn engine(chunk: usize, cache: usize) -> (StoreEngine, ReadSet) {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(chunk)).unwrap();
+        (
+            StoreEngine::open(store, EngineConfig::default().with_cache_chunks(cache)),
+            reads,
+        )
+    }
+
+    #[test]
+    fn get_matches_source_reads() {
+        let (engine, reads) = engine(16, 8);
+        let n = reads.len() as u64;
+        let got = engine.get(5..37).unwrap();
+        assert_eq!(got.len(), 32);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.seq, reads.reads()[5 + i].seq);
+            assert_eq!(r.qual, reads.reads()[5 + i].qual);
+        }
+        assert!(engine.get(0..n).is_ok());
+        assert!(matches!(
+            engine.get(0..n + 1),
+            Err(StoreError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_gets_hit_the_cache() {
+        let (engine, _) = engine(16, 8);
+        engine.get(0..16).unwrap();
+        let cold = engine.cache_stats();
+        assert_eq!(cold.misses, 1);
+        assert_eq!(cold.hits, 0);
+        engine.get(0..16).unwrap();
+        engine.get(4..12).unwrap();
+        let warm = engine.cache_stats();
+        assert_eq!(warm.misses, 1);
+        assert_eq!(warm.hits, 2);
+        assert!(warm.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn scan_filters_across_all_chunks() {
+        let (engine, reads) = engine(10, 4);
+        let want = reads
+            .iter()
+            .filter(|r| r.seq.as_slice().first() == Some(&sage_genomics::Base::A))
+            .count();
+        let got = engine
+            .scan(|r| r.seq.as_slice().first() == Some(&sage_genomics::Base::A))
+            .unwrap();
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn append_extends_the_dataset() {
+        let (engine, reads) = engine(16, 8);
+        let n = reads.len() as u64;
+        let extra = ReadSet::from_reads(reads.reads()[..5].to_vec());
+        let first = engine.append(&extra).unwrap();
+        assert_eq!(first, n);
+        assert_eq!(engine.total_reads(), n + 5);
+        let got = engine.get(n..n + 5).unwrap();
+        for (a, b) in got.iter().zip(extra.iter()) {
+            assert_eq!(a.seq, b.seq);
+        }
+        // Empty appends are a no-op.
+        assert_eq!(engine.append(&ReadSet::new()).unwrap(), n + 5);
+        assert_eq!(engine.total_reads(), n + 5);
+    }
+
+    #[test]
+    fn server_answers_all_request_kinds() {
+        let (engine, reads) = engine(16, 8);
+        let server = StoreServer::start(Arc::new(engine), 3, 8);
+        match server.call(Request::Get(0..4)).unwrap() {
+            Response::Reads(rs) => assert_eq!(rs.len(), 4),
+            other => panic!("wrong response {other:?}"),
+        }
+        match server.call(Request::Scan(Box::new(|_| true))).unwrap() {
+            Response::Reads(rs) => assert_eq!(rs.len(), reads.len()),
+            other => panic!("wrong response {other:?}"),
+        }
+        let extra = ReadSet::from_reads(reads.reads()[..3].to_vec());
+        match server.call(Request::Append(extra)).unwrap() {
+            Response::Appended(first) => assert_eq!(first, reads.len() as u64),
+            other => panic!("wrong response {other:?}"),
+        }
+        assert_eq!(server.engine().requests_served(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_survives_request_errors() {
+        let (engine, reads) = engine(16, 8);
+        let n = reads.len() as u64;
+        let server = StoreServer::start(Arc::new(engine), 2, 4);
+        assert!(matches!(
+            server.call(Request::Get(0..n * 10)),
+            Err(StoreError::RangeOutOfBounds { .. })
+        ));
+        // The worker that answered the failing request still serves.
+        assert!(server.call(Request::Get(0..1)).is_ok());
+    }
+
+    #[test]
+    fn timed_engine_accounts_device_seconds() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 6).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let engine = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(2)
+                .with_ssd(SsdConfig::pcie()),
+        );
+        engine.get(0..8).unwrap();
+        let cold = engine.timing_snapshot();
+        assert!(cold.read_seconds > 0.0);
+        assert_eq!(cold.reads, 1);
+        // A warm hit charges no further device time.
+        engine.get(0..8).unwrap();
+        let warm = engine.timing_snapshot();
+        assert_eq!(warm.reads, 1);
+        assert!((warm.read_seconds - cold.read_seconds).abs() < 1e-18);
+    }
+}

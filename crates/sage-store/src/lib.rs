@@ -1,0 +1,129 @@
+//! # sage-store — sharded chunk-container store with concurrent
+//! random access
+//!
+//! The monolithic [`sage_core`] codec compresses a read set into one
+//! `.sage` archive that must be decoded end-to-end. That is the right
+//! shape for archival and for streaming whole-dataset analysis, but
+//! the paper's SSD layout (§5.3) exists to serve *random* access from
+//! many clients at once — and this crate is the software half of that
+//! promise:
+//!
+//! - [`codec`] — datasets are encoded into fixed-population **chunk
+//!   containers** (each an independently decodable [`SageArchive`]
+//!   holding N reads) laid out back-to-back in one blob, compressed
+//!   and decompressed by a `std::thread` worker pool pulling from a
+//!   shared job queue;
+//! - [`manifest`] — a serialized index mapping read-id ranges →
+//!   chunk → byte [`Extent`], so any read range can be answered by
+//!   decoding only the chunks it touches;
+//! - [`engine`] — [`StoreEngine`] answers concurrent `get(range)` /
+//!   `scan(predicate)` / `append(reads)` calls behind an LRU cache of
+//!   decoded chunks ([`lru`], hit/miss statistics exported), and
+//!   [`StoreServer`] puts a bounded request queue with worker threads
+//!   in front of it;
+//! - [`timing`] — an optional SSD-backed timing mode maps the blob
+//!   onto [`sage_ssd::SageLayout`] pages and charges
+//!   [`sage_ssd::SsdModel`] latencies per chunk fetch, so the store
+//!   doubles as an end-to-end storage scenario.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sage_store::{encode_sharded, EngineConfig, StoreEngine, StoreOptions};
+//! use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+//!
+//! # fn main() -> Result<(), sage_store::StoreError> {
+//! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
+//! let sharded = encode_sharded(&ds.reads, &StoreOptions::new(64))?;
+//! let engine = StoreEngine::open(sharded, EngineConfig::default());
+//! let some = engine.get(10..20)?;
+//! assert_eq!(some.len(), 10);
+//! assert_eq!(some.reads()[0].seq, ds.reads.reads()[10].seq);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod engine;
+pub mod lru;
+pub mod manifest;
+pub mod timing;
+
+pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
+pub use engine::{EngineConfig, Request, RequestTicket, Response, StoreEngine, StoreServer};
+pub use lru::{CacheSnapshot, CacheStats, LruCache};
+pub use manifest::{ChunkMeta, StoreManifest};
+pub use timing::{SsdTiming, TimingSnapshot};
+
+use sage_core::error::SageError;
+use sage_core::{Extent, SageArchive};
+
+/// Errors produced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A chunk failed to encode or decode; typed header errors
+    /// ([`SageError::BadMagic`] etc.) identify *how* a chunk is bad.
+    Codec(SageError),
+    /// A corrupt chunk was detected at `chunk_id` (wraps the codec's
+    /// typed validation error).
+    CorruptChunk {
+        /// Index of the offending chunk.
+        chunk_id: u32,
+        /// What the codec reported.
+        cause: SageError,
+    },
+    /// The manifest bytes are malformed.
+    Manifest(String),
+    /// A requested read range reaches past the stored dataset.
+    RangeOutOfBounds {
+        /// Requested range start.
+        start: u64,
+        /// Requested range end (exclusive).
+        end: u64,
+        /// Reads actually stored.
+        total: u64,
+    },
+    /// The request queue was closed before the request completed.
+    QueueClosed,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::CorruptChunk { chunk_id, cause } => {
+                write!(f, "corrupt chunk {chunk_id}: {cause}")
+            }
+            StoreError::Manifest(m) => write!(f, "bad manifest: {m}"),
+            StoreError::RangeOutOfBounds { start, end, total } => {
+                write!(f, "range {start}..{end} out of bounds (dataset holds {total} reads)")
+            }
+            StoreError::QueueClosed => write!(f, "store request queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Codec(e) | StoreError::CorruptChunk { cause: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SageError> for StoreError {
+    fn from(e: SageError) -> StoreError {
+        StoreError::Codec(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Parses the chunk at `extent` of `blob`, tagging failures with the
+/// chunk id so corrupt chunks are identifiable at the store level.
+pub(crate) fn parse_chunk(blob: &[u8], extent: Extent, chunk_id: u32) -> Result<SageArchive> {
+    SageArchive::from_extent(blob, extent)
+        .map_err(|cause| StoreError::CorruptChunk { chunk_id, cause })
+}

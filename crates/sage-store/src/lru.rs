@@ -1,0 +1,199 @@
+//! LRU cache of decoded chunks with exported hit/miss statistics.
+//!
+//! Decoding a chunk costs a mapper-scale amount of CPU (and, in the
+//! SSD timing mode, a device read); the engine keeps the most recently
+//! used decoded chunks pinned in memory. Capacity is counted in
+//! chunks: chunk population is fixed at encode time, so chunk count is
+//! a faithful proxy for memory.
+
+use sage_genomics::ReadSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Shared, thread-safe counters (updated outside the cache lock).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Records a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` evictions.
+    pub fn evicted(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads the counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A least-recently-used cache keyed by chunk id.
+///
+/// Recency is tracked with a monotone tick per entry; eviction scans
+/// for the minimum. With the few dozen to few hundred resident chunks
+/// a store realistically pins, the O(capacity) scan is cheaper than
+/// maintaining an intrusive list — and it keeps the structure
+/// trivially correct under the engine's lock.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u32, (u64, Arc<ReadSet>)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` decoded chunks.
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity.min(1 << 16)),
+        }
+    }
+
+    /// Capacity in chunks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident chunk count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a chunk, refreshing its recency on hit.
+    pub fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&chunk_id).map(|(t, rs)| {
+            *t = tick;
+            Arc::clone(rs)
+        })
+    }
+
+    /// Inserts a decoded chunk, evicting the least recently used entry
+    /// if the cache is full. Returns the number of evictions (0 or 1;
+    /// 0-capacity caches store nothing and evict nothing).
+    pub fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&chunk_id) {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(chunk_id, (self.tick, reads));
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(n: usize) -> Arc<ReadSet> {
+        let mut set = ReadSet::new();
+        for _ in 0..n {
+            set.push(sage_genomics::Read::from_seq("ACGT".parse().unwrap()));
+        }
+        Arc::new(set)
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(0, rs(1));
+        c.insert(1, rs(2));
+        assert!(c.get(0).is_some()); // 0 is now fresher than 1
+        assert_eq!(c.insert(2, rs(3)), 1); // evicts 1
+        assert!(c.get(1).is_none());
+        assert!(c.get(0).is_some());
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn reinserting_resident_chunk_evicts_nothing() {
+        let mut c = LruCache::new(2);
+        c.insert(0, rs(1));
+        c.insert(1, rs(1));
+        assert_eq!(c.insert(1, rs(2)), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert(5, rs(1)), 0);
+        assert!(c.get(5).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let stats = CacheStats::default();
+        stats.hit();
+        stats.hit();
+        stats.hit();
+        stats.miss();
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.misses, 1);
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheSnapshot::default().hit_rate(), 0.0);
+    }
+}

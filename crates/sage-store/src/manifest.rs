@@ -1,0 +1,310 @@
+//! The store manifest: read-id ranges → chunk → byte extent.
+//!
+//! A sharded dataset is one blob of concatenated chunk archives plus
+//! this index. The manifest is tiny (32 bytes per chunk), serialized
+//! with its own magic/version so a blob and its index can live in
+//! separate objects, and supports binary-searched range lookups.
+
+use crate::{Result, StoreError};
+use sage_core::Extent;
+
+/// Magic bytes at the start of every serialized manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"SGMF";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// One chunk's placement: which reads it holds and where its archive
+/// bytes live inside the container blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Chunk index (also its cache key).
+    pub id: u32,
+    /// Dataset-global id of the chunk's first read.
+    pub first_read: u64,
+    /// Number of reads in the chunk.
+    pub n_reads: u64,
+    /// Byte extent of the chunk's archive inside the blob.
+    pub extent: Extent,
+}
+
+impl ChunkMeta {
+    /// One past the last read id in the chunk.
+    pub fn end_read(&self) -> u64 {
+        self.first_read + self.n_reads
+    }
+}
+
+/// The chunk index of one sharded dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Nominal reads per chunk: every chunk holds at most this many
+    /// reads. The tail chunk of an encode — and therefore any chunk
+    /// that was once a tail before reads were appended after it — may
+    /// hold fewer, so chunk lookup must go through the index rather
+    /// than dividing read ids. (Compacting undersized interior chunks
+    /// is a ROADMAP item.)
+    pub reads_per_chunk: u64,
+    /// Chunk placements in read order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+impl StoreManifest {
+    /// Total reads across all chunks.
+    pub fn total_reads(&self) -> u64 {
+        self.chunks.last().map_or(0, ChunkMeta::end_read)
+    }
+
+    /// Total blob bytes across all chunks.
+    pub fn total_bytes(&self) -> usize {
+        self.chunks.last().map_or(0, |c| c.extent.end())
+    }
+
+    /// The chunks overlapping read range `start..end`, in read order.
+    pub fn chunks_for_range(&self, start: u64, end: u64) -> &[ChunkMeta] {
+        if start >= end {
+            return &[];
+        }
+        // First chunk whose reads are not entirely before `start`.
+        let lo = self.chunks.partition_point(|c| c.end_read() <= start);
+        // First chunk at or after `lo` starting at or past `end`.
+        let hi = lo + self.chunks[lo..].partition_point(|c| c.first_read < end);
+        &self.chunks[lo..hi]
+    }
+
+    /// Appends a chunk holding `n_reads` reads in `extent`, returning
+    /// its metadata.
+    pub fn push_chunk(&mut self, n_reads: u64, extent: Extent) -> ChunkMeta {
+        let meta = ChunkMeta {
+            id: self.chunks.len() as u32,
+            first_read: self.total_reads(),
+            n_reads,
+            extent,
+        };
+        self.chunks.push(meta);
+        meta
+    }
+
+    /// Serializes the manifest.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.chunks.len() * 32);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.reads_per_chunk.to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.first_read.to_le_bytes());
+            out.extend_from_slice(&c.n_reads.to_le_bytes());
+            out.extend_from_slice(&(c.extent.offset as u64).to_le_bytes());
+            out.extend_from_slice(&(c.extent.len as u64).to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a serialized manifest, validating the chunk table's
+    /// internal consistency (contiguous read ids, non-overlapping
+    /// forward extents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Manifest`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoreManifest> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > bytes.len() {
+                return Err(StoreError::Manifest(format!(
+                    "truncated at byte {} (needed {n}, had {})",
+                    *pos,
+                    bytes.len() - *pos
+                )));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let u16_at = |s: &[u8]| u16::from_le_bytes(s.try_into().expect("len 2"));
+        let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("len 4"));
+        let u64_at = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("len 8"));
+
+        let mut pos = 0usize;
+        if take(&mut pos, 4)? != MANIFEST_MAGIC {
+            return Err(StoreError::Manifest("bad magic".into()));
+        }
+        let version = u16_at(take(&mut pos, 2)?);
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::Manifest(format!(
+                "version {version} (expected {MANIFEST_VERSION})"
+            )));
+        }
+        let reads_per_chunk = u64_at(take(&mut pos, 8)?);
+        let n_chunks = u32_at(take(&mut pos, 4)?) as usize;
+        let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
+        let mut next_read = 0u64;
+        let mut next_byte = 0u64;
+        for id in 0..n_chunks {
+            let first_read = u64_at(take(&mut pos, 8)?);
+            let n_reads = u64_at(take(&mut pos, 8)?);
+            let offset = u64_at(take(&mut pos, 8)?);
+            let len = u64_at(take(&mut pos, 8)?);
+            if first_read != next_read {
+                return Err(StoreError::Manifest(format!(
+                    "chunk {id}: first read {first_read}, expected {next_read}"
+                )));
+            }
+            if n_reads == 0 {
+                return Err(StoreError::Manifest(format!("chunk {id} is empty")));
+            }
+            if offset < next_byte {
+                return Err(StoreError::Manifest(format!(
+                    "chunk {id}: extent rewinds to {offset} before {next_byte}"
+                )));
+            }
+            // Hostile u64 fields must not wrap (a wrapped next_byte
+            // would let a later rewinding extent pass validation).
+            next_read = first_read.checked_add(n_reads).ok_or_else(|| {
+                StoreError::Manifest(format!("chunk {id}: read ids overflow"))
+            })?;
+            next_byte = offset.checked_add(len).ok_or_else(|| {
+                StoreError::Manifest(format!("chunk {id}: extent overflows"))
+            })?;
+            chunks.push(ChunkMeta {
+                id: id as u32,
+                first_read,
+                n_reads,
+                extent: Extent {
+                    offset: offset as usize,
+                    len: len as usize,
+                },
+            });
+        }
+        if pos != bytes.len() {
+            return Err(StoreError::Manifest(format!(
+                "{} trailing bytes after {n_chunks}-chunk table",
+                bytes.len() - pos
+            )));
+        }
+        Ok(StoreManifest {
+            reads_per_chunk,
+            chunks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(sizes: &[u64]) -> StoreManifest {
+        let mut m = StoreManifest {
+            reads_per_chunk: sizes.first().copied().unwrap_or(0),
+            chunks: Vec::new(),
+        };
+        let mut offset = 0usize;
+        for (i, &n) in sizes.iter().enumerate() {
+            let len = 100 + i * 10;
+            m.push_chunk(n, Extent { offset, len });
+            offset += len;
+        }
+        m
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = manifest(&[8, 8, 8, 3]);
+        let b = m.to_bytes();
+        assert_eq!(StoreManifest::from_bytes(&b).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        let m = StoreManifest::default();
+        assert_eq!(StoreManifest::from_bytes(&m.to_bytes()).unwrap(), m);
+        assert_eq!(m.total_reads(), 0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn range_lookup_finds_exact_chunks() {
+        let m = manifest(&[10, 10, 10, 5]);
+        assert_eq!(m.total_reads(), 35);
+        // Entirely inside chunk 1.
+        let hit = m.chunks_for_range(12, 18);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].id, 1);
+        // Straddling chunks 0-2.
+        let hit = m.chunks_for_range(9, 21);
+        assert_eq!(hit.iter().map(|c| c.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Tail chunk.
+        let hit = m.chunks_for_range(34, 35);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].id, 3);
+        // Empty and out-of-order ranges touch nothing.
+        assert!(m.chunks_for_range(5, 5).is_empty());
+        assert!(m.chunks_for_range(20, 10).is_empty());
+    }
+
+    #[test]
+    fn lookup_boundaries_are_half_open() {
+        let m = manifest(&[4, 4]);
+        // Range ending exactly at a chunk boundary excludes the next
+        // chunk; range starting at the boundary excludes the previous.
+        assert_eq!(m.chunks_for_range(0, 4).len(), 1);
+        assert_eq!(m.chunks_for_range(4, 8).len(), 1);
+        assert_eq!(m.chunks_for_range(4, 8)[0].id, 1);
+        assert_eq!(m.chunks_for_range(3, 5).len(), 2);
+    }
+
+    #[test]
+    fn rejects_gapped_read_ids() {
+        let mut m = manifest(&[4, 4]);
+        m.chunks[1].first_read = 5;
+        let e = StoreManifest::from_bytes(&m.to_bytes());
+        assert!(matches!(e, Err(StoreError::Manifest(_))), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_overflowing_extents() {
+        let mut m = manifest(&[4]);
+        m.chunks[0].extent = Extent {
+            offset: usize::MAX - 1,
+            len: 2,
+        };
+        assert!(matches!(
+            StoreManifest::from_bytes(&m.to_bytes()),
+            Err(StoreError::Manifest(_))
+        ));
+        // Read ids that stay contiguous but wrap past u64::MAX.
+        let mut m = manifest(&[4, 4]);
+        m.chunks[0].n_reads = u64::MAX;
+        m.chunks[1].first_read = u64::MAX;
+        m.chunks[1].n_reads = 1;
+        assert!(matches!(
+            StoreManifest::from_bytes(&m.to_bytes()),
+            Err(StoreError::Manifest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undercounted_chunk_table() {
+        // A corrupted n_chunks field must not silently truncate the
+        // dataset: the parser rejects trailing bytes.
+        let m = manifest(&[4, 4, 4]);
+        let mut b = m.to_bytes();
+        b[14..18].copy_from_slice(&1u32.to_le_bytes()); // claim 1 chunk
+        match StoreManifest::from_bytes(&b) {
+            Err(StoreError::Manifest(msg)) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("expected trailing-bytes rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_magic() {
+        let m = manifest(&[4, 4]);
+        let b = m.to_bytes();
+        assert!(StoreManifest::from_bytes(&b[..b.len() - 3]).is_err());
+        let mut bad = b.clone();
+        bad[0] = b'X';
+        assert!(StoreManifest::from_bytes(&bad).is_err());
+        let mut wrong_version = b;
+        wrong_version[4] = 77;
+        assert!(StoreManifest::from_bytes(&wrong_version).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal, offline stand-in for the parts of `criterion` 0.5 this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim: the same `criterion_group!` / `criterion_main!` /
+//! `benchmark_group` surface, backed by a plain wall-clock harness (one
+//! warm-up run, then `sample_size` timed iterations per benchmark, and
+//! a mean/min report with optional throughput). No statistics engine,
+//! no HTML reports — just numbers on stdout.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean_secs: f64,
+    /// Fastest sample of the last `iter` call.
+    last_min_secs: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping per-sample wall times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let mut total = 0.0;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last_mean_secs = total / self.samples as f64;
+        self.last_min_secs = min;
+    }
+}
+
+/// A named group of benchmarks sharing sample count and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            last_mean_secs: 0.0,
+            last_min_secs: 0.0,
+        };
+        f(&mut b);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                " ({:.1} MiB/s)",
+                n as f64 / b.last_mean_secs / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => {
+                format!(" ({:.2} Melem/s)", n as f64 / b.last_mean_secs / 1e6)
+            }
+        });
+        println!(
+            "{}/{}: mean {:.3} ms, min {:.3} ms{}",
+            self.name,
+            id.name,
+            b.last_mean_secs * 1e3,
+            b.last_min_secs * 1e3,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_function(BenchmarkId::new("sum", 1000), |b| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        g.bench_with_input("sum_input", &500u64, |b, &n| b.iter(|| (0..n).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -20,6 +20,9 @@
 //!   the paper's Table 1 area/power constants.
 //! - [`ssd`] — the SSD substrate: NAND timing, SAGe's data layout, FTL and
 //!   GC, and the `SAGe_Read`/`SAGe_Write` interface commands.
+//! - [`store`] — the sharded chunk-container store: parallel chunk codec,
+//!   manifest-indexed random access, a concurrent query engine with an LRU
+//!   cache of decoded chunks, and an SSD-backed timing mode.
 //! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
 //!   paper's evaluation figures (GEM and GenStore integration, energy).
 //!
@@ -45,3 +48,4 @@ pub use sage_genomics as genomics;
 pub use sage_hw as hw;
 pub use sage_pipeline as pipeline;
 pub use sage_ssd as ssd;
+pub use sage_store as store;
