@@ -20,8 +20,8 @@ const DIST_SYMS: usize = 30;
 
 /// DEFLATE length code bases (symbol 257 + i encodes `LEN_BASE[i]`).
 const LEN_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LEN_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -31,8 +31,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Error decoding a deflate-like stream.
@@ -130,15 +130,11 @@ pub fn inflate_block(block: &[u8]) -> Result<Vec<u8>, InflateError> {
     let mut r = BitReader::new(payload, bit_len);
     let mut lit_lengths = vec![0u8; LITLEN_SYMS];
     for l in lit_lengths.iter_mut() {
-        *l = r
-            .read_bits(4)
-            .map_err(|e| InflateError(e.to_string()))? as u8;
+        *l = r.read_bits(4).map_err(|e| InflateError(e.to_string()))? as u8;
     }
     let mut dist_lengths = vec![0u8; DIST_SYMS];
     for l in dist_lengths.iter_mut() {
-        *l = r
-            .read_bits(4)
-            .map_err(|e| InflateError(e.to_string()))? as u8;
+        *l = r.read_bits(4).map_err(|e| InflateError(e.to_string()))? as u8;
     }
     let lit_dec = CodeBook::from_lengths(lit_lengths).decoder();
     let dist_dec = CodeBook::from_lengths(dist_lengths).decoder();
@@ -245,8 +241,8 @@ mod tests {
     #[test]
     fn corrupt_block_errors_cleanly() {
         let mut block = deflate_block(b"hello hello hello hello hello");
-        for i in 12..block.len() {
-            block[i] ^= 0xFF;
+        for b in block.iter_mut().skip(12) {
+            *b ^= 0xFF;
         }
         assert!(inflate_block(&block).is_err());
     }

@@ -32,7 +32,7 @@ impl CodeBook {
         // Limit code lengths by halving frequencies until they fit.
         while lengths.iter().any(|&l| l > MAX_CODE_LEN) {
             for v in &mut f {
-                *v = (*v + 1) / 2;
+                *v = (*v).div_ceil(2);
             }
             lengths = build_lengths(&f);
         }

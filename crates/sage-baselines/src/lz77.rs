@@ -28,9 +28,7 @@ const HASH_SIZE: usize = 1 << HASH_BITS;
 
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = u32::from(data[i])
-        | (u32::from(data[i + 1]) << 8)
-        | (u32::from(data[i + 2]) << 16);
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -80,6 +78,7 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
             });
             // Insert all covered positions into the chains.
             let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            #[allow(clippy::needless_range_loop)] // j feeds hash3 and two tables
             for j in i..end {
                 let hj = hash3(data, j);
                 prev[j] = head[hj];

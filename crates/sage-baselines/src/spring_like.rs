@@ -201,10 +201,7 @@ impl SpringLike {
             &consensus.index,
             self.mapper.clone(),
         );
-        let masked: Vec<Vec<Base>> = reads
-            .iter()
-            .map(|r| mask_n(r.seq.as_slice()))
-            .collect();
+        let masked: Vec<Vec<Base>> = reads.iter().map(|r| mask_n(r.seq.as_slice())).collect();
         let alignments: Vec<Alignment> = masked.iter().map(|m| mapper.map(m)).collect();
         let find_mismatch_secs = t_find.elapsed().as_secs_f64();
 
@@ -298,10 +295,12 @@ impl SpringLike {
         }
         let raw_sizes: Vec<u64> = raw.iter().map(|s| s.len() as u64).collect();
         let sections: Vec<Vec<u8>> = raw.iter().map(|s| self.backend.compress(s)).collect();
-        let qual = if reads.len() > 0 && reads.iter().all(|r| r.qual.is_some()) {
-            compress_qualities(order.iter().map(|&i| {
-                reads.reads()[i].qual.as_deref().unwrap_or(&[])
-            }))
+        let qual = if !reads.is_empty() && reads.iter().all(|r| r.qual.is_some()) {
+            compress_qualities(
+                order
+                    .iter()
+                    .map(|&i| reads.reads()[i].qual.as_deref().unwrap_or(&[])),
+            )
         } else {
             Vec::new()
         };
@@ -343,7 +342,7 @@ impl SpringLike {
             .map(|&c| Base::from_code2(c & 3))
             .collect();
         let n = archive.n_reads as usize;
-        let mut cur = vec![0usize; N_SECTIONS];
+        let mut cur = [0usize; N_SECTIONS];
         let mut prev_pos = 0u64;
         let mut seqs: Vec<DnaSeq> = Vec::with_capacity(n);
         let mut lens = Vec::with_capacity(n);
@@ -405,8 +404,7 @@ impl SpringLike {
                     (Vec::new(), Vec::new())
                 };
                 // Segment metadata: (read_start, cons_pos, rev).
-                let mut seg_meta: Vec<(u32, u64, bool)> =
-                    vec![(clip_start.len() as u32, pos, rev)];
+                let mut seg_meta: Vec<(u32, u64, bool)> = vec![(clip_start.len() as u32, pos, rev)];
                 for _ in 1..n_segs {
                     let rs = get_varint(&raw[SEC_AUX], &mut cur[SEC_AUX])
                         .ok_or_else(|| SpringError::Corrupt("aux exhausted".into()))?;
@@ -449,11 +447,10 @@ impl SpringLike {
                                 });
                             }
                             1 => {
-                                let l =
-                                    get_varint(&raw[SEC_EDIT_LEN], &mut cur[SEC_EDIT_LEN])
-                                        .ok_or_else(|| {
-                                            SpringError::Corrupt("edit len exhausted".into())
-                                        })? as usize;
+                                let l = get_varint(&raw[SEC_EDIT_LEN], &mut cur[SEC_EDIT_LEN])
+                                    .ok_or_else(|| {
+                                        SpringError::Corrupt("edit len exhausted".into())
+                                    })? as usize;
                                 let b = take_bases(&raw[SEC_BASES], &mut cur[SEC_BASES], l)?;
                                 edits.push(Edit::Ins {
                                     read_off: off,
@@ -467,15 +464,12 @@ impl SpringLike {
                                     })?;
                                 edits.push(Edit::Del {
                                     read_off: off,
-                                    len: u32::try_from(l).map_err(|_| {
-                                        SpringError::Corrupt("del overflow".into())
-                                    })?,
+                                    len: u32::try_from(l)
+                                        .map_err(|_| SpringError::Corrupt("del overflow".into()))?,
                                 });
                             }
                             other => {
-                                return Err(SpringError::Corrupt(format!(
-                                    "bad edit type {other}"
-                                )))
+                                return Err(SpringError::Corrupt(format!("bad edit type {other}")))
                             }
                         }
                     }

@@ -61,11 +61,7 @@ fn bench_guide_array_scan(c: &mut Criterion) {
 
 fn bench_quality(c: &mut Criterion) {
     let quals: Vec<Vec<u8>> = (0..200)
-        .map(|i| {
-            (0..150)
-                .map(|j| b'I' - ((i * j) % 5) as u8)
-                .collect()
-        })
+        .map(|i| (0..150).map(|j| b'I' - ((i * j) % 5) as u8).collect())
         .collect();
     let refs: Vec<&[u8]> = quals.iter().map(|q| q.as_slice()).collect();
     let total: u64 = quals.iter().map(|q| q.len() as u64).sum();

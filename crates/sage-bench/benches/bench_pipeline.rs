@@ -12,11 +12,7 @@ fn bench_mapper(c: &mut Criterion) {
     let ds = simulate_dataset(&DatasetProfile::rs1().scaled(0.12), 3);
     let cons = build_denovo(&ds.reads, &ConsensusConfig::default());
     let mapper = Mapper::new(cons.seq.as_slice(), &cons.index, MapperConfig::default());
-    let masked: Vec<Vec<_>> = ds
-        .reads
-        .iter()
-        .map(|r| mask_n(r.seq.as_slice()))
-        .collect();
+    let masked: Vec<Vec<_>> = ds.reads.iter().map(|r| mask_n(r.seq.as_slice())).collect();
     let bases = ds.reads.total_bases() as u64;
 
     let mut g = c.benchmark_group("mapper");

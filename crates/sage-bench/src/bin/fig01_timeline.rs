@@ -15,9 +15,21 @@ fn main() {
     let measured = sage_bench::measure(dataset(&DatasetProfile::rs2()));
     let sys = SystemConfig::pcie();
     let rows = [
-        ("Baseline (SW mapper + (N)Spr prep)", PrepKind::NSpr, AnalysisKind::SoftwareMapper),
-        ("Acc. Analysis (GEM + (N)Spr prep)", PrepKind::NSpr, AnalysisKind::Gem),
-        ("Acc. Analysis w/ Ideal Prep.", PrepKind::ZeroTimeDec, AnalysisKind::Gem),
+        (
+            "Baseline (SW mapper + (N)Spr prep)",
+            PrepKind::NSpr,
+            AnalysisKind::SoftwareMapper,
+        ),
+        (
+            "Acc. Analysis (GEM + (N)Spr prep)",
+            PrepKind::NSpr,
+            AnalysisKind::Gem,
+        ),
+        (
+            "Acc. Analysis w/ Ideal Prep.",
+            PrepKind::ZeroTimeDec,
+            AnalysisKind::Gem,
+        ),
     ];
     let outcomes: Vec<_> = rows
         .iter()

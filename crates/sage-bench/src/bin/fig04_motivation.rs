@@ -22,9 +22,7 @@ fn main() {
     let mut pigz_speedups = Vec::new();
     let mut ideal_speedups = Vec::new();
     for m in measure_all() {
-        let thr = |p: PrepKind| {
-            run_experiment(p, AnalysisKind::Gem, &m.model, &sys).reads_per_sec
-        };
+        let thr = |p: PrepKind| run_experiment(p, AnalysisKind::Gem, &m.model, &sys).reads_per_sec;
         let spr = thr(PrepKind::NSpr);
         let pigz = thr(PrepKind::Pigz) / spr;
         let ideal = thr(PrepKind::ZeroTimeDec) / spr;
@@ -33,19 +31,19 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    m.model.name.clone(),
-                    fmt_x(pigz),
-                    fmt_x(1.0),
-                    fmt_x(ideal),
-                ],
+                &[m.model.name.clone(), fmt_x(pigz), fmt_x(1.0), fmt_x(ideal),],
                 &widths
             )
         );
     }
     println!(
         "\nGMean speedup if the prep bottleneck were eliminated: {} over pigz, {} over (N)Spr",
-        fmt_x(gmean(pigz_speedups.iter().zip(&ideal_speedups).map(|(p, i)| p * i))),
+        fmt_x(gmean(
+            pigz_speedups
+                .iter()
+                .zip(&ideal_speedups)
+                .map(|(p, i)| p * i)
+        )),
         fmt_x(gmean(ideal_speedups)),
     );
 }

@@ -14,8 +14,8 @@ use sage_bench::{banner, dataset};
 use sage_core::SageCompressor;
 use sage_genomics::sim::DatasetProfile;
 use sage_genomics::stats::{
-    chimeric_mismatch_base_fraction, indel_bases_by_length_histogram,
-    indel_block_length_histogram, mismatch_count_histogram, mismatch_position_bits_histogram,
+    chimeric_mismatch_base_fraction, indel_bases_by_length_histogram, indel_block_length_histogram,
+    mismatch_count_histogram, mismatch_position_bits_histogram,
 };
 
 fn main() {

@@ -14,7 +14,7 @@ fn main() {
     let ds = dataset(&DatasetProfile::rs2());
     let (_, alns) = SageCompressor::new().analyze(&ds.reads).expect("analyze");
     let h = matching_position_bits_histogram(&alns);
-    println!("{:>5}  {:>8}  {}", "#bits", "percent", "distribution");
+    println!("{:>5}  {:>8}  distribution", "#bits", "percent");
     for (bits, frac) in h.fractions().iter().enumerate() {
         if *frac > 0.0001 {
             println!(

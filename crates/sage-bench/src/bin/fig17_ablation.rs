@@ -28,11 +28,7 @@ fn components(b: &Breakdown) -> [(&'static str, u64); 9] {
 fn print_dataset(profile: &DatasetProfile) {
     let ds = dataset(profile);
     let (_, alignments) = SageCompressor::new().analyze(&ds.reads).expect("analyze");
-    let n_counts: Vec<usize> = ds
-        .reads
-        .iter()
-        .map(|r| r.seq.n_positions().len())
-        .collect();
+    let n_counts: Vec<usize> = ds.reads.iter().map(|r| r.seq.n_positions().len()).collect();
     let breakdowns = ablation_breakdowns(&ds.reads, &alignments, &n_counts, 0.01);
     let no_total = breakdowns[0].1.total_bits() as f64;
 

@@ -1,0 +1,263 @@
+//! io_sweep: the device-count × queue-depth sweep over the
+//! completion-queue reactor and the multi-SSD chunk store.
+//!
+//! Each cell opens a [`StoreEngine`] whose chunk extents are striped
+//! across N PCIe device models (`SystemConfig::with_ssds(n)` supplies
+//! the fleet), starts a [`Reactor`] over it, and drives a *closed
+//! loop*: `queue_depth` logical clients each keep exactly one random
+//! `Get` in flight, submitting their next request at the virtual
+//! instant the previous one completed. The decoded-chunk cache is
+//! disabled so every request pays its device, and all reported numbers
+//! come from the reactor's **virtual** device timeline — req/s against
+//! the virtual makespan, p50/p99 of per-request virtual latency, and
+//! per-device utilization — so the sweep measures queueing and
+//! striping, not the CI host's load.
+//!
+//! Two sweeps, both written to `BENCH_io.json`:
+//!
+//! - device count 1→8 at fixed queue depth: throughput scales with
+//!   devices (asserted ≥1.5× from 1→4);
+//! - queue depth 1→32 at fixed devices: p99 latency grows
+//!   monotonically with depth (asserted, with a small jitter
+//!   allowance) while throughput saturates.
+//!
+//! Run with: `cargo run --release --bin io_sweep`
+//! (`SAGE_SCALE` scales the dataset like every other harness).
+
+use sage_bench::{banner, dataset, row};
+use sage_genomics::sim::DatasetProfile;
+use sage_io::{IoConfig, Reactor};
+use sage_pipeline::SystemConfig;
+use sage_store::{
+    encode_sharded, EngineBackend, EngineConfig, Request, ShardedStore, StoreEngine, StoreOptions,
+};
+use std::sync::Arc;
+
+/// Requests driven through the reactor per sweep cell.
+const REQUESTS_PER_CELL: u64 = 480;
+
+/// Reads per chunk (small chunks ⇒ many extents to stripe).
+const READS_PER_CHUNK: usize = 48;
+
+/// Deterministic per-client range stream (SplitMix64 over a counter).
+fn range_for(client: u64, i: u64, total: u64, span: u64) -> std::ops::Range<u64> {
+    let mut z = (client << 32 | i).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let start = z % total;
+    let end = (start + 1 + z % span).min(total);
+    start..end
+}
+
+/// `p` in [0,1] over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One sweep cell's results (virtual-time metrics).
+struct Cell {
+    devices: usize,
+    queue_depth: usize,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    utilization: Vec<f64>,
+}
+
+impl Cell {
+    fn json(&self) -> String {
+        let util = self
+            .utilization
+            .iter()
+            .map(|u| format!("{u:.4}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"devices\":{},\"queue_depth\":{},\"req_per_s\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"utilization\":[{util}]}}",
+            self.devices, self.queue_depth, self.req_per_s, self.p50_ms, self.p99_ms
+        )
+    }
+}
+
+/// Runs one closed-loop cell: `queue_depth` clients over a reactor on
+/// an engine striped across `devices` PCIe models.
+fn run_cell(sharded: &ShardedStore, devices: usize, queue_depth: usize, workers: usize) -> Cell {
+    let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
+    let engine = Arc::new(StoreEngine::open(
+        sharded.clone(),
+        EngineConfig::default()
+            .with_cache_chunks(0) // every request pays its device
+            .with_ssd_fleet(fleet),
+    ));
+    let total = engine.total_reads();
+    let span = READS_PER_CHUNK as u64;
+    let reactor = Reactor::start(
+        Arc::new(EngineBackend::new(engine)),
+        IoConfig {
+            workers,
+            queue_depth,
+            devices,
+        },
+    );
+    let cq = reactor.completions();
+
+    let clients = queue_depth as u64;
+    let mut next_seq = vec![1u64; queue_depth];
+    let mut issued = 0u64;
+    for c in 0..clients.min(REQUESTS_PER_CELL) {
+        reactor
+            .submit(Request::Get(range_for(c, 0, total, span)), c, 0.0)
+            .expect("live reactor");
+        issued += 1;
+    }
+    let mut latencies = Vec::with_capacity(REQUESTS_PER_CELL as usize);
+    let mut makespan = 0.0f64;
+    while (latencies.len() as u64) < REQUESTS_PER_CELL {
+        let cqe = cq.wait_any().expect("live reactor");
+        assert!(cqe.output.is_ok(), "get failed: {:?}", cqe.output.err());
+        latencies.push(cqe.latency());
+        makespan = makespan.max(cqe.completed_vt);
+        if issued < REQUESTS_PER_CELL {
+            let c = cqe.user_data;
+            let i = next_seq[c as usize];
+            next_seq[c as usize] += 1;
+            // Closed loop: the client's next request departs at the
+            // virtual instant its previous one completed.
+            reactor
+                .submit(
+                    Request::Get(range_for(c, i, total, span)),
+                    c,
+                    cqe.completed_vt,
+                )
+                .expect("live reactor");
+            issued += 1;
+        }
+    }
+    let snap = reactor.snapshot();
+    reactor.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    Cell {
+        devices,
+        queue_depth,
+        req_per_s: REQUESTS_PER_CELL as f64 / makespan,
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p99_ms: percentile(&latencies, 0.99) * 1e3,
+        utilization: snap.device_busy.iter().map(|b| b / makespan).collect(),
+    }
+}
+
+fn print_cell(c: &Cell, widths: &[usize]) {
+    let util = if c.utilization.is_empty() {
+        "-".to_string()
+    } else {
+        let lo = c.utilization.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = c.utilization.iter().copied().fold(0.0, f64::max);
+        format!("{:.0}-{:.0}%", lo * 100.0, hi * 100.0)
+    };
+    println!(
+        "{}",
+        row(
+            &[
+                format!("{}", c.devices),
+                format!("{}", c.queue_depth),
+                format!("{:.0}", c.req_per_s),
+                format!("{:.3}", c.p50_ms),
+                format!("{:.3}", c.p99_ms),
+                util,
+            ],
+            widths
+        )
+    );
+}
+
+fn main() {
+    banner("io_sweep: completion-queue reactor over the multi-SSD store");
+    let ds = dataset(&DatasetProfile::rs1().scaled(0.04));
+    let sharded =
+        encode_sharded(&ds.reads, &StoreOptions::new(READS_PER_CHUNK)).expect("encode store");
+    println!(
+        "dataset: {} reads in {} chunks of ≤{} reads; {} requests per cell\n",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        READS_PER_CHUNK,
+        REQUESTS_PER_CELL
+    );
+
+    let widths = [8, 8, 10, 10, 10, 10];
+    let header = row(
+        &[
+            "devices".into(),
+            "qd".into(),
+            "req/s".into(),
+            "p50 ms".into(),
+            "p99 ms".into(),
+            "util".into(),
+        ],
+        &widths,
+    );
+
+    banner("device-count sweep (queue depth 16)");
+    println!("{header}");
+    let device_cells: Vec<Cell> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| {
+            let c = run_cell(&sharded, n, 16, 4);
+            print_cell(&c, &widths);
+            c
+        })
+        .collect();
+    let scaling = device_cells[2].req_per_s / device_cells[0].req_per_s;
+    println!("1→4 device throughput scaling: {scaling:.2}x");
+
+    banner("queue-depth sweep (4 devices)");
+    println!("{header}");
+    // A single worker keeps the virtual timeline fully deterministic
+    // (dispatch order = submission order), which the monotonicity
+    // assertion below relies on.
+    let qd_cells: Vec<Cell> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&qd| {
+            let c = run_cell(&sharded, 4, qd, 1);
+            print_cell(&c, &widths);
+            c
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"io_sweep\",\n  \"reads\": {},\n  \"chunks\": {},\n  \"reads_per_chunk\": {},\n  \"requests_per_cell\": {},\n  \"device_sweep\": [{}],\n  \"qd_sweep\": [{}],\n  \"scaling_1_to_4\": {:.3}\n}}\n",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        READS_PER_CHUNK,
+        REQUESTS_PER_CELL,
+        device_cells.iter().map(Cell::json).collect::<Vec<_>>().join(","),
+        qd_cells.iter().map(Cell::json).collect::<Vec<_>>().join(","),
+        scaling,
+    );
+    std::fs::write("BENCH_io.json", &json).expect("write BENCH_io.json");
+    println!("\nwrote BENCH_io.json");
+
+    // The sweep's two claims, asserted on the deterministic virtual
+    // timeline (wall-clock noise cannot flake them).
+    assert!(
+        scaling >= 1.5,
+        "striping 1→4 devices must scale req/s ≥1.5x, got {scaling:.2}x"
+    );
+    for pair in qd_cells.windows(2) {
+        assert!(
+            pair[1].p99_ms >= pair[0].p99_ms * 0.98,
+            "p99 must grow with queue depth: qd {} → {:.3} ms, qd {} → {:.3} ms",
+            pair[0].queue_depth,
+            pair[0].p99_ms,
+            pair[1].queue_depth,
+            pair[1].p99_ms
+        );
+    }
+    assert!(
+        qd_cells.last().expect("cells").p99_ms > qd_cells[0].p99_ms,
+        "deep queues must cost p99 latency"
+    );
+}

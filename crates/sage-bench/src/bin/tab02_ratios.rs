@@ -32,11 +32,7 @@ fn main() {
         // compressing each component separately (as the paper reports
         // per-component ratios).
         let gz = GzipLike::new();
-        let dna_text: Vec<u8> = ds
-            .reads
-            .iter()
-            .flat_map(|r| r.seq.to_ascii())
-            .collect();
+        let dna_text: Vec<u8> = ds.reads.iter().flat_map(|r| r.seq.to_ascii()).collect();
         let qual_text: Vec<u8> = ds
             .reads
             .iter()

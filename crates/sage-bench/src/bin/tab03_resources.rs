@@ -14,9 +14,7 @@ fn main() {
     banner("Table 3: decompression tool comparison");
     let measured = measure_all();
     let pigz_ratio = gmean(measured.iter().map(|m| m.pigz_ratio));
-    let dna_ratio = |f: &dyn Fn(&sage_bench::MeasuredDataset) -> f64| {
-        gmean(measured.iter().map(f))
-    };
+    let dna_ratio = |f: &dyn Fn(&sage_bench::MeasuredDataset) -> f64| gmean(measured.iter().map(f));
     let spring_ratio = dna_ratio(&|m| m.spring.dna_ratio());
     let sage_ratio = dna_ratio(&|m| m.sage.dna_ratio());
     // Largest inflated working set our SpringLike needs (scaled data —

@@ -5,8 +5,8 @@
 //! quality range coder; the DNA-only column isolates SAGe's streaming
 //! base reconstruction, which is what the hardware implements.
 
-use sage_bench::{banner, dataset, row};
 use sage_baselines::{GzipLike, SpringLike};
+use sage_bench::{banner, dataset, row};
 use sage_core::{OutputFormat, SageCompressor, SageDecompressor};
 use sage_genomics::fastq::read_set_to_fastq;
 use sage_genomics::sim::DatasetProfile;
@@ -40,7 +40,10 @@ fn main() {
             &widths
         )
     );
-    for profile in [DatasetProfile::rs1().scaled(0.5), DatasetProfile::rs4().scaled(0.5)] {
+    for profile in [
+        DatasetProfile::rs1().scaled(0.5),
+        DatasetProfile::rs4().scaled(0.5),
+    ] {
         let ds = dataset(&profile);
         let bases = ds.reads.total_bases() as f64;
         let fastq = read_set_to_fastq(&ds.reads);

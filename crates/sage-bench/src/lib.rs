@@ -163,9 +163,9 @@ mod tests {
 
     #[test]
     fn fmt_x_precision() {
-        assert_eq!(fmt_x(3.14159), "3.14x");
-        assert_eq!(fmt_x(31.4159), "31.4x");
-        assert_eq!(fmt_x(314.159), "314x");
+        assert_eq!(fmt_x(3.25159), "3.25x");
+        assert_eq!(fmt_x(32.5159), "32.5x");
+        assert_eq!(fmt_x(325.159), "325x");
     }
 
     #[test]

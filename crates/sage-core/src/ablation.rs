@@ -104,13 +104,7 @@ pub fn ablation_breakdowns(
     let flats: Vec<Option<FlatRead>> = alignments
         .iter()
         .enumerate()
-        .map(|(i, a)| {
-            flatten(
-                a,
-                n_counts[i] as u64,
-                reads.reads()[i].len() as u64,
-            )
-        })
+        .map(|(i, a)| flatten(a, n_counts[i] as u64, reads.reads()[i].len() as u64))
         .collect();
     let len_bits = u64::from(64 - (reads.max_read_len() as u64).leading_zeros());
 
@@ -176,7 +170,9 @@ pub fn ablation_breakdowns(
 
         // Mismatch records.
         if level >= OptLevel::O3 {
-            accumulate_full(&mut bd, alignments, reads, n_counts, level, epsilon, len_bits);
+            accumulate_full(
+                &mut bd, alignments, reads, n_counts, level, epsilon, len_bits,
+            );
         } else {
             accumulate_flat(&mut bd, &flats, level, epsilon, len_bits);
         }
@@ -353,11 +349,7 @@ mod tests {
     fn breakdowns(profile: &DatasetProfile, seed: u64) -> [(OptLevel, Breakdown); 5] {
         let ds = simulate_dataset(profile, seed);
         let (_, alignments) = SageCompressor::new().analyze(&ds.reads).unwrap();
-        let n_counts: Vec<usize> = ds
-            .reads
-            .iter()
-            .map(|r| r.seq.n_positions().len())
-            .collect();
+        let n_counts: Vec<usize> = ds.reads.iter().map(|r| r.seq.n_positions().len()).collect();
         ablation_breakdowns(&ds.reads, &alignments, &n_counts, 0.01)
     }
 

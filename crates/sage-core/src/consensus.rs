@@ -95,10 +95,7 @@ pub fn build_denovo(reads: &ReadSet, cfg: &ConsensusConfig) -> Consensus {
     let n = reads.len();
     // Oriented (masked) reads are materialized lazily; minimizers of
     // both orientations go into the overlap index up-front.
-    let masked: Vec<Vec<Base>> = reads
-        .iter()
-        .map(|r| mask_n(r.seq.as_slice()))
-        .collect();
+    let masked: Vec<Vec<Base>> = reads.iter().map(|r| mask_n(r.seq.as_slice())).collect();
     let mut read_index: HashMap<u64, Vec<ReadHit>> = HashMap::new();
     const MAX_OCC: usize = 64;
     let mut fwd_mins: Vec<Vec<Minimizer>> = Vec::with_capacity(n);
@@ -135,44 +132,38 @@ pub fn build_denovo(reads: &ReadSet, cfg: &ConsensusConfig) -> Consensus {
         // Seed a contig and extend it greedily in both directions.
         let mut contig: Vec<Base> = masked[seed].clone();
         used[seed] = true;
-        loop {
-            match best_extension(&contig, &read_index, &masked, &used, cfg) {
-                Some((read, rev, overlap)) => {
-                    used[read as usize] = true;
-                    let oriented = if rev {
-                        revcomp(&masked[read as usize])
-                    } else {
-                        masked[read as usize].clone()
-                    };
-                    if overlap >= oriented.len() {
-                        continue; // contained read: consumed, no growth
-                    }
-                    contig.extend_from_slice(&oriented[overlap..]);
-                }
-                None => break,
+        while let Some((read, rev, overlap)) =
+            best_extension(&contig, &read_index, &masked, &used, cfg)
+        {
+            used[read as usize] = true;
+            let oriented = if rev {
+                revcomp(&masked[read as usize])
+            } else {
+                masked[read as usize].clone()
+            };
+            if overlap >= oriented.len() {
+                continue; // contained read: consumed, no growth
             }
+            contig.extend_from_slice(&oriented[overlap..]);
         }
         // Leftward: extend the reverse complement rightwards, then flip
         // back (reuses the same tail machinery).
         let mut flipped = revcomp(&contig);
-        loop {
-            match best_extension(&flipped, &read_index, &masked, &used, cfg) {
-                Some((read, rev, overlap)) => {
-                    used[read as usize] = true;
-                    // The hit's orientation is already relative to the
-                    // sequence being extended (the flipped contig).
-                    let oriented = if rev {
-                        revcomp(&masked[read as usize])
-                    } else {
-                        masked[read as usize].clone()
-                    };
-                    if overlap >= oriented.len() {
-                        continue;
-                    }
-                    flipped.extend_from_slice(&oriented[overlap..]);
-                }
-                None => break,
+        while let Some((read, rev, overlap)) =
+            best_extension(&flipped, &read_index, &masked, &used, cfg)
+        {
+            used[read as usize] = true;
+            // The hit's orientation is already relative to the
+            // sequence being extended (the flipped contig).
+            let oriented = if rev {
+                revcomp(&masked[read as usize])
+            } else {
+                masked[read as usize].clone()
+            };
+            if overlap >= oriented.len() {
+                continue;
             }
+            flipped.extend_from_slice(&oriented[overlap..]);
         }
         let contig = revcomp(&flipped);
         consensus.extend_from_slice(&contig);
@@ -219,8 +210,15 @@ fn best_extension(
 ) -> Option<(u32, bool, usize)> {
     // Scan the tail for minimizers and vote per (read, rev, offset):
     // offset = where the oriented read would start in contig coords.
-    let tail_window = 2 * masked.iter().map(|m| m.len()).max().unwrap_or(0).min(30_000);
-    let tail_start = contig.len().saturating_sub(tail_window.max(4 * cfg.min_overlap));
+    let tail_window = 2 * masked
+        .iter()
+        .map(|m| m.len())
+        .max()
+        .unwrap_or(0)
+        .min(30_000);
+    let tail_start = contig
+        .len()
+        .saturating_sub(tail_window.max(4 * cfg.min_overlap));
     let tail = &contig[tail_start..];
     let mut votes: HashMap<(u32, bool, i64), usize> = HashMap::new();
     for mz in minimizers(tail, 15.min(tail.len().max(4)), 8) {
@@ -241,7 +239,7 @@ fn best_extension(
     // whose overlap *verifies* (≥ 80 % base identity at the best exact
     // offset near the voted diagonal).
     let mut candidates: Vec<((u32, bool, i64), usize)> = votes.into_iter().collect();
-    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+    candidates.sort_by_key(|&(_, votes)| std::cmp::Reverse(votes));
     for ((read, rev, qoffset), v) in candidates {
         if v < cfg.min_shared_minimizers {
             break; // sorted: the rest have fewer votes
@@ -359,9 +357,8 @@ mod tests {
             })
             .collect();
         let fwd = Read::from_seq(DnaSeq::from_bases(genome[0..160].to_vec()));
-        let rev = Read::from_seq(
-            DnaSeq::from_bases(genome[120..300].to_vec()).reverse_complement(),
-        );
+        let rev =
+            Read::from_seq(DnaSeq::from_bases(genome[120..300].to_vec()).reverse_complement());
         let cons = build_denovo(
             &ReadSet::from_reads(vec![fwd, rev]),
             &ConsensusConfig::default(),
@@ -376,9 +373,7 @@ mod tests {
         let read: DnaSeq = "ACGTTGCAACGGTTAACCGGTTAACGTTGCAACGGTTAACCGGTTAA"
             .parse()
             .unwrap();
-        let reads: ReadSet = (0..50)
-            .map(|_| Read::from_seq(read.clone()))
-            .collect();
+        let reads: ReadSet = (0..50).map(|_| Read::from_seq(read.clone())).collect();
         let cons = build_denovo(&reads, &ConsensusConfig::default());
         assert_eq!(cons.seq.len(), read.len());
     }

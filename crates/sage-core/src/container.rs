@@ -243,9 +243,7 @@ impl SageArchive {
     pub fn from_extent(blob: &[u8], extent: Extent) -> Result<SageArchive> {
         let end = extent.offset.checked_add(extent.len);
         match end {
-            Some(end) if end <= blob.len() => {
-                SageArchive::from_bytes(&blob[extent.offset..end])
-            }
+            Some(end) if end <= blob.len() => SageArchive::from_bytes(&blob[extent.offset..end]),
             _ => Err(SageError::Truncated {
                 offset: extent.offset,
                 needed: extent.len,
@@ -548,7 +546,10 @@ mod tests {
         for cut in [5, 20, bytes.len() - 2] {
             match SageArchive::from_bytes(&bytes[..cut]) {
                 Err(SageError::Truncated { available, .. }) => {
-                    assert!(available <= cut, "truncation at {cut}: available {available}");
+                    assert!(
+                        available <= cut,
+                        "truncation at {cut}: available {available}"
+                    );
                 }
                 other => panic!("truncation at {cut} gave {other:?}"),
             }

@@ -104,10 +104,7 @@ impl SageDecompressor {
     /// # Errors
     ///
     /// Same as [`decompress`](Self::decompress).
-    pub fn decompress_with_stats(
-        &self,
-        archive: &SageArchive,
-    ) -> Result<(ReadSet, DecodeStats)> {
+    pub fn decompress_with_stats(&self, archive: &SageArchive) -> Result<(ReadSet, DecodeStats)> {
         let h = &archive.header;
         let cons: Vec<Base> = archive.consensus.unpack().into_bases();
         if cons.len() as u64 != h.consensus_len {
@@ -266,10 +263,16 @@ impl SageDecompressor {
                 PreparedBatch::Ascii(reads.iter().map(|r| r.seq.to_ascii()).collect())
             }
             OutputFormat::Packed2 => PreparedBatch::Packed2(
-                reads.iter().map(|r| Packed2::pack(r.seq.as_slice())).collect(),
+                reads
+                    .iter()
+                    .map(|r| Packed2::pack(r.seq.as_slice()))
+                    .collect(),
             ),
             OutputFormat::Packed3 => PreparedBatch::Packed3(
-                reads.iter().map(|r| Packed3::pack(r.seq.as_slice())).collect(),
+                reads
+                    .iter()
+                    .map(|r| Packed3::pack(r.seq.as_slice()))
+                    .collect(),
             ),
         })
     }
@@ -338,8 +341,7 @@ impl ReadStream<'_> {
                     .as_ref()
                     .ok_or_else(|| SageError::Corrupt("missing length table".into()))?;
                 let v = table.decode_value(&mut self.su.lenga, &mut self.su.lena)?;
-                usize::try_from(v)
-                    .map_err(|_| SageError::Corrupt("read length overflow".into()))?
+                usize::try_from(v).map_err(|_| SageError::Corrupt("read length overflow".into()))?
             }
         };
         if len > h.max_read_len as usize {
@@ -413,12 +415,12 @@ fn decode_read(
 
     let mut corner = CornerInfo::default();
     let mut segments: Vec<Segment> = Vec::with_capacity(n_segs);
-    for si in 0..n_segs {
+    for (si, &(_, seg_cons_pos, seg_rev)) in seg_meta.iter().enumerate() {
         let count = decode_count(h, su)?;
         let mut edits: Vec<Edit> = Vec::with_capacity(count as usize);
         let mut prev_off = 0u32;
         let mut r = 0usize;
-        let mut c = usize::try_from(seg_meta[si].1)
+        let mut c = usize::try_from(seg_cons_pos)
             .map_err(|_| SageError::Corrupt("consensus position overflow".into()))?;
         let mut first = true;
         for _ in 0..count {
@@ -453,7 +455,10 @@ fn decode_read(
             let is_indel = if c < cons.len() {
                 let base = Base::from_code2(su.mbta.read_bits(2)? as u8);
                 if base != cons[c] {
-                    edits.push(Edit::Sub { read_off: off, base });
+                    edits.push(Edit::Sub {
+                        read_off: off,
+                        base,
+                    });
                     r += 1;
                     c += 1;
                     false
@@ -496,8 +501,8 @@ fn decode_read(
         segments.push(Segment {
             read_start: 0,
             read_end: 0,
-            cons_pos: seg_meta[si].1,
-            rev: seg_meta[si].2,
+            cons_pos: seg_cons_pos,
+            rev: seg_rev,
             edits,
         });
     }
@@ -589,7 +594,9 @@ fn decode_corner(
     if has_n {
         let count = su.corner.read_bits(16)? as usize;
         for _ in 0..count {
-            corner.n_positions.push(su.corner.read_bits(h.len_bits())? as u32);
+            corner
+                .n_positions
+                .push(su.corner.read_bits(h.len_bits())? as u32);
         }
     }
     if has_clip {
@@ -699,11 +706,8 @@ mod tests {
         for i in (start..bytes.len()).step_by(97) {
             bytes[i] ^= 0x5a;
         }
-        match SageArchive::from_bytes(&bytes) {
-            Ok(a) => {
-                let _ = SageDecompressor::default().decompress(&a);
-            }
-            Err(_) => {}
+        if let Ok(a) = SageArchive::from_bytes(&bytes) {
+            let _ = SageDecompressor::default().decompress(&a);
         }
     }
 

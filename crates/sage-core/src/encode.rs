@@ -6,13 +6,13 @@
 //! set (Algorithm 1), then emit the hardware-friendly arrays and guide
 //! arrays plus the separate quality stream.
 
+use crate::bitio::BitWriter;
 use crate::consensus::{build_consensus, Consensus, ConsensusConfig, ConsensusMode};
 use crate::container::{ArchiveHeader, SageArchive, Stream, Streams};
 use crate::error::{Result, SageError};
 use crate::mapper::{mask_n, Mapper, MapperConfig};
 use crate::quality::compress_qualities;
 use crate::tuning::{tune_bit_widths, tune_value_classes, DEFAULT_EPSILON};
-use crate::bitio::BitWriter;
 use sage_genomics::packed::Packed2;
 use sage_genomics::{bits_needed, Alignment, Base, Edit, ReadSet};
 use std::time::Instant;
@@ -256,16 +256,12 @@ impl SageCompressor {
             &consensus.index,
             self.opts.mapper.clone(),
         );
-        let masked: Vec<Vec<Base>> = reads
-            .iter()
-            .map(|r| mask_n(r.seq.as_slice()))
-            .collect();
+        let masked: Vec<Vec<Base>> = reads.iter().map(|r| mask_n(r.seq.as_slice())).collect();
         let alignments: Vec<Alignment> = masked.iter().map(|m| mapper.map(m)).collect();
         let find_mismatch_secs = t_find.elapsed().as_secs_f64();
 
         let t_enc = Instant::now();
-        let (archive, mut stats) =
-            self.encode_streams(reads, &consensus, &alignments)?;
+        let (archive, mut stats) = self.encode_streams(reads, &consensus, &alignments)?;
         stats.find_mismatch_secs = find_mismatch_secs;
         stats.encode_secs = t_enc.elapsed().as_secs_f64();
         Ok((archive, stats))
@@ -394,7 +390,10 @@ impl SageCompressor {
                     mump(&mut mmp_hist, 0);
                 }
                 for e in &seg.edits {
-                    mump(&mut mmp_hist, bits_needed(u64::from(e.read_off() - prev_off)));
+                    mump(
+                        &mut mmp_hist,
+                        bits_needed(u64::from(e.read_off() - prev_off)),
+                    );
                     prev_off = e.read_off();
                 }
             }
@@ -535,9 +534,11 @@ impl SageCompressor {
                 for e in &seg.edits {
                     let off = e.read_off();
                     let s0 = w.total_bits();
-                    header
-                        .mmp_table
-                        .encode_value(&mut w.mmpga, &mut w.mmpa, u64::from(off - prev_off));
+                    header.mmp_table.encode_value(
+                        &mut w.mmpga,
+                        &mut w.mmpa,
+                        u64::from(off - prev_off),
+                    );
                     prev_off = off;
                     bd.mismatch_pos += w.total_bits() - s0;
                     if si == 0 && first_real && off == 0 {
@@ -559,7 +560,15 @@ impl SageCompressor {
                             c += 1;
                         }
                         Edit::Ins { bases, .. } => {
-                            self.encode_indel(&header, &mut w, &mut bd, cons, c, false, bases.len() as u32);
+                            self.encode_indel(
+                                &header,
+                                &mut w,
+                                &mut bd,
+                                cons,
+                                c,
+                                false,
+                                bases.len() as u32,
+                            );
                             let s0 = w.total_bits();
                             for b in bases {
                                 w.mbta.write_bits(u64::from(b.code2()), 2);
@@ -623,6 +632,7 @@ impl SageCompressor {
     /// Indel record tail: marker base (when a consensus base exists at
     /// the cursor), insertion/deletion bit, single-base flag, and the
     /// 8-bit block length when longer than one (§5.1.1–§5.1.2).
+    #[allow(clippy::too_many_arguments)]
     fn encode_indel(
         &self,
         _header: &ArchiveHeader,
@@ -715,9 +725,7 @@ mod tests {
     #[test]
     fn compress_produces_smaller_dna() {
         let ds = simulate_dataset(&DatasetProfile::tiny_short(), 1);
-        let (archive, stats) = SageCompressor::new()
-            .compress_detailed(&ds.reads)
-            .unwrap();
+        let (archive, stats) = SageCompressor::new().compress_detailed(&ds.reads).unwrap();
         assert!(stats.dna_ratio() > 1.5, "ratio {}", stats.dna_ratio());
         assert_eq!(archive.header.n_reads, ds.reads.len() as u64);
         assert!(archive.header.fixed_len.is_some());
@@ -735,9 +743,7 @@ mod tests {
     #[test]
     fn breakdown_totals_are_consistent_with_streams() {
         let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
-        let (archive, stats) = SageCompressor::new()
-            .compress_detailed(&ds.reads)
-            .unwrap();
+        let (archive, stats) = SageCompressor::new().compress_detailed(&ds.reads).unwrap();
         let stream_bits: u64 = [
             &archive.streams.mpga,
             &archive.streams.mpa,

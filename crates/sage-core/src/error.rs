@@ -50,7 +50,10 @@ impl fmt::Display for SageError {
                 write!(f, "not a SAGe archive: bad magic {found:02x?}")
             }
             SageError::BadVersion { found, expected } => {
-                write!(f, "unsupported format version {found} (expected {expected})")
+                write!(
+                    f,
+                    "unsupported format version {found} (expected {expected})"
+                )
             }
             SageError::Truncated {
                 offset,
@@ -110,6 +113,9 @@ mod tests {
             available: 3,
         };
         let msg = e.to_string();
-        assert!(msg.contains("100") && msg.contains('8') && msg.contains('3'), "{msg}");
+        assert!(
+            msg.contains("100") && msg.contains('8') && msg.contains('3'),
+            "{msg}"
+        );
     }
 }

@@ -58,7 +58,7 @@ pub fn align_global(
         return None;
     }
     // Row i covers consensus columns [lo(i), hi(i)].
-    let center = |i: usize| if n == 0 { 0 } else { i * m / n };
+    let center = |i: usize| (i * m).checked_div(n).unwrap_or(0);
     let lo = |i: usize| center(i).saturating_sub(band);
     let hi = |i: usize| (center(i) + band).min(m);
     let width = 2 * band + 1;
@@ -77,11 +77,11 @@ pub fn align_global(
             }
             if j > 0 {
                 // Deletion (consume cons base j-1).
-                if j - 1 >= lo(i) {
+                if j > lo(i) {
                     best = best.min(cost[idx(i, j - 1)].saturating_add(1));
                 }
                 // Diagonal.
-                if j - 1 >= lo(i - 1) && j - 1 <= hi(i - 1) {
+                if j > lo(i - 1) && j - 1 <= hi(i - 1) {
                     let sub = u32::from(read[i - 1] != cons[j - 1]);
                     best = best.min(cost[idx(i - 1, j - 1)].saturating_add(sub));
                 }
@@ -98,7 +98,7 @@ pub fn align_global(
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
         let cur = cost[idx(i, j)];
-        if i > 0 && j > 0 && j - 1 >= lo(i - 1) && j - 1 <= hi(i - 1) {
+        if i > 0 && j > 0 && j > lo(i - 1) && j - 1 <= hi(i - 1) {
             let sub = u32::from(read[i - 1] != cons[j - 1]);
             if cost[idx(i - 1, j - 1)].saturating_add(sub) == cur {
                 ops.push(if sub == 1 { Op::Sub } else { Op::Match });
@@ -107,7 +107,7 @@ pub fn align_global(
                 continue;
             }
         }
-        if j > 0 && j - 1 >= lo(i) && cost[idx(i, j - 1)].saturating_add(1) == cur {
+        if j > 0 && j > lo(i) && cost[idx(i, j - 1)].saturating_add(1) == cur {
             ops.push(Op::Del);
             j -= 1;
             continue;
@@ -139,9 +139,7 @@ pub fn align_free_start(read: &[Base], cons: &[Base]) -> AlignmentOps {
     let m = cons.len();
     let w = m + 1;
     let mut cost = vec![INF; (n + 1) * w];
-    for j in 0..=m {
-        cost[j] = 0; // free start anywhere in the consensus window
-    }
+    cost[..w].fill(0); // free start anywhere in the consensus window
     for i in 1..=n {
         for j in 0..=m {
             let mut best = cost[(i - 1) * w + j].saturating_add(1); // Ins
@@ -195,8 +193,8 @@ pub fn align_free_end(read: &[Base], cons: &[Base]) -> AlignmentOps {
     let m = cons.len();
     let w = m + 1;
     let mut cost = vec![INF; (n + 1) * w];
-    for j in 0..=m {
-        cost[j] = j as u32;
+    for (j, c) in cost.iter_mut().enumerate().take(w) {
+        *c = j as u32;
     }
     for i in 1..=n {
         for j in 0..=m {

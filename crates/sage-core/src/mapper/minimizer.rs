@@ -38,7 +38,7 @@ pub struct Minimizer {
 ///
 /// Returns an empty vector when `seq.len() < k`.
 pub fn minimizers(seq: &[Base], k: usize, w: usize) -> Vec<Minimizer> {
-    assert!(k >= 4 && k <= 31, "k must be in 4..=31");
+    assert!((4..=31).contains(&k), "k must be in 4..=31");
     assert!(w >= 1, "window must be at least 1");
     if seq.len() < k {
         return Vec::new();
@@ -67,7 +67,7 @@ pub fn minimizers(seq: &[Base], k: usize, w: usize) -> Vec<Minimizer> {
         }
         if i + 1 >= w || i + 1 == hashes.len() {
             let &j = deque.front().expect("window never empty");
-            if out.last().map_or(true, |m| m.pos != j as u32) {
+            if out.last().is_none_or(|m| m.pos != j as u32) {
                 out.push(Minimizer {
                     hash: hashes[j],
                     pos: j as u32,

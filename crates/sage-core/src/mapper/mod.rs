@@ -307,7 +307,7 @@ impl<'a> Mapper<'a> {
         for pair in chain.windows(2) {
             let (q1, c1) = (pair[0].0 as usize, pair[0].1 as usize);
             let (q2, c2) = (pair[1].0 as usize, pair[1].1 as usize);
-            ops.extend(std::iter::repeat(Op::Match).take(k));
+            ops.extend(std::iter::repeat_n(Op::Match, k));
             let rseg = &oriented[q1 + k..q2];
             let cseg = &self.consensus[c1 + k..c2];
             if rseg.is_empty() && cseg.is_empty() {
@@ -320,8 +320,8 @@ impl<'a> Mapper<'a> {
                 None => {
                     // Degenerate gap: delete the consensus side, insert
                     // the read side. Always valid, just more bits.
-                    ops.extend(std::iter::repeat(Op::Del).take(cseg.len()));
-                    ops.extend(std::iter::repeat(Op::Ins).take(rseg.len()));
+                    ops.extend(std::iter::repeat_n(Op::Del, cseg.len()));
+                    ops.extend(std::iter::repeat_n(Op::Ins, rseg.len()));
                 }
             }
         }
@@ -330,7 +330,7 @@ impl<'a> Mapper<'a> {
             chain.last().expect("non-empty").0 as usize,
             chain.last().expect("non-empty").1 as usize,
         );
-        ops.extend(std::iter::repeat(Op::Match).take(k));
+        ops.extend(std::iter::repeat_n(Op::Match, k));
 
         // Right extension (free consensus end).
         let suffix_start = qlast + k;
@@ -427,11 +427,7 @@ fn attach_gap(seg: &mut Segment, gap: &[Base], before: bool, max_block: u32) {
     if gap.is_empty() {
         return;
     }
-    let oriented_gap = if seg.rev {
-        revcomp(gap)
-    } else {
-        gap.to_vec()
-    };
+    let oriented_gap = if seg.rev { revcomp(gap) } else { gap.to_vec() };
     let g = gap.len() as u32;
     let at_oriented_start = before != seg.rev;
     if at_oriented_start {
@@ -570,7 +566,11 @@ mod tests {
         let mapper = Mapper::new(&cons, &index, MapperConfig::default());
         let mut read = cons[4_000..4_400].to_vec();
         // A substitution, an insertion block and a deletion.
-        read[50] = if read[50] == Base::A { Base::C } else { Base::A };
+        read[50] = if read[50] == Base::A {
+            Base::C
+        } else {
+            Base::A
+        };
         read.insert(120, Base::G);
         read.insert(120, Base::G);
         read.remove(300);

@@ -167,12 +167,12 @@ mod tests {
         let mut quals = Vec::new();
         for i in 0..200 {
             let mut q = vec![b'I'; 100];
-            for j in 0..100 {
+            for (j, b) in q.iter_mut().enumerate() {
                 if (i + j) % 13 == 0 {
-                    q[j] = b'F';
+                    *b = b'F';
                 }
                 if (i * j) % 97 == 0 {
-                    q[j] = b'A';
+                    *b = b'A';
                 }
             }
             quals.push(q);

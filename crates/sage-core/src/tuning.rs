@@ -117,7 +117,7 @@ pub fn tune_bit_widths(hist: &[u64], epsilon: f64) -> TunedWidths {
             lo = w + 1;
         }
         // Unary guide codes by descending frequency: rank r costs r+1 bits.
-        buckets.sort_by(|a, b| b.0.cmp(&a.0));
+        buckets.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
         buckets
             .iter()
             .enumerate()
@@ -300,7 +300,7 @@ mod tests {
                 buckets.push((count, w));
                 lo = w + 1;
             }
-            buckets.sort_by(|a, b| b.0.cmp(&a.0));
+            buckets.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
             let cost: u64 = buckets
                 .iter()
                 .enumerate()

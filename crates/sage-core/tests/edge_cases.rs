@@ -118,7 +118,7 @@ fn mixed_lengths_trigger_length_stream() {
     let rs = ReadSet::from_reads(vec![
         read(&"ACGT".repeat(10)),
         read(&"ACGT".repeat(100)),
-        read(&"ACGT".repeat(1)),
+        read("ACGT"),
     ]);
     let archive = SageCompressor::new().compress(&rs).expect("compress");
     assert!(archive.header.fixed_len.is_none());
@@ -153,7 +153,12 @@ fn per_stream_corruption_never_panics() {
     let archive = SageCompressor::new().compress(&rs).expect("compress");
     let bytes = archive.to_bytes();
     for step in [3usize, 17, 61] {
-        for start in [0usize, bytes.len() / 4, bytes.len() / 2, bytes.len() * 3 / 4] {
+        for start in [
+            0usize,
+            bytes.len() / 4,
+            bytes.len() / 2,
+            bytes.len() * 3 / 4,
+        ] {
             let mut corrupted = bytes.clone();
             let mut i = start;
             while i < corrupted.len() {

@@ -29,8 +29,8 @@ fn read_set_strategy(max_reads: usize) -> impl Strategy<Value = ReadSet> {
             (
                 0usize..genome.len().saturating_sub(60).max(1),
                 40usize..60,
-                any::<bool>(),   // reverse strand
-                any::<u8>(),     // mutation seed
+                any::<bool>(),              // reverse strand
+                any::<u8>(),                // mutation seed
                 prop::bool::weighted(0.15), // junk read
             ),
             1..=n_reads,

@@ -397,7 +397,10 @@ mod tests {
                     read_off: 3,
                     bases: vec![Base::A, Base::A],
                 },
-                Edit::Del { read_off: 7, len: 3 },
+                Edit::Del {
+                    read_off: 7,
+                    len: 3,
+                },
             ],
         };
         // 10 read bases, 2 from insertion -> 8 from consensus, +3 deleted.

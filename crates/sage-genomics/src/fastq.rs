@@ -108,7 +108,7 @@ impl<R: BufRead> FastqReader<R> {
         let id = loop {
             match self.next_line()? {
                 None => return Ok(None),
-                Some(l) if l.is_empty() => continue,
+                Some("") => continue,
                 Some(l) => {
                     let Some(stripped) = l.strip_prefix('@') else {
                         return Err(self.malformed("expected '@' header"));
@@ -118,8 +118,9 @@ impl<R: BufRead> FastqReader<R> {
             }
         };
         let seq = match self.next_line()? {
-            Some(l) => DnaSeq::from_ascii(l.as_bytes())
-                .map_err(|e| self.malformed(e.to_string()))?,
+            Some(l) => {
+                DnaSeq::from_ascii(l.as_bytes()).map_err(|e| self.malformed(e.to_string()))?
+            }
             None => return Err(self.malformed("truncated record: missing sequence")),
         };
         match self.next_line()? {
@@ -175,10 +176,7 @@ pub fn read_set_to_fastq(reads: &ReadSet) -> Vec<u8> {
         let rec = FastqRecord {
             id: r.id.clone().unwrap_or_else(|| format!("read{i}")),
             seq: r.seq.clone(),
-            qual: r
-                .qual
-                .clone()
-                .unwrap_or_else(|| vec![b'I'; r.seq.len()]),
+            qual: r.qual.clone().unwrap_or_else(|| vec![b'I'; r.seq.len()]),
         };
         write_record(&mut out, &rec).expect("writing to Vec cannot fail");
     }

@@ -147,7 +147,7 @@ fn simulate_one<R: Rng>(donor: &DnaSeq, cfg: &LongReadConfig, idx: usize, rng: &
             m.extend_from_slice(&mask);
             mask = m;
         } else {
-            mask.extend(std::iter::repeat(true).take(junk.len()));
+            mask.extend(std::iter::repeat_n(true, junk.len()));
             bases.extend_from_slice(&junk);
         }
     }
@@ -267,7 +267,9 @@ mod tests {
         // Property 3 sanity check on the block-length sampler itself.
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = LongReadConfig::default();
-        let lens: Vec<usize> = (0..20_000).map(|_| indel_block_len(&cfg, &mut rng)).collect();
+        let lens: Vec<usize> = (0..20_000)
+            .map(|_| indel_block_len(&cfg, &mut rng))
+            .collect();
         let ones = lens.iter().filter(|&&l| l == 1).count();
         assert!(
             ones as f64 > 0.6 * lens.len() as f64,

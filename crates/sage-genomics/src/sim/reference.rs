@@ -162,10 +162,7 @@ mod tests {
             .step_by(211)
             .map(|i| &ref_text[i..i + 21])
             .collect();
-        let shared = sampled
-            .iter()
-            .filter(|km| donor_text.contains(*km))
-            .count();
+        let shared = sampled.iter().filter(|km| donor_text.contains(*km)).count();
         assert!(
             shared * 10 > sampled.len() * 8,
             "only {shared}/{} sampled 21-mers survive",

@@ -54,10 +54,7 @@ pub fn simulate_short_reads<R: Rng>(
     cfg: &ShortReadConfig,
     rng: &mut R,
 ) -> ReadSet {
-    assert!(
-        donor.len() > cfg.read_len,
-        "donor shorter than read length"
-    );
+    assert!(donor.len() > cfg.read_len, "donor shorter than read length");
     let mut reads = Vec::with_capacity(count);
     for idx in 0..count {
         let start = rng.gen_range(0..donor.len() - cfg.read_len);

@@ -257,8 +257,14 @@ mod tests {
     fn indel_bases_weights_by_length() {
         let mut aln = aln_with_edits(&[]);
         aln.segments[0].edits = vec![
-            Edit::Del { read_off: 0, len: 1 },
-            Edit::Del { read_off: 5, len: 4 },
+            Edit::Del {
+                read_off: 0,
+                len: 1,
+            },
+            Edit::Del {
+                read_off: 5,
+                len: 4,
+            },
         ];
         let blocks = indel_block_length_histogram(&[aln.clone()]);
         assert_eq!(blocks.count(1), 1);

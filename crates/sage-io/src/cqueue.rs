@@ -1,0 +1,215 @@
+//! Per-device completion queues.
+//!
+//! Every finished operation becomes a [`Cqe`] posted to the completion
+//! queue of the device that finished it. Consumers either poll one
+//! queue ([`CompletionQueues::poll`]), poll across all of them
+//! ([`CompletionQueues::poll_any`]), or block for the next completion
+//! anywhere ([`CompletionQueues::wait_any`]). The whole set shares one
+//! mutex — completion entries are tiny and the reactor's worker count
+//! bounds the posting rate, so a finer-grained design would buy
+//! nothing but subtlety.
+
+use crate::sched::Dispatch;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One completed operation.
+#[derive(Debug, Clone)]
+pub struct Cqe<T> {
+    /// Caller-chosen token identifying the submission.
+    pub user_data: u64,
+    /// Completion queue (device) the entry was posted to.
+    pub device: usize,
+    /// Virtual instant the operation was submitted.
+    pub submitted_vt: f64,
+    /// Virtual instant device service began.
+    pub started_vt: f64,
+    /// Virtual instant the operation completed.
+    pub completed_vt: f64,
+    /// Total device seconds the operation charged.
+    pub device_seconds: f64,
+    /// The operation's result.
+    pub output: T,
+}
+
+impl<T> Cqe<T> {
+    /// Submit-to-completion virtual latency.
+    pub fn latency(&self) -> f64 {
+        self.completed_vt - self.submitted_vt
+    }
+
+    /// Virtual seconds the operation waited before service began.
+    pub fn queue_wait(&self) -> f64 {
+        self.started_vt - self.submitted_vt
+    }
+
+    pub(crate) fn from_dispatch(
+        user_data: u64,
+        submitted_vt: f64,
+        d: Dispatch,
+        output: T,
+    ) -> Cqe<T> {
+        Cqe {
+            user_data,
+            device: d.device,
+            submitted_vt,
+            started_vt: d.started_vt,
+            completed_vt: d.completed_vt,
+            device_seconds: d.device_seconds,
+            output,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CqState<T> {
+    queues: Vec<VecDeque<Cqe<T>>>,
+    /// Reactor workers still alive; 0 means no further completions can
+    /// ever arrive.
+    live_posters: usize,
+    completed: u64,
+}
+
+/// The completion side of a reactor: one queue per device.
+#[derive(Debug)]
+pub struct CompletionQueues<T> {
+    state: Mutex<CqState<T>>,
+    cv: Condvar,
+}
+
+impl<T> CompletionQueues<T> {
+    /// A set of `n_devices` queues fed by `posters` workers.
+    pub(crate) fn new(n_devices: usize, posters: usize) -> CompletionQueues<T> {
+        CompletionQueues {
+            state: Mutex::new(CqState {
+                queues: (0..n_devices.max(1)).map(|_| VecDeque::new()).collect(),
+                live_posters: posters,
+                completed: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of completion queues (devices).
+    pub fn n_queues(&self) -> usize {
+        self.state.lock().expect("cq poisoned").queues.len()
+    }
+
+    /// Total completions posted so far.
+    pub fn completed(&self) -> u64 {
+        self.state.lock().expect("cq poisoned").completed
+    }
+
+    pub(crate) fn post(&self, cqe: Cqe<T>) {
+        let mut state = self.state.lock().expect("cq poisoned");
+        let q = cqe.device.min(state.queues.len() - 1);
+        state.queues[q].push_back(cqe);
+        state.completed += 1;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Called by each worker exactly once on exit; the last one wakes
+    /// every blocked consumer so they can observe the end of stream.
+    pub(crate) fn poster_done(&self) {
+        let mut state = self.state.lock().expect("cq poisoned");
+        state.live_posters = state.live_posters.saturating_sub(1);
+        if state.live_posters == 0 {
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pops the oldest completion on one device's queue, if any.
+    pub fn poll(&self, device: usize) -> Option<Cqe<T>> {
+        let mut state = self.state.lock().expect("cq poisoned");
+        let n = state.queues.len();
+        state.queues.get_mut(device.min(n - 1))?.pop_front()
+    }
+
+    /// Pops the oldest completion from any non-empty queue, scanning
+    /// devices in index order.
+    pub fn poll_any(&self) -> Option<Cqe<T>> {
+        let mut state = self.state.lock().expect("cq poisoned");
+        state.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Blocks until a completion is available anywhere; `None` when the
+    /// reactor shut down and every queue is drained.
+    pub fn wait_any(&self) -> Option<Cqe<T>> {
+        let mut state = self.state.lock().expect("cq poisoned");
+        loop {
+            if let Some(cqe) = state.queues.iter_mut().find_map(VecDeque::pop_front) {
+                return Some(cqe);
+            }
+            if state.live_posters == 0 {
+                return None;
+            }
+            state = self.cv.wait(state).expect("cq poisoned");
+        }
+    }
+
+    /// Completions currently queued per device.
+    pub fn depths(&self) -> Vec<usize> {
+        let state = self.state.lock().expect("cq poisoned");
+        state.queues.iter().map(VecDeque::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Dispatch;
+
+    fn cqe(user_data: u64, device: usize) -> Cqe<u32> {
+        Cqe::from_dispatch(
+            user_data,
+            1.0,
+            Dispatch {
+                started_vt: 2.0,
+                completed_vt: 3.5,
+                device_seconds: 1.5,
+                device,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn routes_to_per_device_queues() {
+        let cq: CompletionQueues<u32> = CompletionQueues::new(2, 1);
+        cq.post(cqe(1, 0));
+        cq.post(cqe(2, 1));
+        cq.post(cqe(3, 1));
+        assert_eq!(cq.depths(), vec![1, 2]);
+        assert_eq!(cq.poll(1).unwrap().user_data, 2);
+        assert_eq!(cq.poll(0).unwrap().user_data, 1);
+        assert_eq!(cq.poll_any().unwrap().user_data, 3);
+        assert!(cq.poll_any().is_none());
+        assert_eq!(cq.completed(), 3);
+    }
+
+    #[test]
+    fn latency_and_wait_derive_from_dispatch() {
+        let e = cqe(9, 0);
+        assert!((e.latency() - 2.5).abs() < 1e-12);
+        assert!((e.queue_wait() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_any_ends_after_last_poster() {
+        let cq: CompletionQueues<u32> = CompletionQueues::new(1, 1);
+        cq.post(cqe(5, 0));
+        cq.poster_done();
+        assert_eq!(cq.wait_any().unwrap().user_data, 5);
+        assert!(cq.wait_any().is_none());
+    }
+
+    #[test]
+    fn out_of_range_device_clamps_to_last_queue() {
+        let cq: CompletionQueues<u32> = CompletionQueues::new(2, 1);
+        cq.post(cqe(1, 7));
+        assert_eq!(cq.depths(), vec![0, 1]);
+        assert_eq!(cq.poll(7).unwrap().user_data, 1);
+    }
+}

@@ -1,0 +1,373 @@
+//! Multi-SSD extent sharding.
+//!
+//! A [`DeviceMap`] owns N device models and assigns every chunk of a
+//! sharded container to exactly one of them, translating the chunk's
+//! global byte extent into a device-local extent on that device's
+//! aligned layout. Chunks — not pages — are the striping unit: a chunk
+//! is the atom of random access (it decodes independently), so
+//! splitting one across devices would couple two device queues to a
+//! single fetch.
+//!
+//! Two placement policies:
+//!
+//! - [`Placement::RoundRobin`] — chunk *i* lands on device
+//!   `i mod N`; uniform when devices are identical.
+//! - [`Placement::CapacityWeighted`] — each chunk goes to the device
+//!   with the lowest fill *fraction*, so a fleet mixing large and
+//!   small devices fills proportionally and the large device absorbs
+//!   proportionally more of the read traffic.
+
+use crate::sched::DeviceCharge;
+use sage_core::Extent;
+use sage_ssd::{ReadFormat, SageLayout, SsdCommand, SsdConfig, SsdModel};
+use std::sync::Mutex;
+
+/// How chunks are assigned to devices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Chunk `i` → device `i mod N`.
+    #[default]
+    RoundRobin,
+    /// Each chunk → the device with the lowest placed-bytes /
+    /// capacity fraction.
+    CapacityWeighted,
+}
+
+/// One chunk's home: which device and where on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSlot {
+    /// Owning device index.
+    pub device: usize,
+    /// Device-local byte extent of the chunk.
+    pub local: Extent,
+}
+
+/// Point-in-time accounting for one device of the fleet.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceSnapshot {
+    /// Device index.
+    pub device: usize,
+    /// Device name (from its [`SsdConfig`]).
+    pub name: String,
+    /// Chunks resident on the device.
+    pub chunks: usize,
+    /// Compressed bytes placed on the device.
+    pub placed_bytes: usize,
+    /// Chunk-read commands served.
+    pub reads: u64,
+    /// Chunk-write (append) commands served.
+    pub writes: u64,
+    /// Device seconds spent on chunk reads.
+    pub read_seconds: f64,
+    /// Device seconds spent on appends.
+    pub write_seconds: f64,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    model: SsdModel,
+    layout: SageLayout,
+    placed_bytes: usize,
+    chunks: usize,
+    reads: u64,
+    writes: u64,
+    read_seconds: f64,
+    write_seconds: f64,
+}
+
+#[derive(Debug)]
+struct SlotTable {
+    slots: Vec<ChunkSlot>,
+    /// Per-device placement cursors (bytes assigned, mirrors
+    /// `DeviceState::placed_bytes` but lives with the table so
+    /// placement never needs a device lock).
+    cursors: Vec<usize>,
+}
+
+/// N device models with chunk-granularity extent striping.
+#[derive(Debug)]
+pub struct DeviceMap {
+    placement: Placement,
+    capacities: Vec<u64>,
+    table: Mutex<SlotTable>,
+    devices: Vec<Mutex<DeviceState>>,
+}
+
+impl DeviceMap {
+    /// Builds a fleet and places `chunk_lens` (the byte length of each
+    /// chunk, in chunk-id order) across it. The initial dataset write
+    /// seeds each device's layout and FTL but is *not* counted in the
+    /// serving snapshot — matching the single-device timing mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn place(configs: &[SsdConfig], placement: Placement, chunk_lens: &[usize]) -> DeviceMap {
+        assert!(
+            !configs.is_empty(),
+            "a device map needs at least one device"
+        );
+        let capacities = configs.iter().map(SsdConfig::capacity_bytes).collect();
+        let mut map = DeviceMap {
+            placement,
+            capacities,
+            table: Mutex::new(SlotTable {
+                slots: Vec::with_capacity(chunk_lens.len()),
+                cursors: vec![0; configs.len()],
+            }),
+            devices: Vec::new(),
+        };
+        // Place every chunk first, then open each device over its
+        // final byte count so the whole dataset is written once.
+        let mut chunks_per_device = vec![0usize; configs.len()];
+        for &len in chunk_lens {
+            chunks_per_device[map.assign(len).device] += 1;
+        }
+        let cursors: Vec<usize> = map.table.lock().expect("table poisoned").cursors.clone();
+        map.devices = configs
+            .iter()
+            .zip(&cursors)
+            .zip(&chunks_per_device)
+            .map(|((cfg, &bytes), &chunks)| {
+                let mut model = SsdModel::new(cfg.clone());
+                if bytes > 0 {
+                    model.execute(SsdCommand::SageWrite { bytes });
+                }
+                Mutex::new(DeviceState {
+                    layout: SageLayout::place(cfg, bytes, 0),
+                    model,
+                    placed_bytes: bytes,
+                    chunks,
+                    reads: 0,
+                    writes: 0,
+                    read_seconds: 0.0,
+                    write_seconds: 0.0,
+                })
+            })
+            .collect();
+        map
+    }
+
+    /// Assigns the next chunk to a device and returns its slot (table
+    /// bookkeeping only — device state is untouched).
+    fn assign(&self, len: usize) -> ChunkSlot {
+        let mut table = self.table.lock().expect("table poisoned");
+        let device = match self.placement {
+            Placement::RoundRobin => table.slots.len() % table.cursors.len(),
+            Placement::CapacityWeighted => {
+                let fill =
+                    |d: usize| (table.cursors[d] + len) as f64 / (self.capacities[d].max(1)) as f64;
+                (0..table.cursors.len())
+                    .min_by(|&a, &b| fill(a).partial_cmp(&fill(b)).expect("finite fill"))
+                    .expect("at least one device")
+            }
+        };
+        let slot = ChunkSlot {
+            device,
+            local: Extent {
+                offset: table.cursors[device],
+                len,
+            },
+        };
+        table.cursors[device] += len;
+        table.slots.push(slot);
+        slot
+    }
+
+    /// Device count.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Chunks placed so far.
+    pub fn n_chunks(&self) -> usize {
+        self.table.lock().expect("table poisoned").slots.len()
+    }
+
+    /// The slot a chunk was placed in, if the chunk exists.
+    pub fn slot(&self, chunk_id: u32) -> Option<ChunkSlot> {
+        self.table
+            .lock()
+            .expect("table poisoned")
+            .slots
+            .get(chunk_id as usize)
+            .copied()
+    }
+
+    /// Charges one chunk fetch against its owning device and returns
+    /// the device + service seconds (for virtual-time scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_id` was never placed — the store's manifest
+    /// and the device map must agree on the chunk table.
+    pub fn charge_chunk_read(&self, chunk_id: u32) -> DeviceCharge {
+        let slot = self
+            .slot(chunk_id)
+            .unwrap_or_else(|| panic!("chunk {chunk_id} not placed on any device"));
+        let mut dev = self.devices[slot.device].lock().expect("device poisoned");
+        let r = dev.model.execute(SsdCommand::SageReadExtent {
+            offset: slot.local.offset,
+            bytes: slot.local.len,
+            format: ReadFormat::Ascii,
+        });
+        dev.reads += 1;
+        dev.read_seconds += r.seconds;
+        DeviceCharge {
+            device: slot.device,
+            seconds: r.seconds,
+        }
+    }
+
+    /// Places one appended chunk and charges its owning device for the
+    /// pages the device's layout grows by (page-accurate, like the
+    /// single-device timing mode: a sub-page chunk landing inside the
+    /// current partially-filled page charges nothing).
+    pub fn append_chunk(&self, len: usize) -> DeviceCharge {
+        let slot = self.assign(len);
+        let mut dev = self.devices[slot.device].lock().expect("device poisoned");
+        let cfg = dev.model.config().clone();
+        let old_pages = dev.layout.n_pages();
+        let new_bytes = slot.local.end();
+        dev.layout.extend_to(&cfg, new_bytes, 0);
+        let grown = dev.layout.n_pages() - old_pages;
+        let r = dev.model.execute(SsdCommand::SageWrite {
+            bytes: grown * cfg.page_bytes,
+        });
+        dev.placed_bytes = new_bytes;
+        dev.chunks += 1;
+        dev.writes += 1;
+        dev.write_seconds += r.seconds;
+        DeviceCharge {
+            device: slot.device,
+            seconds: r.seconds,
+        }
+    }
+
+    /// Pages a placed chunk touches on its device's layout.
+    pub fn pages_for_chunk(&self, chunk_id: u32) -> usize {
+        let Some(slot) = self.slot(chunk_id) else {
+            return 0;
+        };
+        let dev = self.devices[slot.device].lock().expect("device poisoned");
+        dev.layout
+            .pages_for_extent(slot.local.offset, slot.local.len)
+            .len()
+    }
+
+    /// Per-device accounting.
+    pub fn snapshots(&self) -> Vec<DeviceSnapshot> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, dev)| {
+                let dev = dev.lock().expect("device poisoned");
+                DeviceSnapshot {
+                    device: i,
+                    name: dev.model.config().name.clone(),
+                    chunks: dev.chunks,
+                    placed_bytes: dev.placed_bytes,
+                    reads: dev.reads,
+                    writes: dev.writes,
+                    read_seconds: dev.read_seconds,
+                    write_seconds: dev.write_seconds,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<SsdConfig> {
+        (0..n)
+            .map(|i| {
+                let mut cfg = SsdConfig::pcie();
+                cfg.name = format!("pcie #{i}");
+                cfg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_stripes_chunks() {
+        let lens = vec![100, 200, 300, 400, 500];
+        let map = DeviceMap::place(&fleet(2), Placement::RoundRobin, &lens);
+        assert_eq!(map.n_devices(), 2);
+        assert_eq!(map.n_chunks(), 5);
+        for (i, &len) in lens.iter().enumerate() {
+            let slot = map.slot(i as u32).unwrap();
+            assert_eq!(slot.device, i % 2);
+            assert_eq!(slot.local.len, len);
+        }
+        // Device-local extents are contiguous per device.
+        assert_eq!(map.slot(0).unwrap().local.offset, 0);
+        assert_eq!(map.slot(2).unwrap().local.offset, 100);
+        assert_eq!(map.slot(4).unwrap().local.offset, 400);
+        assert_eq!(map.slot(1).unwrap().local.offset, 0);
+        assert_eq!(map.slot(3).unwrap().local.offset, 200);
+    }
+
+    #[test]
+    fn capacity_weighted_fills_proportionally() {
+        let mut small = SsdConfig::pcie();
+        small.name = "small".into();
+        small.blocks_per_plane /= 4; // quarter capacity
+        let big = SsdConfig::pcie();
+        let lens = vec![1000; 100];
+        let map = DeviceMap::place(
+            &[small.clone(), big.clone()],
+            Placement::CapacityWeighted,
+            &lens,
+        );
+        let snaps = map.snapshots();
+        let small_bytes = snaps[0].placed_bytes as f64;
+        let big_bytes = snaps[1].placed_bytes as f64;
+        let want = small.capacity_bytes() as f64 / big.capacity_bytes() as f64;
+        let got = small_bytes / big_bytes;
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "fill ratio {got} vs capacity ratio {want}"
+        );
+    }
+
+    #[test]
+    fn reads_charge_the_owning_device_only() {
+        let map = DeviceMap::place(&fleet(3), Placement::RoundRobin, &[4096, 4096, 4096]);
+        let c = map.charge_chunk_read(1);
+        assert_eq!(c.device, 1);
+        assert!(c.seconds > 0.0);
+        let snaps = map.snapshots();
+        assert_eq!(snaps[1].reads, 1);
+        assert!(snaps[1].read_seconds > 0.0);
+        assert_eq!(snaps[0].reads, 0);
+        assert_eq!(snaps[2].reads, 0);
+    }
+
+    #[test]
+    fn appends_extend_one_device_layout() {
+        let cfg = fleet(2);
+        let page = cfg[0].page_bytes;
+        let map = DeviceMap::place(&cfg, Placement::RoundRobin, &[page, page]);
+        // Next chunk (id 2) round-robins onto device 0 and grows its
+        // layout by exactly its pages.
+        let c = map.append_chunk(page * 2);
+        assert_eq!(c.device, 0);
+        assert!(c.seconds > 0.0);
+        assert_eq!(map.pages_for_chunk(2), 2);
+        let snaps = map.snapshots();
+        assert_eq!(snaps[0].chunks, 2);
+        assert_eq!(snaps[0].writes, 1);
+        assert_eq!(snaps[1].writes, 0);
+        assert_eq!(snaps[0].placed_bytes, page * 3);
+    }
+
+    #[test]
+    fn missing_chunks_are_absent() {
+        let map = DeviceMap::place(&fleet(2), Placement::RoundRobin, &[64]);
+        assert!(map.slot(1).is_none());
+        assert_eq!(map.pages_for_chunk(9), 0);
+    }
+}

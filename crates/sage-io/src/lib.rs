@@ -1,0 +1,52 @@
+//! # sage-io — completion-queue async I/O with multi-SSD extent
+//! sharding
+//!
+//! The chunk store's serving path needs to keep *thousands* of small
+//! random chunk reads in flight across *many* SSDs — that is what the
+//! paper's end-to-end win rests on. This crate is the I/O substrate
+//! that makes both dimensions first-class:
+//!
+//! - [`ring`] — a bounded **submission ring**: capacity is the queue-
+//!   depth knob; submitters either block (backpressure) or are
+//!   rejected-and-counted (load shedding).
+//! - [`reactor`] — the **completion-queue reactor**: a small fixed
+//!   worker set drains the ring, runs each operation against an
+//!   [`IoBackend`], and posts a [`Cqe`] to the completion queue of the
+//!   device that finished it. Arbitrarily many operations are in
+//!   flight at once; workers bound only CPU parallelism.
+//! - [`sched`] — **virtual-time device scheduling**: per-device clocks
+//!   turn the device models' service seconds into queued start/finish
+//!   instants, so completions carry realistic latencies (queueing
+//!   included) while staying deterministic for CI.
+//! - [`cqueue`] — per-device **completion queues** with poll/wait
+//!   harvesting.
+//! - [`device`] — **multi-SSD extent sharding**: a [`DeviceMap`]
+//!   stripes chunk extents across N [`sage_ssd::SsdModel`]s
+//!   (round-robin or capacity-weighted), routes each fetch to its
+//!   owning device, and aggregates per-device timing/utilization
+//!   snapshots.
+//!
+//! ```text
+//!   clients ──submit──▶ [ submission ring (≤ queue_depth) ]
+//!                            │ pop (FIFO)
+//!                  ┌─────────┼─────────┐
+//!               worker     worker    worker      (fixed set)
+//!                  │ execute(op) → output + device charges
+//!                  ▼
+//!         [ virtual scheduler: per-device clocks ]
+//!                  │ dispatch → start/completion instants
+//!                  ▼
+//!   [ CQ dev0 ] [ CQ dev1 ] … [ CQ devN ]  ◀─poll/wait── clients
+//! ```
+
+pub mod cqueue;
+pub mod device;
+pub mod reactor;
+pub mod ring;
+pub mod sched;
+
+pub use cqueue::{CompletionQueues, Cqe};
+pub use device::{ChunkSlot, DeviceMap, DeviceSnapshot, Placement};
+pub use reactor::{IoBackend, IoConfig, Reactor, ReactorSnapshot, Sqe};
+pub use ring::{RingCounters, SubmissionRing, SubmitError};
+pub use sched::{DeviceCharge, Dispatch, VirtualScheduler};

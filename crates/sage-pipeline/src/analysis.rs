@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn gem_is_much_faster_than_software() {
-        assert!(GEM_BASES_PER_SEC / BASELINE_SW_MAPPER_BASES_PER_SEC > 100.0);
+        // Not a const block: the point is documenting the constants'
+        // relationship, and a failure should name the test.
+        let ratio = GEM_BASES_PER_SEC / BASELINE_SW_MAPPER_BASES_PER_SEC;
+        assert!(ratio > 100.0, "GEM/software ratio {ratio}");
     }
 
     #[test]

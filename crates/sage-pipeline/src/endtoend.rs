@@ -105,6 +105,21 @@ impl SystemConfig {
         self.n_ssds = n;
         self
     }
+
+    /// The per-device configurations of the fleet: `n_ssds` copies of
+    /// the system's SSD, individually named. This is what flows into
+    /// multi-SSD chunk placement (`sage_io::DeviceMap`), so the
+    /// Fig. 15 device-count sweep and the store path agree on the
+    /// hardware.
+    pub fn device_configs(&self) -> Vec<SsdConfig> {
+        (0..self.n_ssds)
+            .map(|i| {
+                let mut cfg = self.ssd.clone();
+                cfg.name = format!("{} #{i}", self.ssd.name);
+                cfg
+            })
+            .collect()
+    }
 }
 
 /// Result of one experiment.
@@ -146,15 +161,17 @@ pub fn run_experiment(
     }
     let ratio = ds.ratio_for(prep);
     let host_if = sys.ssd.host_bytes_per_sec * sys.n_ssds as f64;
-    let logic_bw = CycleModel::default()
-        .logic_bandwidth_bases_per_sec(sys.ssd.channels)
-        * sys.n_ssds as f64;
+    let logic_bw =
+        CycleModel::default().logic_bandwidth_bases_per_sec(sys.ssd.channels) * sys.n_ssds as f64;
 
     let mut stages: Vec<Stage> = Vec::with_capacity(3);
     let prep_rate;
     let io_rate;
     match prep {
-        PrepKind::Pigz | PrepKind::NSpr | PrepKind::NSprAc | PrepKind::SageSw
+        PrepKind::Pigz
+        | PrepKind::NSpr
+        | PrepKind::NSprAc
+        | PrepKind::SageSw
         | PrepKind::SageStore => {
             // Compressed data crosses the interface; the host inflates.
             io_rate = host_if * ratio;
@@ -205,7 +222,10 @@ pub fn run_experiment(
             crate::analysis::ISF_BASES_PER_SEC_PER_SSD * sys.n_ssds as f64,
         ));
     }
-    stages.push(Stage::new("analysis", analysis.mapper_rate_original_bases()));
+    stages.push(Stage::new(
+        "analysis",
+        analysis.mapper_rate_original_bases(),
+    ));
 
     let seconds = pipeline_seconds(ds.total_bases, &stages, sys.batches);
     let energy = energy_joules(
@@ -288,6 +308,18 @@ mod tests {
         assert!(s_spr > 2.0 && s_spr < 25.0, "spr speedup {s_spr}");
         assert!(s_ac > 1.5 && s_ac < 15.0, "sprac speedup {s_ac}");
         assert!(s_pigz > s_spr && s_spr > s_ac);
+    }
+
+    #[test]
+    fn device_configs_name_each_fleet_member() {
+        let sys = SystemConfig::pcie().with_ssds(3);
+        let fleet = sys.device_configs();
+        assert_eq!(fleet.len(), 3);
+        for (i, cfg) in fleet.iter().enumerate() {
+            assert_eq!(cfg.channels, sys.ssd.channels);
+            assert!(cfg.name.ends_with(&format!("#{i}")), "{}", cfg.name);
+        }
+        assert_eq!(SystemConfig::sata().device_configs().len(), 1);
     }
 
     #[test]

@@ -46,7 +46,13 @@ pub fn pipeline_seconds(total_units: f64, stages: &[Stage], n_batches: usize) ->
     let batch = total_units / n_batches as f64;
     let fill: f64 = stages
         .iter()
-        .map(|s| if s.rate.is_finite() { batch / s.rate } else { 0.0 })
+        .map(|s| {
+            if s.rate.is_finite() {
+                batch / s.rate
+            } else {
+                0.0
+            }
+        })
         .sum::<f64>()
         - batch / slowest;
     steady + fill
@@ -109,9 +115,7 @@ mod tests {
     fn faster_prep_never_slows_pipeline() {
         let slow = [Stage::new("prep", 5.0), Stage::new("map", 20.0)];
         let fast = [Stage::new("prep", 15.0), Stage::new("map", 20.0)];
-        assert!(
-            pipeline_seconds(1000.0, &fast, 50) < pipeline_seconds(1000.0, &slow, 50)
-        );
+        assert!(pipeline_seconds(1000.0, &fast, 50) < pipeline_seconds(1000.0, &slow, 50));
     }
 
     #[test]

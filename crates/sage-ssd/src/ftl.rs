@@ -162,8 +162,7 @@ impl Ftl {
         let block = match ustate.active_normal {
             Some(b) if !ustate.blocks[&b].is_full() => b,
             _ => {
-                let b = (0..self.cfg.blocks_per_plane as u32)
-                    .find(|b| !ustate.used.contains(b))?;
+                let b = (0..self.cfg.blocks_per_plane as u32).find(|b| !ustate.used.contains(b))?;
                 ustate.used.insert(b);
                 ustate
                     .blocks

@@ -186,7 +186,12 @@ mod tests {
         // Zero-length extents touch nothing.
         assert!(layout.pages_for_extent(17, 0).is_empty());
         // A one-page extent exactly aligned touches one page.
-        assert_eq!(layout.pages_for_extent(cfg.page_bytes * 3, cfg.page_bytes).len(), 1);
+        assert_eq!(
+            layout
+                .pages_for_extent(cfg.page_bytes * 3, cfg.page_bytes)
+                .len(),
+            1
+        );
         // Extents past the placed byte count (even inside the last
         // partially-filled page's rounding slack) are rejected.
         let ragged = SageLayout::place(&cfg, cfg.page_bytes + 1, 0);

@@ -40,8 +40,8 @@ pub fn striped_write_seconds(cfg: &SsdConfig, n_pages: usize) -> f64 {
     // Program time dominates; planes program in parallel.
     let parallel_units = (cfg.channels * cfg.dies_per_channel * cfg.planes_per_die) as f64;
     let rounds = (n_pages as f64 / parallel_units).ceil();
-    let transfer = (n_pages * cfg.page_bytes) as f64
-        / (cfg.channel_bytes_per_sec * cfg.channels as f64);
+    let transfer =
+        (n_pages * cfg.page_bytes) as f64 / (cfg.channel_bytes_per_sec * cfg.channels as f64);
     rounds * cfg.t_prog_us * 1e-6 + transfer
 }
 

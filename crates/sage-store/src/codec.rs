@@ -166,7 +166,10 @@ pub(crate) fn encode_chunks(
 ///
 /// Panics if `opts.reads_per_chunk` is 0.
 pub fn encode_sharded(reads: &ReadSet, opts: &StoreOptions) -> Result<ShardedStore> {
-    assert!(opts.reads_per_chunk > 0, "chunks must hold at least one read");
+    assert!(
+        opts.reads_per_chunk > 0,
+        "chunks must hold at least one read"
+    );
     let chunks: Vec<&[Read]> = reads.reads().chunks(opts.reads_per_chunk).collect();
     let encoded = encode_chunks(&chunks, &opts.compressor(), opts.effective_workers())?;
 
@@ -192,17 +195,16 @@ pub fn encode_sharded(reads: &ReadSet, opts: &StoreOptions) -> Result<ShardedSto
 /// fails validation or decoding.
 pub fn decode_all(store: &ShardedStore, workers: usize) -> Result<ReadSet> {
     let decoder = SageDecompressor::new(OutputFormat::Ascii);
-    let decoded: Vec<Result<ReadSet>> =
-        run_pool(store.n_chunks(), workers.max(1), |i| {
-            let meta = store.manifest.chunks[i];
-            let archive = parse_chunk(&store.blob, meta.extent, meta.id)?;
-            decoder
-                .decompress(&archive)
-                .map_err(|cause| StoreError::CorruptChunk {
-                    chunk_id: meta.id,
-                    cause,
-                })
-        });
+    let decoded: Vec<Result<ReadSet>> = run_pool(store.n_chunks(), workers.max(1), |i| {
+        let meta = store.manifest.chunks[i];
+        let archive = parse_chunk(&store.blob, meta.extent, meta.id)?;
+        decoder
+            .decompress(&archive)
+            .map_err(|cause| StoreError::CorruptChunk {
+                chunk_id: meta.id,
+                cause,
+            })
+    });
     let mut out = ReadSet::new();
     for rs in decoded {
         for r in rs?.reads() {

@@ -1,25 +1,36 @@
 //! The concurrent query engine and its request-queue server.
 //!
 //! [`StoreEngine`] is the shared-state core: an immutable-ish sharded
-//! container behind a `RwLock` (appends take the write lock), an LRU
-//! cache of decoded chunks, and optional SSD timing. Every method
+//! container behind a `RwLock` (appends take the write lock), a
+//! pluggable cache of decoded chunks ([`CachePolicy`]), and optional
+//! device timing — either one [`SsdTiming`] device or a multi-SSD
+//! [`DeviceMap`] striping chunk extents across a fleet. Every method
 //! takes `&self`, so one engine in an `Arc` serves any number of
-//! client threads.
+//! client threads. The `*_traced` variants additionally report the
+//! [`DeviceCharge`]s an operation incurred, which is what lets a
+//! completion-queue reactor assign realistic queued latencies.
 //!
-//! [`StoreServer`] puts a *bounded* request queue in front of an
-//! engine: clients submit [`Request`]s and block when the queue is
-//! full (backpressure instead of unbounded memory), while a pool of
-//! worker threads drains the queue and answers through per-request
-//! response channels.
+//! [`StoreServer`] is a thin blocking adapter over a [`sage_io`]
+//! reactor: clients submit [`Request`]s into the bounded submission
+//! ring (blocking on backpressure, or shedding load via
+//! [`StoreServer::try_submit`]) and wait on per-request tickets that a
+//! dispatcher thread answers from the completion queues. Shutting the
+//! server down mid-queue resolves every still-queued ticket with
+//! [`StoreError::Cancelled`] instead of leaving clients hanging.
 
 use crate::codec::{order_preserving_compressor, ShardedStore};
-use crate::lru::{CacheSnapshot, CacheStats, LruCache};
+use crate::lru::{CachePolicy, CacheSnapshot, CacheStats, ChunkCache};
 use crate::manifest::ChunkMeta;
 use crate::timing::{SsdTiming, TimingSnapshot};
 use crate::{parse_chunk, Result, StoreError};
 use sage_core::{CompressOptions, OutputFormat, SageDecompressor};
 use sage_genomics::{Read, ReadSet};
+use sage_io::{
+    DeviceCharge, DeviceMap, DeviceSnapshot, IoBackend, IoConfig, Placement, Reactor,
+    ReactorSnapshot, SubmitError,
+};
 use sage_ssd::SsdConfig;
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -29,11 +40,18 @@ use std::thread::JoinHandle;
 /// Engine construction options.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Decoded chunks the LRU cache may pin.
+    /// Decoded chunks the cache may pin.
     pub cache_chunks: usize,
-    /// When set, chunk fetches and appends charge this device model
-    /// (the SSD-backed timing mode).
+    /// Which eviction policy the cache uses.
+    pub cache_policy: CachePolicy,
+    /// When set (and `ssds` is empty), chunk fetches and appends
+    /// charge this single device model.
     pub ssd: Option<SsdConfig>,
+    /// When non-empty, chunk extents are striped across this fleet
+    /// (takes precedence over `ssd`).
+    pub ssds: Vec<SsdConfig>,
+    /// How chunks are assigned to fleet devices.
+    pub placement: Placement,
     /// Codec options for appended chunks. Chunk population always
     /// comes from the manifest (appended chunks must look like the
     /// existing ones), and `store_order` is forced on.
@@ -47,7 +65,10 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             cache_chunks: 16,
+            cache_policy: CachePolicy::default(),
             ssd: None,
+            ssds: Vec::new(),
+            placement: Placement::default(),
             codec: CompressOptions::default(),
             append_workers: 0,
         }
@@ -61,10 +82,75 @@ impl EngineConfig {
         self
     }
 
-    /// Enables the SSD timing mode.
+    /// Selects the cache eviction policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> EngineConfig {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Enables the single-device SSD timing mode.
     pub fn with_ssd(mut self, cfg: SsdConfig) -> EngineConfig {
         self.ssd = Some(cfg);
         self
+    }
+
+    /// Enables multi-SSD timing: chunk extents striped across `fleet`.
+    pub fn with_ssd_fleet(mut self, fleet: Vec<SsdConfig>) -> EngineConfig {
+        self.ssds = fleet;
+        self
+    }
+
+    /// Sets the fleet placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> EngineConfig {
+        self.placement = placement;
+        self
+    }
+}
+
+/// The device side of an engine: nothing, one timed device, or a
+/// striped fleet. (Boxed: one `Devices` exists per engine, and the
+/// timing state dwarfs the other variants.)
+#[derive(Debug)]
+enum Devices {
+    Untimed,
+    Single(Box<SsdTiming>),
+    Fleet(DeviceMap),
+}
+
+impl Devices {
+    fn open(cfg: &EngineConfig, store: &ShardedStore) -> Devices {
+        if !cfg.ssds.is_empty() {
+            let lens: Vec<usize> = store.manifest.chunks.iter().map(|c| c.extent.len).collect();
+            return Devices::Fleet(DeviceMap::place(&cfg.ssds, cfg.placement, &lens));
+        }
+        match &cfg.ssd {
+            Some(ssd) => Devices::Single(Box::new(SsdTiming::new(ssd.clone(), store.blob.len()))),
+            None => Devices::Untimed,
+        }
+    }
+
+    /// Charges one chunk fetch to its owning device.
+    fn charge_read(&self, meta: &ChunkMeta) -> Option<DeviceCharge> {
+        match self {
+            Devices::Untimed => None,
+            Devices::Single(t) => Some(DeviceCharge {
+                device: 0,
+                seconds: t.charge_chunk_read(meta.extent),
+            }),
+            Devices::Fleet(m) => Some(m.charge_chunk_read(meta.id)),
+        }
+    }
+
+    /// Charges one appended chunk (placing it, for a fleet).
+    fn charge_append(&self, new_blob_bytes: usize, chunk_bytes: usize) -> Option<DeviceCharge> {
+        match self {
+            Devices::Untimed => None,
+            Devices::Single(t) => Some(DeviceCharge {
+                device: 0,
+                seconds: t.charge_append(new_blob_bytes),
+            }),
+            Devices::Fleet(m) => Some(m.append_chunk(chunk_bytes)),
+        }
     }
 }
 
@@ -78,9 +164,9 @@ struct StoreState {
 #[derive(Debug)]
 pub struct StoreEngine {
     state: RwLock<StoreState>,
-    cache: Mutex<LruCache>,
+    cache: Mutex<Box<dyn ChunkCache>>,
     stats: CacheStats,
-    timing: Option<SsdTiming>,
+    devices: Devices,
     codec: CompressOptions,
     append_workers: usize,
     requests_served: AtomicU64,
@@ -89,13 +175,10 @@ pub struct StoreEngine {
 impl StoreEngine {
     /// Opens an engine over an encoded store.
     pub fn open(store: ShardedStore, cfg: EngineConfig) -> StoreEngine {
-        let timing = cfg
-            .ssd
-            .map(|ssd| SsdTiming::new(ssd, store.blob.len()));
         StoreEngine {
-            cache: Mutex::new(LruCache::new(cfg.cache_chunks)),
+            cache: Mutex::new(cfg.cache_policy.build(cfg.cache_chunks)),
             stats: CacheStats::default(),
-            timing,
+            devices: Devices::open(&cfg, &store),
             codec: cfg.codec,
             append_workers: cfg.append_workers,
             requests_served: AtomicU64::new(0),
@@ -105,7 +188,11 @@ impl StoreEngine {
 
     /// Total reads currently stored.
     pub fn total_reads(&self) -> u64 {
-        self.state.read().expect("state poisoned").store.total_reads()
+        self.state
+            .read()
+            .expect("state poisoned")
+            .store
+            .total_reads()
     }
 
     /// Requests served so far (gets + scans + appends).
@@ -113,20 +200,70 @@ impl StoreEngine {
         self.requests_served.load(Ordering::Relaxed)
     }
 
+    /// Number of timed devices behind the engine (0 when timing is
+    /// off, 1 in single-device mode, fleet size otherwise).
+    pub fn n_devices(&self) -> usize {
+        match &self.devices {
+            Devices::Untimed => 0,
+            Devices::Single(_) => 1,
+            Devices::Fleet(m) => m.n_devices(),
+        }
+    }
+
     /// Cache counters.
     pub fn cache_stats(&self) -> CacheSnapshot {
         self.stats.snapshot()
     }
 
-    /// Accumulated SSD accounting (all zeros when timing is off).
+    /// Accumulated device accounting, aggregated across the fleet
+    /// (all zeros when timing is off).
     pub fn timing_snapshot(&self) -> TimingSnapshot {
-        self.timing
-            .as_ref()
-            .map(SsdTiming::snapshot)
-            .unwrap_or_default()
+        match &self.devices {
+            Devices::Untimed => TimingSnapshot::default(),
+            Devices::Single(t) => t.snapshot(),
+            Devices::Fleet(m) => {
+                let mut agg = TimingSnapshot::default();
+                for s in m.snapshots() {
+                    agg.reads += s.reads;
+                    agg.writes += s.writes;
+                    agg.read_seconds += s.read_seconds;
+                    agg.write_seconds += s.write_seconds;
+                }
+                agg
+            }
+        }
     }
 
-    /// Fetches one decoded chunk through the cache.
+    /// Per-device accounting (empty when timing is off; one entry in
+    /// single-device mode).
+    pub fn device_snapshots(&self) -> Vec<DeviceSnapshot> {
+        match &self.devices {
+            Devices::Untimed => Vec::new(),
+            Devices::Single(t) => {
+                let s = t.snapshot();
+                // One guard for both fields: a concurrent append must
+                // not tear chunk count from blob length.
+                let (chunks, placed_bytes) = {
+                    let state = self.state.read().expect("state poisoned");
+                    (state.store.n_chunks(), state.store.blob.len())
+                };
+                vec![DeviceSnapshot {
+                    device: 0,
+                    name: t.device_name().to_string(),
+                    chunks,
+                    placed_bytes,
+                    reads: s.reads,
+                    writes: s.writes,
+                    read_seconds: s.read_seconds,
+                    write_seconds: s.write_seconds,
+                }]
+            }
+            Devices::Fleet(m) => m.snapshots(),
+        }
+    }
+
+    /// Fetches one decoded chunk through the cache, reporting the
+    /// device charge when the fetch missed (hits cost no device time).
     ///
     /// The decode runs *outside* both the cache lock and the state
     /// lock: concurrent misses on different chunks overlap, and a
@@ -134,21 +271,18 @@ impl StoreEngine {
     /// not for mapper-scale decode work. Two racing misses on the
     /// same chunk may both decode, with the last insert winning —
     /// wasted work, never wrong answers.
-    fn fetch_chunk(&self, meta: ChunkMeta) -> Result<Arc<ReadSet>> {
+    ///
+    /// The device is charged only for fetches that *succeed*: a chunk
+    /// that fails validation charges nothing, so device counters, the
+    /// traced charges, and the reactor's virtual timeline all agree on
+    /// exactly the successful fetch set.
+    fn fetch_chunk(&self, meta: ChunkMeta) -> Result<(Arc<ReadSet>, Option<DeviceCharge>)> {
         let chunk_id = meta.id;
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .get(chunk_id)
-        {
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(chunk_id) {
             self.stats.hit();
-            return Ok(hit);
+            return Ok((hit, None));
         }
         self.stats.miss();
-        if let Some(t) = &self.timing {
-            t.charge_chunk_read(meta.extent);
-        }
         // Chunks are immutable once written (appends only add new
         // ones), so a copy of the extent bytes taken under a short
         // read guard stays valid after the guard drops.
@@ -157,9 +291,7 @@ impl StoreEngine {
             if meta.extent.end() > state.store.blob.len() {
                 return Err(StoreError::CorruptChunk {
                     chunk_id,
-                    cause: sage_core::error::SageError::Corrupt(
-                        "chunk extent outside blob".into(),
-                    ),
+                    cause: sage_core::error::SageError::Corrupt("chunk extent outside blob".into()),
                 });
             }
             state.store.blob[meta.extent.offset..meta.extent.end()].to_vec()
@@ -188,6 +320,7 @@ impl StoreEngine {
                 )),
             });
         }
+        let charge = self.devices.charge_read(&meta);
         let reads = Arc::new(reads);
         let evicted = self
             .cache
@@ -195,7 +328,7 @@ impl StoreEngine {
             .expect("cache poisoned")
             .insert(chunk_id, Arc::clone(&reads));
         self.stats.evicted(evicted);
-        Ok(reads)
+        Ok((reads, charge))
     }
 
     /// Returns reads `range` (dataset-global ids, half-open), decoding
@@ -207,6 +340,13 @@ impl StoreEngine {
     /// the stored dataset; [`StoreError::CorruptChunk`] when a chunk
     /// fails validation.
     pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
+        self.get_traced(range).map(|(reads, _)| reads)
+    }
+
+    /// [`StoreEngine::get`] plus the device charges the request
+    /// incurred (empty when every touched chunk was cached or timing
+    /// is off).
+    pub fn get_traced(&self, range: Range<u64>) -> Result<(ReadSet, Vec<DeviceCharge>)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         // Snapshot the touched chunk metas under a short guard; decode
         // happens unlocked (chunks are immutable once written).
@@ -227,15 +367,17 @@ impl StoreEngine {
                 .to_vec()
         };
         let mut out = ReadSet::new();
+        let mut charges = Vec::new();
         for (meta, chunk) in metas.iter().zip(self.fetch_chunks(&metas)) {
-            let chunk = chunk?;
+            let (chunk, charge) = chunk?;
+            charges.extend(charge);
             let lo = range.start.saturating_sub(meta.first_read) as usize;
             let hi = (range.end.min(meta.end_read()) - meta.first_read) as usize;
             for r in &chunk.reads()[lo..hi] {
                 out.push(r.clone());
             }
         }
-        Ok(out)
+        Ok((out, charges))
     }
 
     /// Fetches several chunks, fanning cold misses out over the codec
@@ -243,8 +385,13 @@ impl StoreEngine {
     /// one-chunk-at-a-time on the request thread. Cache hits are
     /// served inline first — a warm request never pays thread-spawn
     /// overhead.
-    fn fetch_chunks(&self, metas: &[ChunkMeta]) -> Vec<Result<Arc<ReadSet>>> {
-        let mut out: Vec<Option<Result<Arc<ReadSet>>>> = Vec::with_capacity(metas.len());
+    #[allow(clippy::type_complexity)]
+    fn fetch_chunks(
+        &self,
+        metas: &[ChunkMeta],
+    ) -> Vec<Result<(Arc<ReadSet>, Option<DeviceCharge>)>> {
+        let mut out: Vec<Option<Result<(Arc<ReadSet>, Option<DeviceCharge>)>>> =
+            Vec::with_capacity(metas.len());
         let mut missing: Vec<usize> = Vec::new();
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
@@ -252,7 +399,7 @@ impl StoreEngine {
                 match cache.get(meta.id) {
                     Some(hit) => {
                         self.stats.hit();
-                        out.push(Some(Ok(hit)));
+                        out.push(Some(Ok((hit, None))));
                     }
                     None => {
                         out.push(None);
@@ -285,6 +432,14 @@ impl StoreEngine {
     ///
     /// [`StoreError::CorruptChunk`] when a chunk fails validation.
     pub fn scan<F: Fn(&Read) -> bool>(&self, predicate: F) -> Result<ReadSet> {
+        self.scan_traced(predicate).map(|(reads, _)| reads)
+    }
+
+    /// [`StoreEngine::scan`] plus the device charges incurred.
+    pub fn scan_traced<F: Fn(&Read) -> bool>(
+        &self,
+        predicate: F,
+    ) -> Result<(ReadSet, Vec<DeviceCharge>)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         // Snapshot the chunk table; reads appended mid-scan are not
         // part of this scan's view.
@@ -293,12 +448,15 @@ impl StoreEngine {
             state.store.manifest.chunks.clone()
         };
         let mut out = ReadSet::new();
+        let mut charges = Vec::new();
         for chunk in self.fetch_chunks(&metas) {
-            for r in chunk?.iter().filter(|r| predicate(r)) {
+            let (chunk, charge) = chunk?;
+            charges.extend(charge);
+            for r in chunk.iter().filter(|r| predicate(r)) {
                 out.push(r.clone());
             }
         }
-        Ok(out)
+        Ok((out, charges))
     }
 
     /// Appends reads as new chunk(s) at the end of the dataset,
@@ -319,9 +477,14 @@ impl StoreEngine {
     ///
     /// Propagates codec failures from compressing the new chunks.
     pub fn append(&self, reads: &ReadSet) -> Result<u64> {
+        self.append_traced(reads).map(|(first, _)| first)
+    }
+
+    /// [`StoreEngine::append`] plus the device charges incurred.
+    pub fn append_traced(&self, reads: &ReadSet) -> Result<(u64, Vec<DeviceCharge>)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         if reads.is_empty() {
-            return Ok(self.total_reads());
+            return Ok((self.total_reads(), Vec::new()));
         }
         // Chunk population never changes after encode, so reading it
         // outside the write lock is safe.
@@ -337,18 +500,23 @@ impl StoreEngine {
         };
         // Encoding fails before splicing anything: an error must not
         // leave a partial append behind.
-        let encoded =
-            crate::codec::encode_chunks(&chunks, &order_preserving_compressor(&self.codec), workers)?;
+        let encoded = crate::codec::encode_chunks(
+            &chunks,
+            &order_preserving_compressor(&self.codec),
+            workers,
+        )?;
 
         let mut state = self.state.write().expect("state poisoned");
         let first_id = state.store.total_reads();
+        let mut charges = Vec::new();
         for (chunk, bytes) in chunks.iter().zip(encoded) {
             state.store.splice_chunk(chunk.len() as u64, &bytes);
-            if let Some(t) = &self.timing {
-                t.charge_append(state.store.blob.len());
-            }
+            charges.extend(
+                self.devices
+                    .charge_append(state.store.blob.len(), bytes.len()),
+            );
         }
-        Ok(first_id)
+        Ok((first_id, charges))
     }
 }
 
@@ -381,6 +549,53 @@ pub enum Response {
     Appended(u64),
 }
 
+/// The [`IoBackend`] that runs [`Request`]s against a [`StoreEngine`],
+/// reporting each request's device charges so the reactor can place it
+/// on the virtual device timeline. Public so harnesses can drive a
+/// [`Reactor`] directly (see the `io_sweep` bench).
+#[derive(Debug)]
+pub struct EngineBackend {
+    engine: Arc<StoreEngine>,
+}
+
+impl EngineBackend {
+    /// A backend over `engine`.
+    pub fn new(engine: Arc<StoreEngine>) -> EngineBackend {
+        EngineBackend { engine }
+    }
+
+    /// The engine behind the backend.
+    pub fn engine(&self) -> &Arc<StoreEngine> {
+        &self.engine
+    }
+}
+
+impl IoBackend for EngineBackend {
+    type Op = Request;
+    type Output = Result<Response>;
+
+    fn execute(&self, op: Request) -> (Result<Response>, Vec<DeviceCharge>) {
+        let traced = match op {
+            Request::Get(range) => self
+                .engine
+                .get_traced(range)
+                .map(|(reads, charges)| (Response::Reads(reads), charges)),
+            Request::Scan(pred) => self
+                .engine
+                .scan_traced(|r| pred(r))
+                .map(|(reads, charges)| (Response::Reads(reads), charges)),
+            Request::Append(reads) => self
+                .engine
+                .append_traced(&reads)
+                .map(|(first, charges)| (Response::Appended(first), charges)),
+        };
+        match traced {
+            Ok((response, charges)) => (Ok(response), charges),
+            Err(e) => (Err(e), Vec::new()),
+        }
+    }
+}
+
 /// A pending answer; [`RequestTicket::wait`] blocks for it.
 #[derive(Debug)]
 pub struct RequestTicket {
@@ -392,29 +607,45 @@ impl RequestTicket {
     ///
     /// # Errors
     ///
-    /// The request's own error, or [`StoreError::QueueClosed`] when
-    /// the server shut down first.
+    /// The request's own error; [`StoreError::Cancelled`] when the
+    /// server shut down with the request still queued; or
+    /// [`StoreError::QueueClosed`] when the server vanished without
+    /// resolving the ticket at all.
     pub fn wait(self) -> Result<Response> {
         self.rx.recv().map_err(|_| StoreError::QueueClosed)?
     }
 }
 
-enum Job {
-    Work(Request, SyncSender<Result<Response>>),
-    Shutdown,
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the submission ring.
+    pub submitted: u64,
+    /// Requests completed (answered or failed).
+    pub completed: u64,
+    /// `try_submit` requests shed because the ring was full.
+    pub rejected: u64,
+    /// Requests cancelled by a shutdown while still queued.
+    pub cancelled: u64,
+    /// Requests queued in the ring right now.
+    pub queued: usize,
 }
 
-/// A bounded request queue with a worker pool in front of an engine.
+/// A bounded request queue over a completion-queue reactor in front of
+/// an engine.
 #[derive(Debug)]
 pub struct StoreServer {
     engine: Arc<StoreEngine>,
-    tx: SyncSender<Job>,
-    workers: Vec<JoinHandle<()>>,
+    reactor: Option<Reactor<EngineBackend>>,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<Result<Response>>>>>,
+    dispatcher: Option<JoinHandle<()>>,
+    next_token: AtomicU64,
+    cancelled: Arc<AtomicU64>,
 }
 
 impl StoreServer {
-    /// Starts `n_workers` threads draining a queue of at most
-    /// `queue_depth` in-flight requests.
+    /// Starts a reactor with `n_workers` threads over a submission
+    /// ring of at most `queue_depth` in-flight requests.
     ///
     /// # Panics
     ///
@@ -422,46 +653,78 @@ impl StoreServer {
     pub fn start(engine: Arc<StoreEngine>, n_workers: usize, queue_depth: usize) -> StoreServer {
         assert!(n_workers > 0, "need at least one worker");
         assert!(queue_depth > 0, "need a non-empty queue");
-        let (tx, rx) = sync_channel::<Job>(queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..n_workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let engine = Arc::clone(&engine);
-                std::thread::spawn(move || loop {
-                    // Hold the receiver lock only while dequeuing, so
-                    // workers serve concurrently.
-                    let job = rx.lock().expect("queue poisoned").recv();
-                    match job {
-                        Ok(Job::Work(req, reply)) => {
-                            let result = match req {
-                                Request::Get(range) => engine.get(range).map(Response::Reads),
-                                Request::Scan(pred) => {
-                                    engine.scan(|r| pred(r)).map(Response::Reads)
-                                }
-                                Request::Append(reads) => {
-                                    engine.append(&reads).map(Response::Appended)
-                                }
-                            };
-                            // A client that dropped its ticket is not
-                            // an error.
-                            let _ = reply.send(result);
-                        }
-                        Ok(Job::Shutdown) | Err(_) => break,
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(Arc::clone(&engine))),
+            IoConfig {
+                workers: n_workers,
+                queue_depth,
+                devices: engine.n_devices().max(1),
+            },
+        );
+        let pending: Arc<Mutex<HashMap<u64, SyncSender<Result<Response>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        let cq = reactor.completions();
+        let dispatcher = {
+            let pending = Arc::clone(&pending);
+            let cancelled = Arc::clone(&cancelled);
+            std::thread::spawn(move || {
+                while let Some(cqe) = cq.wait_any() {
+                    // A client that dropped its ticket is not an
+                    // error; its send just goes nowhere.
+                    if let Some(tx) = pending
+                        .lock()
+                        .expect("pending poisoned")
+                        .remove(&cqe.user_data)
+                    {
+                        let _ = tx.send(cqe.output);
                     }
-                })
+                }
+                // End of stream: anything still pending was queued
+                // when the server shut down and will never execute.
+                // Resolve those tickets with a typed error instead of
+                // letting their owners hang.
+                for (_, tx) in pending.lock().expect("pending poisoned").drain() {
+                    cancelled.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Err(StoreError::Cancelled));
+                }
             })
-            .collect();
+        };
         StoreServer {
             engine,
-            tx,
-            workers,
+            reactor: Some(reactor),
+            pending,
+            dispatcher: Some(dispatcher),
+            next_token: AtomicU64::new(0),
+            cancelled,
         }
     }
 
     /// The engine behind the server.
     pub fn engine(&self) -> &Arc<StoreEngine> {
         &self.engine
+    }
+
+    fn reactor(&self) -> &Reactor<EngineBackend> {
+        self.reactor.as_ref().expect("reactor lives until shutdown")
+    }
+
+    /// Registers a ticket and hands back its token + sender slot.
+    fn register(&self) -> (u64, RequestTicket) {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(1);
+        self.pending
+            .lock()
+            .expect("pending poisoned")
+            .insert(token, tx);
+        (token, RequestTicket { rx })
+    }
+
+    fn unregister(&self, token: u64) {
+        self.pending
+            .lock()
+            .expect("pending poisoned")
+            .remove(&token);
     }
 
     /// Enqueues a request, blocking while the queue is full
@@ -471,11 +734,37 @@ impl StoreServer {
     ///
     /// [`StoreError::QueueClosed`] when the server already shut down.
     pub fn submit(&self, request: Request) -> Result<RequestTicket> {
-        let (reply_tx, reply_rx) = sync_channel(1);
-        self.tx
-            .send(Job::Work(request, reply_tx))
-            .map_err(|_| StoreError::QueueClosed)?;
-        Ok(RequestTicket { rx: reply_rx })
+        let (token, ticket) = self.register();
+        match self.reactor().submit(request, token, 0.0) {
+            Ok(()) => Ok(ticket),
+            Err(_) => {
+                self.unregister(token);
+                Err(StoreError::QueueClosed)
+            }
+        }
+    }
+
+    /// Enqueues a request without blocking: a full queue sheds the
+    /// request instead of applying backpressure. Rejections are
+    /// counted in [`StoreServer::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QueueFull`] when the ring is at capacity;
+    /// [`StoreError::QueueClosed`] when the server already shut down.
+    pub fn try_submit(&self, request: Request) -> Result<RequestTicket> {
+        let (token, ticket) = self.register();
+        match self.reactor().try_submit(request, token, 0.0) {
+            Ok(()) => Ok(ticket),
+            Err(SubmitError::Full) => {
+                self.unregister(token);
+                Err(StoreError::QueueFull)
+            }
+            Err(SubmitError::Closed) => {
+                self.unregister(token);
+                Err(StoreError::QueueClosed)
+            }
+        }
     }
 
     /// Convenience: submit and wait.
@@ -487,27 +776,57 @@ impl StoreServer {
         self.submit(request)?.wait()
     }
 
+    /// Server counters: accepted, completed, shed, and cancelled
+    /// requests.
+    pub fn stats(&self) -> ServerStats {
+        let snap = self.reactor().snapshot();
+        ServerStats {
+            submitted: snap.submitted,
+            completed: snap.completed,
+            rejected: snap.rejected,
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queued: snap.queued,
+        }
+    }
+
+    /// The underlying reactor's accounting (virtual device busy
+    /// seconds, utilization, horizon).
+    pub fn reactor_snapshot(&self) -> ReactorSnapshot {
+        self.reactor().snapshot()
+    }
+
     /// Stops the workers after the queue drains and joins them.
     /// (Dropping the server does the same.)
     pub fn shutdown(self) {
         drop(self);
     }
 
-    /// Sends one shutdown token per live worker and joins them.
-    /// Idempotent: a second call finds no workers left.
-    fn stop(&mut self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.tx.send(Job::Shutdown);
+    /// Stops immediately: requests still queued are *not* executed —
+    /// their tickets resolve to [`StoreError::Cancelled`].
+    pub fn abort(mut self) {
+        self.stop(false);
+    }
+
+    /// Idempotent teardown shared by `shutdown`/`abort`/`Drop`.
+    fn stop(&mut self, graceful: bool) {
+        if let Some(reactor) = self.reactor.take() {
+            if graceful {
+                reactor.shutdown();
+            } else {
+                // Unserved submissions are dropped here; the
+                // dispatcher resolves their tickets as cancelled.
+                drop(reactor.abort());
+            }
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
         }
     }
 }
 
 impl Drop for StoreServer {
     fn drop(&mut self) {
-        self.stop();
+        self.stop(true);
     }
 }
 
@@ -560,6 +879,34 @@ mod tests {
     }
 
     #[test]
+    fn segmented_lru_engine_answers_identically() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(16)).unwrap();
+        let lru = StoreEngine::open(
+            store.clone(),
+            EngineConfig::default()
+                .with_cache_chunks(4)
+                .with_cache_policy(CachePolicy::Lru),
+        );
+        let slru = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(4)
+                .with_cache_policy(CachePolicy::SegmentedLru),
+        );
+        for range in [0..16u64, 8..40, 0..reads.len() as u64] {
+            let a = lru.get(range.clone()).unwrap();
+            let b = slru.get(range).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.seq, y.seq);
+                assert_eq!(x.qual, y.qual);
+            }
+        }
+        assert!(slru.cache_stats().hits > 0);
+    }
+
+    #[test]
     fn scan_filters_across_all_chunks() {
         let (engine, reads) = engine(10, 4);
         let want = reads
@@ -607,6 +954,11 @@ mod tests {
             other => panic!("wrong response {other:?}"),
         }
         assert_eq!(server.engine().requests_served(), 3);
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.cancelled, 0);
         server.shutdown();
     }
 
@@ -621,6 +973,87 @@ mod tests {
         ));
         // The worker that answered the failing request still serves.
         assert!(server.call(Request::Get(0..1)).is_ok());
+    }
+
+    #[test]
+    fn try_submit_sheds_and_counts_rejections() {
+        let (engine, _) = engine(16, 8);
+        // One worker + depth-1 ring: a scan in flight plus one queued
+        // request saturate the server.
+        let server = StoreServer::start(Arc::new(engine), 1, 1);
+        let slow = server
+            .submit(Request::Scan(Box::new(|_| true)))
+            .expect("first submit");
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..32 {
+            match server.try_submit(Request::Get(0..1)) {
+                Ok(t) => tickets.push(t),
+                Err(StoreError::QueueFull) => rejected += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(rejected > 0, "ring never filled");
+        assert_eq!(server.stats().rejected, rejected);
+        // Accepted work still completes.
+        assert!(slow.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn abort_cancels_queued_requests_with_typed_error() {
+        let (engine, _) = engine(16, 8);
+        let server = StoreServer::start(Arc::new(engine), 1, 32);
+        // A deep backlog behind one worker guarantees queued-but-
+        // unserved requests at abort time.
+        let tickets: Vec<RequestTicket> = (0..24)
+            .map(|_| server.submit(Request::Scan(Box::new(|_| true))).unwrap())
+            .collect();
+        server.abort();
+        let mut answered = 0;
+        let mut cancelled = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => answered += 1,
+                Err(StoreError::Cancelled) => cancelled += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(cancelled > 0, "abort cancelled nothing");
+        assert_eq!(answered + cancelled, 24);
+    }
+
+    #[test]
+    fn panicking_request_does_not_wedge_the_server() {
+        let (engine, _) = engine(16, 8);
+        let server = StoreServer::start(Arc::new(engine), 1, 4);
+        // The panicking predicate kills the only worker mid-execute.
+        let t1 = server
+            .submit(Request::Scan(Box::new(|_| panic!("predicate bomb"))))
+            .unwrap();
+        let t2 = server.submit(Request::Get(0..1)).unwrap();
+        // Shutdown must join cleanly (the dead worker's guard already
+        // counted it down) and resolve both tickets instead of hanging
+        // their owners: the panicked request never completed, and the
+        // queued one was never picked up.
+        server.shutdown();
+        assert!(matches!(t1.wait(), Err(StoreError::Cancelled)));
+        assert!(matches!(t2.wait(), Err(StoreError::Cancelled)));
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_queue() {
+        let (engine, _) = engine(16, 8);
+        let server = StoreServer::start(Arc::new(engine), 1, 16);
+        let tickets: Vec<RequestTicket> = (0..10)
+            .map(|_| server.submit(Request::Get(0..4)).unwrap())
+            .collect();
+        server.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "graceful shutdown must serve queued work");
+        }
     }
 
     #[test]
@@ -642,5 +1075,63 @@ mod tests {
         let warm = engine.timing_snapshot();
         assert_eq!(warm.reads, 1);
         assert!((warm.read_seconds - cold.read_seconds).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fleet_engine_stripes_and_traces_charges() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 6).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let n_chunks = store.n_chunks();
+        assert!(n_chunks >= 4, "need several chunks for striping");
+        let engine = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(0) // every fetch charges
+                .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]),
+        );
+        assert_eq!(engine.n_devices(), 2);
+        let n = engine.total_reads();
+        let (_, charges) = engine.get_traced(0..n).unwrap();
+        assert_eq!(charges.len(), n_chunks);
+        // Round-robin: consecutive chunks alternate devices.
+        let on_dev0 = charges.iter().filter(|c| c.device == 0).count();
+        let on_dev1 = charges.iter().filter(|c| c.device == 1).count();
+        assert!(on_dev0 > 0 && on_dev1 > 0);
+        assert_eq!(on_dev0 + on_dev1, n_chunks);
+        assert!(charges.iter().all(|c| c.seconds > 0.0));
+        let snaps = engine.device_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].reads as usize, on_dev0);
+        assert_eq!(snaps[1].reads as usize, on_dev1);
+        // The aggregate matches the per-device sum.
+        let agg = engine.timing_snapshot();
+        assert_eq!(agg.reads as usize, n_chunks);
+        let sum: f64 = snaps.iter().map(|s| s.read_seconds).sum();
+        assert!((agg.read_seconds - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fleet_appends_land_on_devices() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 6).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let engine = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(4)
+                .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::sata()]),
+        );
+        let extra = ReadSet::from_reads(reads.reads()[..20].to_vec());
+        let (first, charges) = engine.append_traced(&extra).unwrap();
+        assert_eq!(first, reads.len() as u64);
+        // 20 reads / 8 per chunk = 3 chunks appended, each charged.
+        assert_eq!(charges.len(), 3);
+        let agg = engine.timing_snapshot();
+        assert_eq!(agg.writes, 3);
+        // Appended reads come back bit-identical.
+        let got = engine.get(first..first + 20).unwrap();
+        for (a, b) in got.iter().zip(extra.iter()) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.qual, b.qual);
+        }
     }
 }

@@ -17,14 +17,19 @@
 //!   chunk → byte [`Extent`], so any read range can be answered by
 //!   decoding only the chunks it touches;
 //! - [`engine`] — [`StoreEngine`] answers concurrent `get(range)` /
-//!   `scan(predicate)` / `append(reads)` calls behind an LRU cache of
-//!   decoded chunks ([`lru`], hit/miss statistics exported), and
-//!   [`StoreServer`] puts a bounded request queue with worker threads
-//!   in front of it;
-//! - [`timing`] — an optional SSD-backed timing mode maps the blob
+//!   `scan(predicate)` / `append(reads)` calls behind a pluggable
+//!   cache of decoded chunks ([`lru`]: plain LRU or segmented LRU,
+//!   hit/miss statistics exported), and [`StoreServer`] fronts it with
+//!   a [`sage_io`] completion-queue reactor — a bounded submission
+//!   ring (blocking backpressure or counted load-shedding via
+//!   [`StoreServer::try_submit`]), a fixed worker set, and typed
+//!   cancellation of requests still queued at shutdown;
+//! - [`timing`] — SSD-backed timing: a single device maps the blob
 //!   onto [`sage_ssd::SageLayout`] pages and charges
-//!   [`sage_ssd::SsdModel`] latencies per chunk fetch, so the store
-//!   doubles as an end-to-end storage scenario.
+//!   [`sage_ssd::SsdModel`] latencies per chunk fetch, or a fleet
+//!   ([`EngineConfig::with_ssd_fleet`]) stripes chunk extents across N
+//!   devices via [`sage_io::DeviceMap`] with per-device accounting, so
+//!   the store doubles as an end-to-end storage scenario.
 //!
 //! ## Quickstart
 //!
@@ -50,10 +55,17 @@ pub mod manifest;
 pub mod timing;
 
 pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
-pub use engine::{EngineConfig, Request, RequestTicket, Response, StoreEngine, StoreServer};
-pub use lru::{CacheSnapshot, CacheStats, LruCache};
+pub use engine::{
+    EngineBackend, EngineConfig, Request, RequestTicket, Response, ServerStats, StoreEngine,
+    StoreServer,
+};
+pub use lru::{CachePolicy, CacheSnapshot, CacheStats, ChunkCache, LruCache, SegmentedLruCache};
 pub use manifest::{ChunkMeta, StoreManifest};
 pub use timing::{SsdTiming, TimingSnapshot};
+
+// The store's multi-device and queueing vocabulary comes from the I/O
+// substrate; re-exported so store users need not name sage-io.
+pub use sage_io::{DeviceCharge, DeviceSnapshot, Placement};
 
 use sage_core::error::SageError;
 use sage_core::{Extent, SageArchive};
@@ -85,6 +97,13 @@ pub enum StoreError {
     },
     /// The request queue was closed before the request completed.
     QueueClosed,
+    /// The request queue was full and the request was rejected (only
+    /// [`StoreServer::try_submit`] sheds load this way; the blocking
+    /// submit path applies backpressure instead).
+    QueueFull,
+    /// The server shut down while the request was still queued; it was
+    /// never executed.
+    Cancelled,
 }
 
 impl std::fmt::Display for StoreError {
@@ -96,9 +115,16 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Manifest(m) => write!(f, "bad manifest: {m}"),
             StoreError::RangeOutOfBounds { start, end, total } => {
-                write!(f, "range {start}..{end} out of bounds (dataset holds {total} reads)")
+                write!(
+                    f,
+                    "range {start}..{end} out of bounds (dataset holds {total} reads)"
+                )
             }
             StoreError::QueueClosed => write!(f, "store request queue closed"),
+            StoreError::QueueFull => write!(f, "store request queue full"),
+            StoreError::Cancelled => {
+                write!(f, "request cancelled: server shut down while it was queued")
+            }
         }
     }
 }

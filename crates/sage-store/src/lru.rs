@@ -1,15 +1,67 @@
-//! LRU cache of decoded chunks with exported hit/miss statistics.
+//! Chunk caches (LRU and segmented-LRU) with exported hit/miss
+//! statistics.
 //!
 //! Decoding a chunk costs a mapper-scale amount of CPU (and, in the
 //! SSD timing mode, a device read); the engine keeps the most recently
 //! used decoded chunks pinned in memory. Capacity is counted in
 //! chunks: chunk population is fixed at encode time, so chunk count is
 //! a faithful proxy for memory.
+//!
+//! Two eviction policies implement the [`ChunkCache`] trait (the
+//! ROADMAP's eviction-policy ablation grows here):
+//!
+//! - [`LruCache`] — plain least-recently-used.
+//! - [`SegmentedLruCache`] — SLRU: new chunks enter a *probationary*
+//!   segment; only a second touch promotes them into the *protected*
+//!   segment. One-shot scans churn probation and leave the hot set
+//!   alone, which plain LRU cannot do.
 
 use sage_genomics::ReadSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The engine's cache interface: any eviction policy over decoded
+/// chunks keyed by chunk id.
+pub trait ChunkCache: Send + std::fmt::Debug {
+    /// Looks up a chunk, refreshing its recency on hit.
+    fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>>;
+
+    /// Inserts a decoded chunk, returning how many entries were
+    /// evicted to make room.
+    fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64;
+
+    /// Resident chunk count.
+    fn len(&self) -> usize;
+
+    /// Capacity in chunks.
+    fn capacity(&self) -> usize;
+
+    /// `true` when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which [`ChunkCache`] implementation an engine uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Plain least-recently-used.
+    #[default]
+    Lru,
+    /// Segmented LRU (probationary + protected segments).
+    SegmentedLru,
+}
+
+impl CachePolicy {
+    /// Builds a cache of `capacity` chunks under this policy.
+    pub fn build(self, capacity: usize) -> Box<dyn ChunkCache> {
+        match self {
+            CachePolicy::Lru => Box::new(LruCache::new(capacity)),
+            CachePolicy::SegmentedLru => Box::new(SegmentedLruCache::new(capacity)),
+        }
+    }
+}
 
 /// A point-in-time view of the cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -141,6 +193,172 @@ impl LruCache {
     }
 }
 
+impl ChunkCache for LruCache {
+    fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>> {
+        LruCache::get(self, chunk_id)
+    }
+
+    fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64 {
+        LruCache::insert(self, chunk_id, reads)
+    }
+
+    fn len(&self) -> usize {
+        LruCache::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        LruCache::capacity(self)
+    }
+}
+
+/// One recency-ordered segment of a [`SegmentedLruCache`] (the same
+/// tick-scan structure as [`LruCache`]; see there for why a scan beats
+/// an intrusive list at chunk-store scale).
+#[derive(Debug, Default)]
+struct Segment {
+    entries: HashMap<u32, (u64, Arc<ReadSet>)>,
+}
+
+impl Segment {
+    fn touch(&mut self, chunk_id: u32, tick: u64) -> Option<Arc<ReadSet>> {
+        self.entries.get_mut(&chunk_id).map(|(t, rs)| {
+            *t = tick;
+            Arc::clone(rs)
+        })
+    }
+
+    /// Removes and returns the least recently used entry.
+    fn pop_lru(&mut self) -> Option<(u32, Arc<ReadSet>)> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(&k, _)| k)?;
+        let (_, rs) = self.entries.remove(&victim).expect("victim resident");
+        Some((victim, rs))
+    }
+}
+
+/// A segmented-LRU (SLRU) cache keyed by chunk id.
+///
+/// New chunks enter the **probationary** segment; a hit there promotes
+/// the chunk into the **protected** segment (demoting the protected
+/// LRU back to probation when full — a demotion, not an eviction).
+/// Only probationary entries are ever evicted from the cache, so a
+/// burst of one-shot chunks — a cold scan walking the whole dataset —
+/// cannot flush the twice-touched hot set.
+#[derive(Debug)]
+pub struct SegmentedLruCache {
+    capacity: usize,
+    protected_capacity: usize,
+    tick: u64,
+    probation: Segment,
+    protected: Segment,
+}
+
+impl SegmentedLruCache {
+    /// Default protected share of the capacity.
+    pub const PROTECTED_FRACTION: f64 = 0.5;
+
+    /// A cache of `capacity` chunks with the default protected share.
+    pub fn new(capacity: usize) -> SegmentedLruCache {
+        SegmentedLruCache::with_protected_fraction(capacity, Self::PROTECTED_FRACTION)
+    }
+
+    /// A cache of `capacity` chunks reserving `fraction` of it for the
+    /// protected segment (clamped to `[0, 1]`; at least one slot stays
+    /// probationary whenever `capacity > 0`, because every chunk must
+    /// pass through probation to be admitted at all).
+    pub fn with_protected_fraction(capacity: usize, fraction: f64) -> SegmentedLruCache {
+        let protected_capacity = if capacity == 0 {
+            0
+        } else {
+            (((capacity as f64) * fraction.clamp(0.0, 1.0)).round() as usize).min(capacity - 1)
+        };
+        SegmentedLruCache {
+            capacity,
+            protected_capacity,
+            tick: 0,
+            probation: Segment::default(),
+            protected: Segment::default(),
+        }
+    }
+
+    /// Chunks currently in the protected segment.
+    pub fn protected_len(&self) -> usize {
+        self.protected.entries.len()
+    }
+
+    /// Chunks currently in the probationary segment.
+    pub fn probation_len(&self) -> usize {
+        self.probation.entries.len()
+    }
+}
+
+impl ChunkCache for SegmentedLruCache {
+    fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(rs) = self.protected.touch(chunk_id, tick) {
+            return Some(rs);
+        }
+        let (_, rs) = self.probation.entries.remove(&chunk_id)?;
+        // Second touch: promote. The displaced protected LRU goes back
+        // to probation (most recent there), not out of the cache.
+        if self.protected_capacity == 0 {
+            self.probation
+                .entries
+                .insert(chunk_id, (tick, Arc::clone(&rs)));
+            return Some(rs);
+        }
+        if self.protected.entries.len() >= self.protected_capacity {
+            if let Some((demoted, demoted_rs)) = self.protected.pop_lru() {
+                self.probation.entries.insert(demoted, (tick, demoted_rs));
+            }
+        }
+        self.tick += 1;
+        self.protected
+            .entries
+            .insert(chunk_id, (self.tick, Arc::clone(&rs)));
+        Some(rs)
+    }
+
+    fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        // A resident chunk just gets its value refreshed in place.
+        if let Some(slot) = self.protected.entries.get_mut(&chunk_id) {
+            *slot = (tick, reads);
+            return 0;
+        }
+        if let Some(slot) = self.probation.entries.get_mut(&chunk_id) {
+            *slot = (tick, reads);
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.len() >= self.capacity {
+            // Only probation evicts; demotions keep it non-empty
+            // whenever the cache is full.
+            if self.probation.pop_lru().is_some() {
+                evicted = 1;
+            }
+        }
+        self.probation.entries.insert(chunk_id, (tick, reads));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.probation.entries.len() + self.protected.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +399,100 @@ mod tests {
         assert_eq!(c.insert(5, rs(1)), 0);
         assert!(c.get(5).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slru_promotes_on_second_touch() {
+        let mut c = SegmentedLruCache::new(4); // 2 probation + 2 protected
+        c.insert(0, rs(1));
+        c.insert(1, rs(1));
+        assert_eq!(c.probation_len(), 2);
+        assert_eq!(c.protected_len(), 0);
+        // Second touch moves chunk 0 into the protected segment.
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+        assert_eq!(c.probation_len(), 1);
+        assert_eq!(c.protected_len(), 1);
+    }
+
+    #[test]
+    fn slru_scan_burst_cannot_flush_the_hot_set() {
+        let mut c = SegmentedLruCache::new(4);
+        // Build a hot set of two protected chunks.
+        for id in [0, 1] {
+            c.insert(id, rs(1));
+            assert!(ChunkCache::get(&mut c, id).is_some());
+        }
+        assert_eq!(c.protected_len(), 2);
+        // A one-shot scan over 20 cold chunks churns probation only.
+        for id in 100..120 {
+            c.insert(id, rs(1));
+        }
+        assert!(ChunkCache::get(&mut c, 0).is_some(), "hot chunk survived");
+        assert!(ChunkCache::get(&mut c, 1).is_some(), "hot chunk survived");
+        // Plain LRU at the same capacity loses the hot set entirely.
+        let mut lru = LruCache::new(4);
+        for id in [0, 1] {
+            lru.insert(id, rs(1));
+            assert!(LruCache::get(&mut lru, id).is_some());
+        }
+        for id in 100..120 {
+            LruCache::insert(&mut lru, id, rs(1));
+        }
+        assert!(LruCache::get(&mut lru, 0).is_none());
+        assert!(LruCache::get(&mut lru, 1).is_none());
+    }
+
+    #[test]
+    fn slru_demotion_is_not_eviction() {
+        let mut c = SegmentedLruCache::new(4); // protected capacity 2
+        for id in 0..3 {
+            c.insert(id, rs(1));
+            assert!(ChunkCache::get(&mut c, id).is_some());
+        }
+        // Promoting chunk 2 demoted chunk 0 back to probation — still
+        // resident, still a hit.
+        assert_eq!(c.protected_len(), 2);
+        assert_eq!(c.len(), 3);
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+    }
+
+    #[test]
+    fn slru_respects_capacity_and_counts_evictions() {
+        let mut c = SegmentedLruCache::new(2);
+        assert_eq!(c.insert(0, rs(1)), 0);
+        assert_eq!(c.insert(1, rs(1)), 0);
+        assert_eq!(c.insert(2, rs(1)), 1);
+        assert_eq!(c.len(), 2);
+        // Re-inserting a resident chunk evicts nothing.
+        assert_eq!(c.insert(2, rs(2)), 0);
+        assert_eq!(ChunkCache::get(&mut c, 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn slru_zero_and_one_capacity_degenerate_cleanly() {
+        let mut zero = SegmentedLruCache::new(0);
+        assert_eq!(zero.insert(5, rs(1)), 0);
+        assert!(ChunkCache::get(&mut zero, 5).is_none());
+        assert!(ChunkCache::is_empty(&zero));
+        // Capacity 1 has no protected room: behaves like LRU(1).
+        let mut one = SegmentedLruCache::new(1);
+        one.insert(0, rs(1));
+        assert!(ChunkCache::get(&mut one, 0).is_some());
+        assert_eq!(one.protected_len(), 0);
+        assert_eq!(one.insert(1, rs(1)), 1);
+        assert!(ChunkCache::get(&mut one, 0).is_none());
+    }
+
+    #[test]
+    fn policy_builds_the_right_cache() {
+        let mut a = CachePolicy::Lru.build(3);
+        let mut b = CachePolicy::SegmentedLru.build(3);
+        a.insert(1, rs(1));
+        b.insert(1, rs(1));
+        assert_eq!(a.capacity(), 3);
+        assert_eq!(b.capacity(), 3);
+        assert!(a.get(1).is_some());
+        assert!(b.get(1).is_some());
     }
 
     #[test]

@@ -159,12 +159,12 @@ impl StoreManifest {
             }
             // Hostile u64 fields must not wrap (a wrapped next_byte
             // would let a later rewinding extent pass validation).
-            next_read = first_read.checked_add(n_reads).ok_or_else(|| {
-                StoreError::Manifest(format!("chunk {id}: read ids overflow"))
-            })?;
-            next_byte = offset.checked_add(len).ok_or_else(|| {
-                StoreError::Manifest(format!("chunk {id}: extent overflows"))
-            })?;
+            next_read = first_read
+                .checked_add(n_reads)
+                .ok_or_else(|| StoreError::Manifest(format!("chunk {id}: read ids overflow")))?;
+            next_byte = offset
+                .checked_add(len)
+                .ok_or_else(|| StoreError::Manifest(format!("chunk {id}: extent overflows")))?;
             chunks.push(ChunkMeta {
                 id: id as u32,
                 first_read,

@@ -37,6 +37,7 @@ impl TimingSnapshot {
 /// The device model + placement behind a timed store.
 #[derive(Debug)]
 pub struct SsdTiming {
+    name: String,
     inner: Mutex<TimingInner>,
 }
 
@@ -58,12 +59,18 @@ impl SsdTiming {
             model.execute(SsdCommand::SageWrite { bytes: blob_bytes });
         }
         SsdTiming {
+            name: model.config().name.clone(),
             inner: Mutex::new(TimingInner {
                 model,
                 layout,
                 snapshot: TimingSnapshot::default(),
             }),
         }
+    }
+
+    /// The device's configured name.
+    pub fn device_name(&self) -> &str {
+        &self.name
     }
 
     /// Charges one chunk fetch (a `SAGe_Read` of the chunk's extent)
@@ -105,7 +112,10 @@ impl SsdTiming {
     /// Pages a chunk extent touches on the placed layout.
     pub fn pages_for_extent(&self, extent: Extent) -> usize {
         let inner = self.inner.lock().expect("timing poisoned");
-        inner.layout.pages_for_extent(extent.offset, extent.len).len()
+        inner
+            .layout
+            .pages_for_extent(extent.offset, extent.len)
+            .len()
     }
 
     /// Reads the accumulated accounting.
@@ -159,6 +169,78 @@ mod tests {
             4
         );
         assert_eq!(t.snapshot().writes, 1);
+    }
+
+    #[test]
+    fn stripe_straddling_extent_pays_for_both_stripes() {
+        // A stripe is channels × page_bytes: the paper's aligned
+        // layout serves a full stripe with every channel busy once. An
+        // extent of one stripe's length that *straddles* the stripe
+        // boundary touches one extra page, which lands on an
+        // already-busy channel and costs a second transfer slot.
+        let cfg = SsdConfig::pcie();
+        let page = cfg.page_bytes;
+        let stripe = cfg.channels * page;
+        let t = SsdTiming::new(cfg, stripe * 4);
+        let aligned = Extent {
+            offset: 0,
+            len: stripe,
+        };
+        let straddling = Extent {
+            offset: stripe - page / 2,
+            len: stripe,
+        };
+        assert_eq!(t.pages_for_extent(aligned), 8);
+        assert_eq!(t.pages_for_extent(straddling), 9);
+        let s_aligned = t.charge_chunk_read(aligned);
+        let s_straddling = t.charge_chunk_read(straddling);
+        assert!(
+            s_straddling > s_aligned,
+            "straddling {s_straddling} vs aligned {s_aligned}"
+        );
+        assert_eq!(t.snapshot().reads, 2);
+    }
+
+    #[test]
+    fn sub_page_extent_costs_one_page() {
+        let cfg = SsdConfig::pcie();
+        let page = cfg.page_bytes;
+        let t = SsdTiming::new(cfg, page * 8);
+        // Entirely inside one page.
+        let inside = Extent {
+            offset: 100,
+            len: page / 4,
+        };
+        assert_eq!(t.pages_for_extent(inside), 1);
+        let s_inside = t.charge_chunk_read(inside);
+        assert!(s_inside > 0.0);
+        // The same sub-page length straddling a page boundary touches
+        // two pages — but they sit on *different* channels of the
+        // round-robin layout, so the transfers overlap and the cost
+        // stays at most one extra transfer slot (not 2x).
+        let straddle = Extent {
+            offset: page - 10,
+            len: page / 4,
+        };
+        assert_eq!(t.pages_for_extent(straddle), 2);
+        let s_straddle = t.charge_chunk_read(straddle);
+        assert!(s_straddle >= s_inside);
+        assert!(s_straddle < s_inside * 2.0);
+    }
+
+    #[test]
+    fn zero_length_extent_is_free_but_counted() {
+        let cfg = SsdConfig::pcie();
+        let t = SsdTiming::new(cfg.clone(), cfg.page_bytes * 4);
+        let nothing = Extent { offset: 64, len: 0 };
+        assert_eq!(t.pages_for_extent(nothing), 0);
+        let s = t.charge_chunk_read(nothing);
+        assert_eq!(s, 0.0);
+        let snap = t.snapshot();
+        // The command was issued (and counted) even though it touched
+        // no pages and cost no device time.
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.read_seconds, 0.0);
     }
 
     #[test]

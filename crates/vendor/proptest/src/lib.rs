@@ -442,6 +442,9 @@ macro_rules! __proptest_tests {
             let strategies = ( $( $strat, )+ );
             for case in 0..cfg.cases {
                 let ( $( $arg, )+ ) = $crate::Strategy::sample(&strategies, &mut rng);
+                // The closure-call shape is load-bearing: it gives the
+                // macro body a `?`-compatible scope per test case.
+                #[allow(clippy::redundant_closure_call)]
                 let outcome: ::core::result::Result<(), $crate::TestCaseReject> = (|| {
                     $body
                     ::core::result::Result::Ok(())

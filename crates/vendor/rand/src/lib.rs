@@ -61,8 +61,12 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub trait SampleUniform: Copy + PartialOrd {
     /// Samples uniformly from `lo` to `hi`; `inclusive` selects whether
     /// `hi` itself can be drawn.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -192,10 +196,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];

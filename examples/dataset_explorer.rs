@@ -9,8 +9,8 @@ use sage::core::ablation::{ablation_breakdowns, OptLevel};
 use sage::core::SageCompressor;
 use sage::genomics::sim::{simulate_dataset, DatasetProfile};
 use sage::genomics::stats::{
-    chimeric_mismatch_base_fraction, matching_position_bits_histogram,
-    mismatch_count_histogram, mismatch_position_bits_histogram,
+    chimeric_mismatch_base_fraction, matching_position_bits_histogram, mismatch_count_histogram,
+    mismatch_position_bits_histogram,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -68,11 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         counts.fractions().first().copied().unwrap_or(0.0) * 100.0
     );
 
-    let n_counts: Vec<usize> = ds
-        .reads
-        .iter()
-        .map(|r| r.seq.n_positions().len())
-        .collect();
+    let n_counts: Vec<usize> = ds.reads.iter().map(|r| r.seq.n_positions().len()).collect();
     let bds = ablation_breakdowns(&ds.reads, &alignments, &n_counts, 0.01);
     let no = bds[0].1.total_bits() as f64;
     println!("\ncumulative optimization effect (Fig. 17 style):");

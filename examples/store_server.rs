@@ -1,7 +1,8 @@
 //! Store server: encode a dataset into the sharded chunk store, then
-//! serve concurrent random-access queries through the bounded request
-//! queue — with the SSD timing mode on, so every cache miss is charged
-//! a `SAGe_Read` extent command against the device model.
+//! serve concurrent random-access queries through the completion-queue
+//! reactor — with chunk extents striped across a two-SSD fleet, so
+//! every cache miss is charged a `SAGe_Read` extent command against
+//! its owning device model.
 //!
 //! Run with: `cargo run --release --example store_server`
 
@@ -9,7 +10,8 @@ use sage::genomics::sim::{simulate_dataset, DatasetProfile};
 use sage::genomics::ReadSet;
 use sage::ssd::SsdConfig;
 use sage::store::{
-    encode_sharded, EngineConfig, Request, Response, StoreEngine, StoreOptions, StoreServer,
+    encode_sharded, CachePolicy, EngineConfig, Request, Response, StoreEngine, StoreOptions,
+    StoreServer,
 };
 use std::sync::Arc;
 
@@ -26,13 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ds.reads.total_bases() as f64 / sharded.blob.len() as f64,
     );
 
-    // 2. Open the engine on a PCIe device model with a small LRU cache,
-    //    and put a bounded-queue server with 4 workers in front of it.
+    // 2. Open the engine over a two-device PCIe fleet (chunk extents
+    //    striped round-robin) with a small segmented-LRU cache, and
+    //    put the reactor-backed bounded-queue server in front of it.
     let engine = Arc::new(StoreEngine::open(
         sharded,
         EngineConfig::default()
             .with_cache_chunks(6)
-            .with_ssd(SsdConfig::pcie()),
+            .with_cache_policy(CachePolicy::SegmentedLru)
+            .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]),
     ));
     let server = Arc::new(StoreServer::start(Arc::clone(&engine), 4, 16));
 
@@ -80,10 +84,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.evictions
     );
     println!(
-        "device model charged {:.3} ms across {} chunk reads + {} appends",
+        "devices charged {:.3} ms across {} chunk reads + {} appends",
         timing.total_seconds() * 1e3,
         timing.reads,
         timing.writes
+    );
+    for d in engine.device_snapshots() {
+        println!(
+            "  device {} ({}): {} chunks, {} reads, {:.3} ms busy",
+            d.device,
+            d.name,
+            d.chunks,
+            d.reads,
+            (d.read_seconds + d.write_seconds) * 1e3
+        );
+    }
+    let qstats = server.stats();
+    println!(
+        "queue: {} submitted, {} completed, {} shed, {} cancelled",
+        qstats.submitted, qstats.completed, qstats.rejected, qstats.cancelled
     );
     Ok(())
 }

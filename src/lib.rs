@@ -20,9 +20,14 @@
 //!   the paper's Table 1 area/power constants.
 //! - [`ssd`] — the SSD substrate: NAND timing, SAGe's data layout, FTL and
 //!   GC, and the `SAGe_Read`/`SAGe_Write` interface commands.
+//! - [`io`] — the completion-queue async I/O substrate: a bounded
+//!   submission ring, a reactor multiplexing in-flight operations over a
+//!   fixed worker set, per-device completion queues with virtual-time
+//!   latency accounting, and multi-SSD extent sharding (`DeviceMap`).
 //! - [`store`] — the sharded chunk-container store: parallel chunk codec,
-//!   manifest-indexed random access, a concurrent query engine with an LRU
-//!   cache of decoded chunks, and an SSD-backed timing mode.
+//!   manifest-indexed random access, a concurrent query engine with
+//!   pluggable chunk caches (LRU, segmented LRU), and single- or
+//!   multi-SSD timing modes served through the reactor.
 //! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
 //!   paper's evaluation figures (GEM and GenStore integration, energy).
 //!
@@ -46,6 +51,7 @@ pub use sage_baselines as baselines;
 pub use sage_core as core;
 pub use sage_genomics as genomics;
 pub use sage_hw as hw;
+pub use sage_io as io;
 pub use sage_pipeline as pipeline;
 pub use sage_ssd as ssd;
 pub use sage_store as store;

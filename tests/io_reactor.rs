@@ -1,0 +1,160 @@
+//! End-to-end: the completion-queue reactor serving the multi-SSD
+//! chunk store through the facade crate.
+//!
+//! The bench harness (`io_sweep`) measures this path; these tests pin
+//! its semantics — data correctness under striping, virtual-time
+//! queueing behavior, and the server adapter's shed/cancel contract.
+
+use sage::genomics::sim::{simulate_dataset, DatasetProfile};
+use sage::io::{IoConfig, Reactor};
+use sage::pipeline::SystemConfig;
+use sage::store::{
+    encode_sharded, EngineBackend, EngineConfig, Request, Response, StoreEngine, StoreOptions,
+};
+use std::sync::Arc;
+
+fn striped_engine(
+    devices: usize,
+    cache_chunks: usize,
+) -> (Arc<StoreEngine>, sage::genomics::ReadSet) {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 33).reads;
+    let store = encode_sharded(&reads, &StoreOptions::new(16)).expect("encode");
+    let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
+    let engine = Arc::new(StoreEngine::open(
+        store,
+        EngineConfig::default()
+            .with_cache_chunks(cache_chunks)
+            .with_ssd_fleet(fleet),
+    ));
+    (engine, reads)
+}
+
+#[test]
+fn reactor_serves_striped_gets_bit_identically() {
+    let (engine, reads) = striped_engine(4, 0);
+    let n = engine.total_reads();
+    let reactor = Reactor::start(
+        Arc::new(EngineBackend::new(Arc::clone(&engine))),
+        IoConfig {
+            workers: 3,
+            queue_depth: 8,
+            devices: 4,
+        },
+    );
+    let cq = reactor.completions();
+    // 40 interleaved ranges, token ↦ range start so completions are
+    // checkable out of order.
+    for i in 0..40u64 {
+        let start = (i * 7) % n;
+        let end = (start + 5).min(n);
+        reactor
+            .submit(Request::Get(start..end), start, 0.0)
+            .expect("submit");
+    }
+    for _ in 0..40 {
+        let cqe = cq.wait_any().expect("live reactor");
+        let start = cqe.user_data;
+        let end = (start + 5).min(n);
+        match cqe.output.expect("get") {
+            Response::Reads(rs) => {
+                assert_eq!(rs.len() as u64, end - start);
+                for (k, r) in rs.iter().enumerate() {
+                    assert_eq!(r.seq, reads.reads()[start as usize + k].seq);
+                    assert_eq!(r.qual, reads.reads()[start as usize + k].qual);
+                }
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+        // Cold cache: every request charged at least one device.
+        assert!(cqe.device_seconds > 0.0);
+        assert!(cqe.completed_vt >= cqe.started_vt);
+    }
+    let snap = reactor.snapshot();
+    assert_eq!(snap.completed, 40);
+    assert_eq!(snap.device_busy.len(), 4);
+    assert!(
+        snap.device_busy.iter().filter(|b| **b > 0.0).count() >= 2,
+        "striping engaged {:?}",
+        snap.device_busy
+    );
+    reactor.shutdown();
+}
+
+#[test]
+fn warm_cache_requests_cost_no_device_time() {
+    let (engine, _) = striped_engine(2, 64);
+    let reactor = Reactor::start(
+        Arc::new(EngineBackend::new(engine)),
+        IoConfig {
+            workers: 1,
+            queue_depth: 4,
+            devices: 2,
+        },
+    );
+    let cq = reactor.completions();
+    reactor.submit(Request::Get(0..16), 0, 0.0).expect("cold");
+    let cold = cq.wait_any().expect("live");
+    assert!(cold.output.is_ok());
+    assert!(cold.device_seconds > 0.0);
+    // Same chunk again: served from cache, zero virtual latency.
+    reactor.submit(Request::Get(0..16), 1, 0.0).expect("warm");
+    let warm = cq.wait_any().expect("live");
+    assert!(warm.output.is_ok());
+    assert_eq!(warm.device_seconds, 0.0);
+    assert_eq!(warm.latency(), 0.0);
+    reactor.shutdown();
+}
+
+#[test]
+fn deeper_closed_loops_trade_latency_for_throughput() {
+    // The io_sweep claim in miniature: on one device, queue depth
+    // doesn't change total service demand, so throughput is flat while
+    // p99 latency grows with depth.
+    let mean_latency = |depth: u64| {
+        let (engine, _) = striped_engine(1, 0);
+        let n = engine.total_reads();
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(engine)),
+            IoConfig {
+                workers: 1,
+                queue_depth: depth as usize,
+                devices: 1,
+            },
+        );
+        let cq = reactor.completions();
+        for c in 0..depth {
+            let start = (c * 17) % n;
+            reactor
+                .submit(Request::Get(start..(start + 3).min(n)), c, 0.0)
+                .expect("submit");
+        }
+        let mut sum = 0.0;
+        let mut harvested = 0u64;
+        let total = 48u64;
+        let mut issued = depth;
+        while harvested < total {
+            let cqe = cq.wait_any().expect("live");
+            assert!(cqe.output.is_ok());
+            sum += cqe.latency();
+            harvested += 1;
+            if issued < total {
+                let start = (issued * 17) % n;
+                reactor
+                    .submit(
+                        Request::Get(start..(start + 3).min(n)),
+                        cqe.user_data,
+                        cqe.completed_vt,
+                    )
+                    .expect("submit");
+                issued += 1;
+            }
+        }
+        sum / total as f64
+    };
+    let shallow = mean_latency(1);
+    let deep = mean_latency(8);
+    assert!(
+        deep > shallow * 3.0,
+        "depth-8 mean latency {deep} should far exceed depth-1 {shallow}"
+    );
+}

@@ -91,9 +91,7 @@ fn storage_path_sustains_model_bandwidth() {
 fn energy_shape_matches_paper() {
     let model = measured_model(&DatasetProfile::tiny_short(), 204);
     let sys = SystemConfig::pcie();
-    let energy = |p: PrepKind| {
-        run_experiment(p, AnalysisKind::Gem, &model, &sys).energy_joules
-    };
+    let energy = |p: PrepKind| run_experiment(p, AnalysisKind::Gem, &model, &sys).energy_joules;
     let sage = energy(PrepKind::SageHw);
     // Paper: 34.0x / 16.9x / 13.0x over pigz / (N)Spr / (N)SprAC.
     // Accept the same ordering and >5x magnitudes.
