@@ -1,17 +1,20 @@
 //! io_sweep: the device-count × queue-depth sweep over the
 //! completion-queue reactor and the multi-SSD chunk store.
 //!
-//! Each cell opens a [`StoreEngine`] whose chunk extents are striped
-//! across N PCIe device models (`SystemConfig::with_ssds(n)` supplies
-//! the fleet), starts a [`Reactor`] over it, and drives a *closed
-//! loop*: `queue_depth` logical clients each keep exactly one random
-//! `Get` in flight, submitting their next request at the virtual
-//! instant the previous one completed. The decoded-chunk cache is
-//! disabled so every request pays its device, and all reported numbers
-//! come from the reactor's **virtual** device timeline — req/s against
-//! the virtual makespan, p50/p99 of per-request virtual latency, and
-//! per-device utilization — so the sweep measures queueing and
-//! striping, not the CI host's load.
+//! Each cell opens the sharded store as a [`sage_store::client`]
+//! `Dataset` whose chunk extents are striped across N PCIe device
+//! models (`SystemConfig::with_ssds(n)` supplies the fleet) and runs
+//! the client layer's shared **closed-loop driver**
+//! ([`sage_store::client::Dataset::drive_closed_loop`]):
+//! `queue_depth` logical clients
+//! each keep exactly one random `Get` in flight, submitting their
+//! next request at the virtual instant the previous one completed.
+//! The decoded-chunk cache is disabled so every request pays its
+//! device, and all reported numbers come from the reactor's
+//! **virtual** device timeline — req/s against the virtual makespan,
+//! p50/p99 of per-request virtual latency, and per-device utilization
+//! — so the sweep measures queueing and striping, not the CI host's
+//! load.
 //!
 //! Two sweeps, both written to `BENCH_io.json`:
 //!
@@ -26,12 +29,9 @@
 
 use sage_bench::{banner, dataset, row};
 use sage_genomics::sim::DatasetProfile;
-use sage_io::{IoConfig, Reactor};
 use sage_pipeline::SystemConfig;
-use sage_store::{
-    encode_sharded, EngineBackend, EngineConfig, Request, ShardedStore, StoreEngine, StoreOptions,
-};
-use std::sync::Arc;
+use sage_store::client::{range_for, ClosedLoopSpec, DatasetBuilder, LoadReport};
+use sage_store::{encode_sharded, ShardedStore, StoreOp, StoreOptions};
 
 /// Requests driven through the reactor per sweep cell.
 const REQUESTS_PER_CELL: u64 = 480;
@@ -39,38 +39,17 @@ const REQUESTS_PER_CELL: u64 = 480;
 /// Reads per chunk (small chunks ⇒ many extents to stripe).
 const READS_PER_CHUNK: usize = 48;
 
-/// Deterministic per-client range stream (SplitMix64 over a counter).
-fn range_for(client: u64, i: u64, total: u64, span: u64) -> std::ops::Range<u64> {
-    let mut z = (client << 32 | i).wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    let start = z % total;
-    let end = (start + 1 + z % span).min(total);
-    start..end
-}
-
-/// `p` in [0,1] over an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 /// One sweep cell's results (virtual-time metrics).
 struct Cell {
     devices: usize,
     queue_depth: usize,
-    req_per_s: f64,
-    p50_ms: f64,
-    p99_ms: f64,
-    utilization: Vec<f64>,
+    report: LoadReport,
 }
 
 impl Cell {
     fn json(&self) -> String {
         let util = self
+            .report
             .utilization
             .iter()
             .map(|u| format!("{u:.4}"))
@@ -78,84 +57,51 @@ impl Cell {
             .join(",");
         format!(
             "{{\"devices\":{},\"queue_depth\":{},\"req_per_s\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"utilization\":[{util}]}}",
-            self.devices, self.queue_depth, self.req_per_s, self.p50_ms, self.p99_ms
+            self.devices, self.queue_depth, self.report.req_per_s, self.report.p50_ms, self.report.p99_ms
         )
     }
 }
 
-/// Runs one closed-loop cell: `queue_depth` clients over a reactor on
-/// an engine striped across `devices` PCIe models.
+/// Runs one closed-loop cell: `queue_depth` clients over an engine
+/// striped across `devices` PCIe models, on the client layer's shared
+/// driver.
 fn run_cell(sharded: &ShardedStore, devices: usize, queue_depth: usize, workers: usize) -> Cell {
     let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
-    let engine = Arc::new(StoreEngine::open(
-        sharded.clone(),
-        EngineConfig::default()
-            .with_cache_chunks(0) // every request pays its device
-            .with_ssd_fleet(fleet),
-    ));
-    let total = engine.total_reads();
+    let dataset = DatasetBuilder::new()
+        .cache_chunks(0) // every request pays its device
+        .ssd_fleet(fleet)
+        .open(sharded.clone())
+        .expect("valid sweep configuration");
+    let total = dataset.total_reads();
     let span = READS_PER_CHUNK as u64;
-    let reactor = Reactor::start(
-        Arc::new(EngineBackend::new(engine)),
-        IoConfig {
-            workers,
-            queue_depth,
-            devices,
-        },
-    );
-    let cq = reactor.completions();
-
-    let clients = queue_depth as u64;
-    let mut next_seq = vec![1u64; queue_depth];
-    let mut issued = 0u64;
-    for c in 0..clients.min(REQUESTS_PER_CELL) {
-        reactor
-            .submit(Request::Get(range_for(c, 0, total, span)), c, 0.0)
-            .expect("live reactor");
-        issued += 1;
-    }
-    let mut latencies = Vec::with_capacity(REQUESTS_PER_CELL as usize);
-    let mut makespan = 0.0f64;
-    while (latencies.len() as u64) < REQUESTS_PER_CELL {
-        let cqe = cq.wait_any().expect("live reactor");
-        assert!(cqe.output.is_ok(), "get failed: {:?}", cqe.output.err());
-        latencies.push(cqe.latency());
-        makespan = makespan.max(cqe.completed_vt);
-        if issued < REQUESTS_PER_CELL {
-            let c = cqe.user_data;
-            let i = next_seq[c as usize];
-            next_seq[c as usize] += 1;
-            // Closed loop: the client's next request departs at the
-            // virtual instant its previous one completed.
-            reactor
-                .submit(
-                    Request::Get(range_for(c, i, total, span)),
-                    c,
-                    cqe.completed_vt,
-                )
-                .expect("live reactor");
-            issued += 1;
-        }
-    }
-    let snap = reactor.snapshot();
-    reactor.shutdown();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let report = dataset
+        .drive_closed_loop(
+            &ClosedLoopSpec {
+                clients: queue_depth,
+                requests: REQUESTS_PER_CELL,
+                workers,
+            },
+            |c, i| StoreOp::Get(range_for(c, i, total, span)),
+        )
+        .expect("closed loop");
     Cell {
         devices,
         queue_depth,
-        req_per_s: REQUESTS_PER_CELL as f64 / makespan,
-        p50_ms: percentile(&latencies, 0.50) * 1e3,
-        p99_ms: percentile(&latencies, 0.99) * 1e3,
-        utilization: snap.device_busy.iter().map(|b| b / makespan).collect(),
+        report,
     }
 }
 
 fn print_cell(c: &Cell, widths: &[usize]) {
-    let util = if c.utilization.is_empty() {
+    let util = if c.report.utilization.is_empty() {
         "-".to_string()
     } else {
-        let lo = c.utilization.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = c.utilization.iter().copied().fold(0.0, f64::max);
+        let lo = c
+            .report
+            .utilization
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = c.report.utilization.iter().copied().fold(0.0, f64::max);
         format!("{:.0}-{:.0}%", lo * 100.0, hi * 100.0)
     };
     println!(
@@ -164,9 +110,9 @@ fn print_cell(c: &Cell, widths: &[usize]) {
             &[
                 format!("{}", c.devices),
                 format!("{}", c.queue_depth),
-                format!("{:.0}", c.req_per_s),
-                format!("{:.3}", c.p50_ms),
-                format!("{:.3}", c.p99_ms),
+                format!("{:.0}", c.report.req_per_s),
+                format!("{:.3}", c.report.p50_ms),
+                format!("{:.3}", c.report.p99_ms),
                 util,
             ],
             widths
@@ -210,7 +156,7 @@ fn main() {
             c
         })
         .collect();
-    let scaling = device_cells[2].req_per_s / device_cells[0].req_per_s;
+    let scaling = device_cells[2].report.req_per_s / device_cells[0].report.req_per_s;
     println!("1→4 device throughput scaling: {scaling:.2}x");
 
     banner("queue-depth sweep (4 devices)");
@@ -248,16 +194,16 @@ fn main() {
     );
     for pair in qd_cells.windows(2) {
         assert!(
-            pair[1].p99_ms >= pair[0].p99_ms * 0.98,
+            pair[1].report.p99_ms >= pair[0].report.p99_ms * 0.98,
             "p99 must grow with queue depth: qd {} → {:.3} ms, qd {} → {:.3} ms",
             pair[0].queue_depth,
-            pair[0].p99_ms,
+            pair[0].report.p99_ms,
             pair[1].queue_depth,
-            pair[1].p99_ms
+            pair[1].report.p99_ms
         );
     }
     assert!(
-        qd_cells.last().expect("cells").p99_ms > qd_cells[0].p99_ms,
+        qd_cells.last().expect("cells").report.p99_ms > qd_cells[0].report.p99_ms,
         "deep queues must cost p99 latency"
     );
 }

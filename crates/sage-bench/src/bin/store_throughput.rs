@@ -1,50 +1,42 @@
 //! Store throughput: concurrent random-access reads against the
 //! sharded chunk store (`sage-store`), swept over shard granularity ×
-//! LRU cache size × client count.
+//! cache size × client count — driven entirely through the typed
+//! session API (`sage_store::client`).
 //!
-//! Each cell starts a [`StoreServer`] (bounded queue, one worker per
-//! client) and `clients` client threads, each issuing a deterministic
-//! stream of random `Get` ranges; reported are served requests/sec and
-//! the decoded-chunk cache hit rate. The final section replays one
-//! range stream twice against a cold and a warm cache to show the LRU
-//! cache beating the cold path.
+//! Each cell builds a served `Dataset` (one reactor worker per
+//! client) and `clients` client threads, each opening a `Session` and
+//! issuing a deterministic stream of random `get` tickets; reported
+//! are served requests/sec and the decoded-chunk cache hit rate. The
+//! final section replays one range stream twice against a cold and a
+//! warm cache to show the LRU cache beating the cold path.
 //!
 //! Run with: `cargo run --release --bin store_throughput`
 //! (`SAGE_SCALE` scales the dataset like every other harness).
 
 use sage_bench::{banner, dataset, row};
 use sage_genomics::sim::DatasetProfile;
-use sage_store::{
-    encode_sharded, EngineConfig, Request, Response, StoreEngine, StoreOptions, StoreServer,
-};
-use std::sync::Arc;
+use sage_store::client::{range_for, Dataset, DatasetBuilder};
+use sage_store::{encode_sharded, StoreOptions};
 use std::time::Instant;
 
 /// Gets issued by each client thread.
 const GETS_PER_CLIENT: u64 = 200;
 
-/// Deterministic per-client range stream (SplitMix64 over a counter).
-fn range_for(client: u64, i: u64, total: u64, span: u64) -> std::ops::Range<u64> {
-    let mut z = (client << 32 | i).wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    let start = z % total;
-    let end = (start + 1 + z % span).min(total);
-    start..end
-}
-
-fn drive_clients(server: &Arc<StoreServer>, clients: u64, total: u64, span: u64) -> f64 {
+fn drive_clients(dataset: &Dataset, clients: u64, total: u64, span: u64) -> f64 {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for c in 0..clients {
-            let server = Arc::clone(server);
+            let session = dataset.session();
             s.spawn(move || {
                 for i in 0..GETS_PER_CLIENT {
                     let range = range_for(c, i, total, span);
-                    match server.call(Request::Get(range)).expect("get") {
-                        Response::Reads(_) => {}
-                        other => panic!("unexpected response {other:?}"),
-                    }
+                    let want = range.end - range.start;
+                    let reads = session
+                        .get(range)
+                        .expect("submit")
+                        .join()
+                        .expect("get answers");
+                    assert_eq!(reads.len() as u64, want);
                 }
             });
         }
@@ -85,18 +77,15 @@ fn main() {
         let n_chunks = sharded.n_chunks();
         for &cache_chunks in &[n_chunks.div_ceil(8).max(1), n_chunks] {
             for &clients in &[4u64, 8] {
-                let engine = Arc::new(StoreEngine::open(
-                    sharded.clone(),
-                    EngineConfig::default().with_cache_chunks(cache_chunks),
-                ));
-                let server = Arc::new(StoreServer::start(
-                    Arc::clone(&engine),
-                    clients as usize,
-                    2 * clients as usize,
-                ));
-                let secs = drive_clients(&server, clients, total, 2 * chunk_reads as u64);
-                let served = engine.requests_served();
-                let stats = engine.cache_stats();
+                let served_ds = DatasetBuilder::new()
+                    .cache_chunks(cache_chunks)
+                    .server_workers(clients as usize)
+                    .queue_depth(2 * clients as usize)
+                    .open(sharded.clone())
+                    .expect("valid cell configuration");
+                let secs = drive_clients(&served_ds, clients, total, 2 * chunk_reads as u64);
+                let served = served_ds.engine().requests_served();
+                let stats = served_ds.cache_stats();
                 println!(
                     "{}",
                     row(
@@ -117,16 +106,16 @@ fn main() {
 
     banner("warm LRU cache vs cold path (same ranges, 4 clients)");
     let sharded = encode_sharded(&ds.reads, &StoreOptions::new(64)).expect("encode store");
-    let n_chunks = sharded.n_chunks();
-    let engine = Arc::new(StoreEngine::open(
-        sharded,
-        EngineConfig::default().with_cache_chunks(n_chunks),
-    ));
-    let server = Arc::new(StoreServer::start(Arc::clone(&engine), 4, 8));
-    let cold = drive_clients(&server, 4, total, 128);
-    let after_cold = engine.cache_stats();
-    let warm = drive_clients(&server, 4, total, 128);
-    let after_warm = engine.cache_stats();
+    let served_ds = DatasetBuilder::new()
+        .cache_chunks(sharded.n_chunks()) // cache holds every chunk
+        .server_workers(4)
+        .queue_depth(8)
+        .open(sharded)
+        .expect("valid configuration");
+    let cold = drive_clients(&served_ds, 4, total, 128);
+    let after_cold = served_ds.cache_stats();
+    let warm = drive_clients(&served_ds, 4, total, 128);
+    let after_warm = served_ds.cache_stats();
     let warm_hits = after_warm.hits - after_cold.hits;
     let warm_misses = after_warm.misses - after_cold.misses;
     println!(

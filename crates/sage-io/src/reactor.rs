@@ -212,6 +212,24 @@ impl<B: IoBackend> Reactor<B> {
         }
     }
 
+    /// Closes the submission ring gracefully *without* joining the
+    /// workers: new submissions are rejected and submitters blocked
+    /// on a full ring wake with [`SubmitError::Closed`]; operations
+    /// already queued are still served. Teardown
+    /// ([`Reactor::shutdown`]/[`Reactor::abort`]/drop) remains the
+    /// owner's job — this exists so a shared handle can unblock
+    /// stuck submitters before the owner tears down.
+    pub fn close(&self) {
+        self.ring.close();
+    }
+
+    /// Closes the ring immediately, returning the unserved entries
+    /// (as [`Reactor::abort`] would) without joining the workers;
+    /// blocked submitters wake with [`SubmitError::Closed`].
+    pub fn close_now(&self) -> Vec<Sqe<B::Op>> {
+        self.ring.close_now()
+    }
+
     /// Graceful shutdown: rejects new submissions, serves everything
     /// already queued, then joins the workers. Consumers see the end
     /// of stream once the last queued completion is harvested.

@@ -11,14 +11,20 @@
 //! - [`analysis`] — the GEM read-mapping accelerator and the GenStore
 //!   in-storage filter (ISF);
 //! - [`energy`] — host/DRAM/SSD/accelerator/SAGe-logic energy;
-//! - [`endtoend`] — the experiment runner used by every figure harness.
+//! - [`endtoend`] — the experiment runner used by every figure harness;
+//! - [`serving`] — the store-served preparation scenario: the
+//!   `SAGeStore` configuration routed through a real
+//!   [`sage_store::client::Session`], its rate *measured* on the
+//!   store's virtual device timeline instead of assumed.
 
 pub mod analysis;
 pub mod endtoend;
 pub mod energy;
 pub mod prep;
+pub mod serving;
 pub mod stage;
 
 pub use analysis::AnalysisKind;
 pub use endtoend::{run_experiment, DatasetModel, Outcome, SystemConfig};
 pub use prep::PrepKind;
+pub use serving::{run_store_experiment, StoreServing};

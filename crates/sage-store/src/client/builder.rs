@@ -1,0 +1,365 @@
+//! [`DatasetBuilder`]: one validated entry point folding the codec
+//! ([`StoreOptions`]), engine ([`EngineConfig`]), and serving knobs.
+
+use super::Dataset;
+use crate::codec::{encode_sharded, ShardedStore, StoreOptions};
+use crate::engine::{EngineConfig, StoreEngine};
+use crate::lru::CachePolicy;
+use crate::{ConfigError, Result};
+use sage_core::CompressOptions;
+use sage_genomics::ReadSet;
+use sage_io::Placement;
+use sage_ssd::SsdConfig;
+use std::sync::Arc;
+
+/// The one fluent entry point onto the serving path.
+///
+/// Folds what used to be three hand-wired configurations —
+/// [`StoreOptions`] (chunking + codec), [`EngineConfig`] (cache +
+/// devices), and the server sizing passed to the old
+/// `StoreServer::start` — into a single builder that **validates knob
+/// conflicts** instead of letting the last write win: configuring
+/// both [`ssd`](DatasetBuilder::ssd) and
+/// [`ssd_fleet`](DatasetBuilder::ssd_fleet) is a typed
+/// [`ConfigError::DeviceConflict`], a placement without a fleet is
+/// [`ConfigError::PlacementWithoutFleet`], and degenerate sizings are
+/// caught before any thread starts.
+///
+/// ```
+/// use sage_store::client::DatasetBuilder;
+/// use sage_store::CachePolicy;
+/// use sage_ssd::SsdConfig;
+/// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+///
+/// # fn main() -> Result<(), sage_store::StoreError> {
+/// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 7);
+/// let dataset = DatasetBuilder::new()
+///     .chunk_reads(32)                          // codec knob
+///     .cache_chunks(8)                          // engine knob
+///     .cache_policy(CachePolicy::Clock)         // engine knob
+///     .ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+///     .server_workers(2)                        // serving knob
+///     .queue_depth(8)                           // serving knob
+///     .encode(&ds.reads)?;
+/// assert_eq!(dataset.total_reads(), ds.reads.len() as u64);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Conflicting device knobs fail typed, not silently:
+///
+/// ```
+/// use sage_store::client::DatasetBuilder;
+/// use sage_store::{ConfigError, StoreError};
+/// use sage_ssd::SsdConfig;
+/// use sage_genomics::ReadSet;
+///
+/// let err = DatasetBuilder::new()
+///     .ssd(SsdConfig::pcie())
+///     .ssd_fleet(vec![SsdConfig::pcie()])
+///     .encode(&ReadSet::new())
+///     .unwrap_err();
+/// assert!(matches!(err, StoreError::Config(ConfigError::DeviceConflict)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    reads_per_chunk: usize,
+    encode_workers: usize,
+    append_workers: usize,
+    codec: CompressOptions,
+    cache_chunks: usize,
+    cache_policy: CachePolicy,
+    ssd: Option<SsdConfig>,
+    fleet: Option<Vec<SsdConfig>>,
+    placement: Option<Placement>,
+    server_workers: usize,
+    queue_depth: usize,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> DatasetBuilder {
+        DatasetBuilder {
+            reads_per_chunk: 256,
+            encode_workers: 0,
+            append_workers: 0,
+            codec: CompressOptions::default(),
+            cache_chunks: 16,
+            cache_policy: CachePolicy::default(),
+            ssd: None,
+            fleet: None,
+            placement: None,
+            server_workers: 4,
+            queue_depth: 32,
+        }
+    }
+}
+
+impl DatasetBuilder {
+    /// A builder with the defaults: 256-read chunks, a 16-chunk LRU
+    /// cache, no device timing, 4 serving workers over a 32-deep
+    /// ring.
+    pub fn new() -> DatasetBuilder {
+        DatasetBuilder::default()
+    }
+
+    /// Reads per chunk — the random-access granularity (the final
+    /// chunk may hold fewer).
+    pub fn chunk_reads(mut self, n: usize) -> DatasetBuilder {
+        self.reads_per_chunk = n;
+        self
+    }
+
+    /// Worker threads for the initial encode (0 ⇒ available
+    /// parallelism).
+    pub fn encode_workers(mut self, n: usize) -> DatasetBuilder {
+        self.encode_workers = n;
+        self
+    }
+
+    /// Worker threads compressing appended chunks (0 ⇒ available
+    /// parallelism).
+    pub fn append_workers(mut self, n: usize) -> DatasetBuilder {
+        self.append_workers = n;
+        self
+    }
+
+    /// Codec options applied to every chunk (`store_order` is forced
+    /// on by the chunk codec).
+    pub fn codec(mut self, codec: CompressOptions) -> DatasetBuilder {
+        self.codec = codec;
+        self
+    }
+
+    /// Decoded chunks the cache may pin (0 disables caching).
+    pub fn cache_chunks(mut self, n: usize) -> DatasetBuilder {
+        self.cache_chunks = n;
+        self
+    }
+
+    /// Cache eviction policy (LRU, segmented LRU, or CLOCK).
+    pub fn cache_policy(mut self, policy: CachePolicy) -> DatasetBuilder {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Single-device SSD timing. Conflicts with
+    /// [`ssd_fleet`](DatasetBuilder::ssd_fleet).
+    pub fn ssd(mut self, cfg: SsdConfig) -> DatasetBuilder {
+        self.ssd = Some(cfg);
+        self
+    }
+
+    /// Multi-SSD timing: chunk extents striped across `fleet`.
+    /// Conflicts with [`ssd`](DatasetBuilder::ssd).
+    pub fn ssd_fleet(mut self, fleet: Vec<SsdConfig>) -> DatasetBuilder {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Fleet placement policy (requires
+    /// [`ssd_fleet`](DatasetBuilder::ssd_fleet)).
+    pub fn placement(mut self, placement: Placement) -> DatasetBuilder {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Reactor worker threads executing operations.
+    pub fn server_workers(mut self, n: usize) -> DatasetBuilder {
+        self.server_workers = n;
+        self
+    }
+
+    /// Submission-ring capacity (the queue-depth knob).
+    pub fn queue_depth(mut self, n: usize) -> DatasetBuilder {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Validates the folded configuration and splits it back into the
+    /// layer configs.
+    fn validate(&self) -> std::result::Result<(StoreOptions, EngineConfig), ConfigError> {
+        if self.reads_per_chunk == 0 {
+            return Err(ConfigError::ZeroChunkReads);
+        }
+        if self.server_workers == 0 {
+            return Err(ConfigError::ZeroServerWorkers);
+        }
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.ssd.is_some() && self.fleet.is_some() {
+            return Err(ConfigError::DeviceConflict);
+        }
+        if let Some(fleet) = &self.fleet {
+            if fleet.is_empty() {
+                return Err(ConfigError::EmptyFleet);
+            }
+        }
+        if self.placement.is_some() && self.fleet.is_none() {
+            return Err(ConfigError::PlacementWithoutFleet);
+        }
+        let store_opts = StoreOptions {
+            reads_per_chunk: self.reads_per_chunk,
+            workers: self.encode_workers,
+            codec: self.codec.clone(),
+        };
+        let mut engine_cfg = EngineConfig::default()
+            .with_cache_chunks(self.cache_chunks)
+            .with_cache_policy(self.cache_policy);
+        engine_cfg.codec = self.codec.clone();
+        engine_cfg.append_workers = self.append_workers;
+        if let Some(ssd) = &self.ssd {
+            engine_cfg = engine_cfg.with_ssd(ssd.clone());
+        }
+        if let Some(fleet) = &self.fleet {
+            engine_cfg = engine_cfg.with_ssd_fleet(fleet.clone());
+        }
+        if let Some(placement) = self.placement {
+            engine_cfg = engine_cfg.with_placement(placement);
+        }
+        debug_assert!(engine_cfg.validate().is_ok(), "builder pre-validates");
+        Ok((store_opts, engine_cfg))
+    }
+
+    /// Encodes `reads` into a sharded chunk store and serves it.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::Config`] for invalid knob combinations;
+    /// codec errors from the encode.
+    pub fn encode(&self, reads: &ReadSet) -> Result<Dataset> {
+        let (store_opts, engine_cfg) = self.validate()?;
+        let sharded = encode_sharded(reads, &store_opts)?;
+        self.serve_engine(sharded, engine_cfg)
+    }
+
+    /// Serves an already-encoded sharded store (the builder's chunk
+    /// and encode knobs are ignored; the store was encoded
+    /// elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::Config`] for invalid knob combinations.
+    pub fn open(&self, sharded: ShardedStore) -> Result<Dataset> {
+        let (_, engine_cfg) = self.validate()?;
+        self.serve_engine(sharded, engine_cfg)
+    }
+
+    fn serve_engine(&self, sharded: ShardedStore, engine_cfg: EngineConfig) -> Result<Dataset> {
+        let engine = Arc::new(StoreEngine::try_open(sharded, engine_cfg)?);
+        Dataset::serve(engine, self.server_workers, self.queue_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreError;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+    fn reads() -> ReadSet {
+        simulate_dataset(&DatasetProfile::tiny_short(), 5).reads
+    }
+
+    fn expect_config(err: StoreError, want: ConfigError) {
+        match err {
+            StoreError::Config(got) => assert_eq!(got, want),
+            other => panic!("expected Config({want:?}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_ssd_and_fleet_conflict_is_typed() {
+        let err = DatasetBuilder::new()
+            .ssd(SsdConfig::pcie())
+            .ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+            .encode(&reads())
+            .unwrap_err();
+        expect_config(err, ConfigError::DeviceConflict);
+        // Order does not matter — there is no last-wins.
+        let err = DatasetBuilder::new()
+            .ssd_fleet(vec![SsdConfig::pcie()])
+            .ssd(SsdConfig::pcie())
+            .encode(&reads())
+            .unwrap_err();
+        expect_config(err, ConfigError::DeviceConflict);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_typed_errors() {
+        let rs = reads();
+        expect_config(
+            DatasetBuilder::new()
+                .chunk_reads(0)
+                .encode(&rs)
+                .unwrap_err(),
+            ConfigError::ZeroChunkReads,
+        );
+        expect_config(
+            DatasetBuilder::new()
+                .server_workers(0)
+                .encode(&rs)
+                .unwrap_err(),
+            ConfigError::ZeroServerWorkers,
+        );
+        expect_config(
+            DatasetBuilder::new()
+                .queue_depth(0)
+                .encode(&rs)
+                .unwrap_err(),
+            ConfigError::ZeroQueueDepth,
+        );
+        expect_config(
+            DatasetBuilder::new()
+                .ssd_fleet(Vec::new())
+                .encode(&rs)
+                .unwrap_err(),
+            ConfigError::EmptyFleet,
+        );
+        expect_config(
+            DatasetBuilder::new()
+                .placement(Placement::CapacityWeighted)
+                .encode(&rs)
+                .unwrap_err(),
+            ConfigError::PlacementWithoutFleet,
+        );
+    }
+
+    #[test]
+    fn valid_fleet_build_serves() {
+        let rs = reads();
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(4)
+            .cache_policy(CachePolicy::Clock)
+            .ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::sata()])
+            .placement(Placement::CapacityWeighted)
+            .server_workers(2)
+            .queue_depth(4)
+            .encode(&rs)
+            .expect("valid build");
+        assert_eq!(dataset.engine().n_devices(), 2);
+        let got = dataset.session().get(0..8).unwrap().join().unwrap();
+        assert_eq!(got.len(), 8);
+        for (a, b) in got.iter().zip(rs.iter()) {
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+
+    #[test]
+    fn open_serves_a_preencoded_store() {
+        let rs = reads();
+        let sharded = encode_sharded(&rs, &StoreOptions::new(8)).unwrap();
+        let n_chunks = sharded.n_chunks();
+        let dataset = DatasetBuilder::new()
+            .cache_chunks(0)
+            .ssd(SsdConfig::pcie())
+            .open(sharded)
+            .expect("open");
+        let c = dataset.session().get(0..4).unwrap().wait().unwrap();
+        assert_eq!(c.value.len(), 4);
+        assert_eq!(c.report.charges().len(), 1);
+        assert!(c.report.device_seconds > 0.0);
+        assert!(n_chunks > 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The shared closed-loop load driver.
+//!
+//! One machinery for every serving measurement: `clients` logical
+//! clients each keep exactly one operation in flight against a
+//! dedicated reactor, submitting their next operation at the virtual
+//! instant the previous one completed. All reported numbers come from
+//! the **virtual** device timeline — requests per virtual second
+//! against the makespan, latency percentiles, per-device utilization
+//! — so a sweep measures queueing and striping, not the host's load.
+//! With `workers == 1` the timeline is fully deterministic (dispatch
+//! order = submission order), which is what lets benches assert
+//! monotonicity without flaking.
+//!
+//! The `io_sweep` and `fig15_multissd` benches and the pipeline's
+//! store-served preparation scenario all drive this one loop.
+
+use super::Dataset;
+use crate::engine::{EngineBackend, OpValue, StoreOp};
+use crate::Result;
+use sage_io::{IoConfig, Reactor};
+use std::sync::Arc;
+
+/// Sizing of one closed-loop drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoopSpec {
+    /// Logical clients, each keeping one operation in flight (this is
+    /// the offered queue depth).
+    pub clients: usize,
+    /// Total operations to drive through the loop.
+    pub requests: u64,
+    /// Reactor worker threads. 1 keeps the virtual timeline fully
+    /// deterministic; more overlaps real decode work without changing
+    /// what the virtual clock charges.
+    pub workers: usize,
+}
+
+impl Default for ClosedLoopSpec {
+    fn default() -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            clients: 16,
+            requests: 256,
+            workers: 1,
+        }
+    }
+}
+
+/// What a closed-loop drive measured (virtual-time metrics).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations completed.
+    pub completed: u64,
+    /// Virtual makespan: the latest completion instant.
+    pub makespan: f64,
+    /// Operations per virtual second.
+    pub req_per_s: f64,
+    /// Median virtual latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile virtual latency, milliseconds.
+    pub p99_ms: f64,
+    /// Every per-operation virtual latency, seconds, ascending.
+    pub latencies: Vec<f64>,
+    /// Busy (service) seconds accumulated per device.
+    pub device_busy: Vec<f64>,
+    /// Per-device utilization over the makespan.
+    pub utilization: Vec<f64>,
+    /// Reads returned across all get/scan results.
+    pub reads_served: u64,
+    /// Bases returned across all get/scan results.
+    pub bases_served: u64,
+}
+
+impl LoadReport {
+    /// Mean virtual latency, milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64 * 1e3
+    }
+
+    /// Bases served per virtual second (the store's sustained
+    /// preparation rate).
+    pub fn bases_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.bases_served as f64 / self.makespan
+    }
+}
+
+/// The harnesses' shared deterministic random-range stream: SplitMix64
+/// over `(client, seq)` producing a start in `[0, total)` and a span
+/// in `[1, span_max]` (clamped to the dataset end). Every closed-loop
+/// consumer — `io_sweep`, `fig15_multissd`, the pipeline's
+/// store-served scenario — draws from this one stream, so their
+/// measurements stay comparable by construction.
+pub fn range_for(client: u64, seq: u64, total: u64, span_max: u64) -> std::ops::Range<u64> {
+    let mut z = (client << 32 | seq).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let start = z % total;
+    let end = (start + 1 + z % span_max).min(total);
+    start..end
+}
+
+/// `p` in `[0, 1]` over an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+impl Dataset {
+    /// Drives `spec.requests` operations through a dedicated reactor
+    /// in a closed loop: `spec.clients` logical clients each submit
+    /// their next operation — produced by `workload(client, seq)` —
+    /// at the virtual instant their previous one completed.
+    ///
+    /// The drive runs on its own reactor (and thus its own virtual
+    /// clock starting at 0), so measurements are independent of any
+    /// session traffic on the dataset; the engine, cache, and device
+    /// state are shared.
+    ///
+    /// # Errors
+    ///
+    /// The first operation error, if any operation fails.
+    pub fn drive_closed_loop(
+        &self,
+        spec: &ClosedLoopSpec,
+        mut workload: impl FnMut(u64, u64) -> StoreOp,
+    ) -> Result<LoadReport> {
+        let engine = Arc::clone(self.engine());
+        let devices = engine.n_devices().max(1);
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(engine)),
+            IoConfig {
+                workers: spec.workers.max(1),
+                queue_depth: spec.clients.max(1),
+                devices,
+            },
+        );
+        let cq = reactor.completions();
+
+        let clients = spec.clients.max(1) as u64;
+        let mut next_seq = vec![1u64; clients as usize];
+        let mut issued = 0u64;
+        for c in 0..clients.min(spec.requests) {
+            reactor
+                .submit(workload(c, 0), c, 0.0)
+                .expect("live reactor");
+            issued += 1;
+        }
+        let mut latencies = Vec::with_capacity(spec.requests as usize);
+        let mut makespan = 0.0f64;
+        let mut reads_served = 0u64;
+        let mut bases_served = 0u64;
+        while (latencies.len() as u64) < spec.requests {
+            let Some(cqe) = cq.wait_any() else {
+                break;
+            };
+            let latency = cqe.latency();
+            let (value, _) = cqe.output?;
+            if let OpValue::Reads(rs) = &value {
+                reads_served += rs.len() as u64;
+                bases_served += rs.total_bases() as u64;
+            }
+            latencies.push(latency);
+            makespan = makespan.max(cqe.completed_vt);
+            if issued < spec.requests {
+                let c = cqe.user_data;
+                let i = next_seq[c as usize];
+                next_seq[c as usize] += 1;
+                // Closed loop: the client's next operation departs at
+                // the virtual instant its previous one completed.
+                reactor
+                    .submit(workload(c, i), c, cqe.completed_vt)
+                    .expect("live reactor");
+                issued += 1;
+            }
+        }
+        let snap = reactor.snapshot();
+        reactor.shutdown();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let completed = latencies.len() as u64;
+        Ok(LoadReport {
+            completed,
+            makespan,
+            req_per_s: if makespan > 0.0 {
+                completed as f64 / makespan
+            } else {
+                0.0
+            },
+            p50_ms: percentile(&latencies, 0.50) * 1e3,
+            p99_ms: percentile(&latencies, 0.99) * 1e3,
+            device_busy: snap.device_busy.clone(),
+            utilization: snap
+                .device_busy
+                .iter()
+                .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
+                .collect(),
+            latencies,
+            reads_served,
+            bases_served,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DatasetBuilder;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    use sage_ssd::SsdConfig;
+
+    fn fleet_dataset(devices: usize) -> crate::client::Dataset {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 33).reads;
+        DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(0) // every op pays its device
+            .ssd_fleet((0..devices).map(|_| SsdConfig::pcie()).collect())
+            .encode(&reads)
+            .expect("build")
+    }
+
+    #[test]
+    fn closed_loop_measures_the_virtual_timeline() {
+        let dataset = fleet_dataset(2);
+        let total = dataset.total_reads();
+        let report = dataset
+            .drive_closed_loop(
+                &ClosedLoopSpec {
+                    clients: 4,
+                    requests: 64,
+                    workers: 1,
+                },
+                |c, i| StoreOp::Get(range_for(c, i, total, 16)),
+            )
+            .expect("drive");
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.latencies.len(), 64);
+        assert!(report.makespan > 0.0);
+        assert!(report.req_per_s > 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.mean_ms() > 0.0);
+        assert!(report.reads_served >= 64);
+        assert!(report.bases_served > 0);
+        assert!(report.bases_per_sec() > 0.0);
+        assert_eq!(report.utilization.len(), 2);
+        assert!(report.device_busy.iter().any(|b| *b > 0.0));
+    }
+
+    #[test]
+    fn deeper_loops_trade_latency_for_throughput() {
+        // The io_sweep claim in miniature: on one device, a deeper
+        // closed loop cannot lower p99 latency.
+        let mean_at = |clients: usize| {
+            let dataset = fleet_dataset(1);
+            let total = dataset.total_reads();
+            dataset
+                .drive_closed_loop(
+                    &ClosedLoopSpec {
+                        clients,
+                        requests: 48,
+                        workers: 1,
+                    },
+                    |c, i| StoreOp::Get(range_for(c, i, total, 8)),
+                )
+                .expect("drive")
+                .mean_ms()
+        };
+        let shallow = mean_at(1);
+        let deep = mean_at(8);
+        assert!(
+            deep > shallow * 2.0,
+            "depth-8 mean latency {deep} should far exceed depth-1 {shallow}"
+        );
+    }
+
+    #[test]
+    fn striping_scales_closed_loop_throughput() {
+        let run = |devices: usize| {
+            let dataset = fleet_dataset(devices);
+            let total = dataset.total_reads();
+            dataset
+                .drive_closed_loop(
+                    &ClosedLoopSpec {
+                        clients: 8,
+                        requests: 96,
+                        workers: 2,
+                    },
+                    |c, i| StoreOp::Get(range_for(c, i, total, 16)),
+                )
+                .expect("drive")
+                .req_per_s
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four > one * 1.5,
+            "striping 1→4 devices must scale req/s: {one} → {four}"
+        );
+    }
+
+    #[test]
+    fn failing_ops_surface_their_error() {
+        let dataset = fleet_dataset(1);
+        let total = dataset.total_reads();
+        let err = dataset
+            .drive_closed_loop(
+                &ClosedLoopSpec {
+                    clients: 2,
+                    requests: 8,
+                    workers: 1,
+                },
+                |_, _| StoreOp::Get(0..total * 100),
+            )
+            .unwrap_err();
+        assert!(matches!(err, crate::StoreError::RangeOutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,200 @@
+//! # The typed session API — the store's serving front end
+//!
+//! This module is the one entry point for serving a dataset: a
+//! [`DatasetBuilder`] folds the codec, engine, and server knobs into
+//! one validated configuration and produces a [`Dataset`] — an
+//! encoded chunk store with a running completion-queue reactor in
+//! front of it. [`Session`]s opened on the dataset submit operations
+//! and get back **typed tickets**: [`Session::get`] returns a
+//! [`Ticket<ReadSet>`](Ticket), [`Session::append`] a `Ticket<u64>`,
+//! so a variant-mismatch between request and response is
+//! unrepresentable — there is no enum to pattern-match, unlike the
+//! deprecated `Request`/`Response` pair.
+//!
+//! Every ticket resolves to a [`Completion`] carrying an
+//! [`OpReport`]: the device charges the operation incurred, its cache
+//! outcome (chunks touched, hits, misses), and its virtual-time
+//! instants (submit, service start, completion) on the reactor's
+//! deterministic device timeline. The old `get`/`get_traced` split is
+//! gone — every operation is traced, and the report arrives with the
+//! result.
+//!
+//! Whether a full queue blocks the submitter (backpressure) or fails
+//! the submission (load shedding) is a per-session knob,
+//! [`SubmitMode`], replacing the `submit`/`try_submit` method split.
+//!
+//! ```
+//! use sage_store::client::DatasetBuilder;
+//! use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+//!
+//! # fn main() -> Result<(), sage_store::StoreError> {
+//! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
+//! let dataset = DatasetBuilder::new().chunk_reads(32).encode(&ds.reads)?;
+//! let session = dataset.session();
+//! let ticket = session.get(10..20)?;          // Ticket<ReadSet>
+//! let completion = ticket.wait()?;            // typed: no enum match
+//! assert_eq!(completion.value.len(), 10);
+//! assert_eq!(completion.report.chunks_touched(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For load studies there is a shared **closed-loop driver**
+//! ([`Dataset::drive_closed_loop`]): `clients` logical clients each
+//! keep one operation in flight, submitting their next at the virtual
+//! instant the previous completed. The `io_sweep` and
+//! `fig15_multissd` benches and the pipeline's store-served scenario
+//! all run on it — one serving machinery, measured once.
+
+mod builder;
+mod driver;
+mod session;
+
+pub use builder::DatasetBuilder;
+pub use driver::{percentile, range_for, ClosedLoopSpec, LoadReport};
+pub use session::{Dataset, ServerStats, Session};
+
+use crate::engine::OpValue;
+use crate::{Result, StoreError};
+use sage_io::DeviceCharge;
+use std::sync::mpsc::Receiver;
+
+/// What a session does when the submission ring is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SubmitMode {
+    /// Block until a slot frees up (backpressure). The default.
+    #[default]
+    Block,
+    /// Fail the submission with [`StoreError::QueueFull`] instead of
+    /// blocking (load shedding; rejections are counted in
+    /// [`ServerStats`]).
+    Fail,
+}
+
+/// Everything one served operation reports back: the engine-side
+/// [`OpTrace`](crate::engine::OpTrace) (charges, cache outcome)
+/// merged with the reactor-side virtual-time instants. Trace fields
+/// live in the embedded trace — one definition, surfaced here through
+/// accessors — so anything the engine learns to trace automatically
+/// reaches every report.
+#[derive(Debug, Clone, Default)]
+pub struct OpReport {
+    /// What the engine recorded serving the operation (device
+    /// charges, chunks touched, cache outcome).
+    pub trace: crate::engine::OpTrace,
+    /// Virtual instant the operation was submitted.
+    pub submitted_vt: f64,
+    /// Virtual instant device service began.
+    pub started_vt: f64,
+    /// Virtual instant the operation completed.
+    pub completed_vt: f64,
+    /// Total device seconds the operation charged.
+    pub device_seconds: f64,
+    /// Completion queue (device) the operation finished on.
+    pub device: usize,
+}
+
+impl OpReport {
+    /// Submit-to-completion virtual latency.
+    pub fn latency(&self) -> f64 {
+        self.completed_vt - self.submitted_vt
+    }
+
+    /// Virtual seconds the operation waited before service began.
+    pub fn queue_wait(&self) -> f64 {
+        self.started_vt - self.submitted_vt
+    }
+
+    /// Per-device charges the operation incurred (empty when every
+    /// touched chunk was cached or timing is off).
+    pub fn charges(&self) -> &[DeviceCharge] {
+        &self.trace.charges
+    }
+
+    /// Chunks the operation touched (for appends: chunks written).
+    pub fn chunks_touched(&self) -> u64 {
+        self.trace.chunks_touched
+    }
+
+    /// Touched chunks served from the decoded-chunk cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.trace.cache_hits
+    }
+
+    /// Touched chunks that had to be fetched and decoded.
+    pub fn cache_misses(&self) -> u64 {
+        self.trace.cache_misses
+    }
+}
+
+/// A resolved operation: its typed value plus the [`OpReport`].
+#[derive(Debug)]
+pub struct Completion<T> {
+    /// The operation's result (reads for get/scan, first read id for
+    /// append).
+    pub value: T,
+    /// What serving it cost.
+    pub report: OpReport,
+}
+
+/// What the dispatcher delivers for one operation.
+pub(crate) type Payload = Result<(OpValue, OpReport)>;
+
+/// A pending typed operation; [`Ticket::wait`] blocks for its
+/// [`Completion`].
+///
+/// Dropping a ticket abandons the answer without cancelling the
+/// operation — the server still executes it and discards the result.
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: Receiver<Payload>,
+    /// Static op→value pairing chosen at the submit site; `None` is
+    /// unreachable because each `Session` method submits exactly the
+    /// op variant its extractor matches.
+    extract: fn(OpValue) -> Option<T>,
+}
+
+impl<T> Ticket<T> {
+    pub(crate) fn new(rx: Receiver<Payload>, extract: fn(OpValue) -> Option<T>) -> Ticket<T> {
+        Ticket { rx, extract }
+    }
+
+    /// Blocks until the operation resolves.
+    ///
+    /// # Errors
+    ///
+    /// The operation's own error; [`StoreError::Cancelled`] when the
+    /// dataset shut down with the operation still queued; or
+    /// [`StoreError::QueueClosed`] when the serving side vanished
+    /// without resolving the ticket at all.
+    pub fn wait(self) -> Result<Completion<T>> {
+        let (value, report) = self.rx.recv().map_err(|_| StoreError::QueueClosed)??;
+        Ok(Completion {
+            value: (self.extract)(value).expect("session ops pair each op with its value kind"),
+            report,
+        })
+    }
+
+    /// Blocks for the value alone, discarding the report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ticket::wait`].
+    pub fn join(self) -> Result<T> {
+        self.wait().map(|c| c.value)
+    }
+}
+
+pub(crate) fn extract_reads(v: OpValue) -> Option<sage_genomics::ReadSet> {
+    match v {
+        OpValue::Reads(rs) => Some(rs),
+        OpValue::Appended(_) => None,
+    }
+}
+
+pub(crate) fn extract_appended(v: OpValue) -> Option<u64> {
+    match v {
+        OpValue::Appended(first) => Some(first),
+        OpValue::Reads(_) => None,
+    }
+}

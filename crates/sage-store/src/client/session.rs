@@ -1,0 +1,656 @@
+//! The serving core: [`Dataset`] (engine + reactor + dispatcher) and
+//! [`Session`] (the typed submission front end).
+
+use super::{extract_appended, extract_reads, OpReport, Payload, SubmitMode, Ticket};
+use crate::engine::{EngineBackend, StoreEngine, StoreOp};
+use crate::lru::CacheSnapshot;
+use crate::timing::TimingSnapshot;
+use crate::{Result, StoreError};
+use sage_genomics::{Read, ReadSet};
+use sage_io::{DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SubmitError};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Point-in-time serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Operations accepted into the submission ring.
+    pub submitted: u64,
+    /// Operations completed (answered or failed).
+    pub completed: u64,
+    /// [`SubmitMode::Fail`] submissions shed because the ring was
+    /// full.
+    pub rejected: u64,
+    /// Operations cancelled by a shutdown while still queued.
+    pub cancelled: u64,
+    /// Operations queued in the ring right now.
+    pub queued: usize,
+}
+
+/// The shared serving state behind [`Dataset`] and every [`Session`].
+#[derive(Debug)]
+pub(crate) struct ServeCore {
+    engine: Arc<StoreEngine>,
+    /// `None` after teardown; submissions then fail with
+    /// [`StoreError::QueueClosed`]. Read-locked per submit (the
+    /// reactor itself is `&self`-concurrent), write-locked once to
+    /// take it down.
+    reactor: RwLock<Option<Reactor<EngineBackend>>>,
+    pending: Arc<Mutex<HashMap<u64, SyncSender<Payload>>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    next_token: AtomicU64,
+    cancelled: Arc<AtomicU64>,
+}
+
+impl ServeCore {
+    fn start(engine: Arc<StoreEngine>, workers: usize, queue_depth: usize) -> ServeCore {
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(Arc::clone(&engine))),
+            IoConfig {
+                workers,
+                queue_depth,
+                devices: engine.n_devices().max(1),
+            },
+        );
+        let pending: Arc<Mutex<HashMap<u64, SyncSender<Payload>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let cancelled = Arc::new(AtomicU64::new(0));
+        let cq = reactor.completions();
+        let dispatcher = {
+            let pending = Arc::clone(&pending);
+            let cancelled = Arc::clone(&cancelled);
+            std::thread::spawn(move || {
+                while let Some(cqe) = cq.wait_any() {
+                    let payload: Payload = cqe.output.map(|(value, trace)| {
+                        (
+                            value,
+                            OpReport {
+                                trace,
+                                submitted_vt: cqe.submitted_vt,
+                                started_vt: cqe.started_vt,
+                                completed_vt: cqe.completed_vt,
+                                device_seconds: cqe.device_seconds,
+                                device: cqe.device,
+                            },
+                        )
+                    });
+                    // A client that dropped its ticket is not an
+                    // error; its send just goes nowhere.
+                    if let Some(tx) = pending
+                        .lock()
+                        .expect("pending poisoned")
+                        .remove(&cqe.user_data)
+                    {
+                        let _ = tx.send(payload);
+                    }
+                }
+                // End of stream: anything still pending was queued
+                // when serving stopped and will never execute.
+                // Resolve those tickets with a typed error instead of
+                // letting their owners hang.
+                for (_, tx) in pending.lock().expect("pending poisoned").drain() {
+                    cancelled.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Err(StoreError::Cancelled));
+                }
+            })
+        };
+        ServeCore {
+            engine,
+            reactor: RwLock::new(Some(reactor)),
+            pending,
+            dispatcher: Mutex::new(Some(dispatcher)),
+            next_token: AtomicU64::new(0),
+            cancelled,
+        }
+    }
+
+    /// Submits one op, registering a ticket channel for its answer.
+    pub(crate) fn submit(
+        &self,
+        op: StoreOp,
+        submit_vt: f64,
+        mode: SubmitMode,
+    ) -> Result<std::sync::mpsc::Receiver<Payload>> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = sync_channel(1);
+        self.pending
+            .lock()
+            .expect("pending poisoned")
+            .insert(token, tx);
+        let unregister = || {
+            self.pending
+                .lock()
+                .expect("pending poisoned")
+                .remove(&token);
+        };
+        let guard = self.reactor.read().expect("reactor lock poisoned");
+        let Some(reactor) = guard.as_ref() else {
+            unregister();
+            return Err(StoreError::QueueClosed);
+        };
+        let pushed = match mode {
+            SubmitMode::Block => reactor.submit(op, token, submit_vt),
+            SubmitMode::Fail => reactor.try_submit(op, token, submit_vt),
+        };
+        match pushed {
+            Ok(()) => Ok(rx),
+            Err(SubmitError::Full) => {
+                unregister();
+                Err(StoreError::QueueFull)
+            }
+            Err(SubmitError::Closed) => {
+                unregister();
+                Err(StoreError::QueueClosed)
+            }
+        }
+    }
+
+    pub(crate) fn engine(&self) -> &Arc<StoreEngine> {
+        &self.engine
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
+        let snap = self.reactor_snapshot();
+        ServerStats {
+            submitted: snap.submitted,
+            completed: snap.completed,
+            rejected: snap.rejected,
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queued: snap.queued,
+        }
+    }
+
+    pub(crate) fn reactor_snapshot(&self) -> ReactorSnapshot {
+        self.reactor
+            .read()
+            .expect("reactor lock poisoned")
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_else(|| ReactorSnapshot {
+                submitted: 0,
+                rejected: 0,
+                completed: 0,
+                queued: 0,
+                device_busy: Vec::new(),
+                horizon: 0.0,
+                utilization: Vec::new(),
+            })
+    }
+
+    /// Idempotent teardown. Graceful serves everything queued;
+    /// otherwise still-queued ops are dropped and their tickets
+    /// resolve to [`StoreError::Cancelled`].
+    pub(crate) fn stop(&self, graceful: bool) {
+        // Phase 1 — close the ring through a *read* guard. A
+        // Block-mode submitter stuck on a full ring is parked inside
+        // `submit` while holding its own read guard, so reaching for
+        // the write lock first would deadlock; closing wakes every
+        // blocked submitter (their submissions fail `QueueClosed`)
+        // and lets their guards go.
+        {
+            let guard = self.reactor.read().expect("reactor lock poisoned");
+            if let Some(reactor) = guard.as_ref() {
+                if graceful {
+                    reactor.close();
+                } else {
+                    // Unserved submissions are dropped here; the
+                    // dispatcher resolves their tickets as cancelled.
+                    drop(reactor.close_now());
+                }
+            }
+        }
+        // Phase 2 — no submitter can block anymore; take the reactor
+        // out and join everything (close/close_now are idempotent).
+        let reactor = self.reactor.write().expect("reactor lock poisoned").take();
+        if let Some(reactor) = reactor {
+            if graceful {
+                reactor.shutdown();
+            } else {
+                drop(reactor.abort());
+            }
+        }
+        if let Some(d) = self.dispatcher.lock().expect("dispatcher poisoned").take() {
+            let _ = d.join();
+        }
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+/// A served dataset: the encoded chunk store, its query engine, and a
+/// running reactor front end. Built by a
+/// [`DatasetBuilder`](super::DatasetBuilder); open [`Session`]s on it
+/// to submit operations.
+///
+/// Dropping the dataset (and every session on it) shuts serving down
+/// gracefully: queued operations are still executed. Use
+/// [`Dataset::abort`] to cancel queued work instead.
+#[derive(Debug)]
+pub struct Dataset {
+    core: Arc<ServeCore>,
+}
+
+impl Dataset {
+    /// Serves an already-open engine with `workers` reactor threads
+    /// over a submission ring of `queue_depth` slots. (The builder is
+    /// the usual entry point; this is the escape hatch for engines
+    /// configured by hand.)
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] when `workers` or `queue_depth` is 0.
+    pub fn serve(engine: Arc<StoreEngine>, workers: usize, queue_depth: usize) -> Result<Dataset> {
+        if workers == 0 {
+            return Err(crate::ConfigError::ZeroServerWorkers.into());
+        }
+        if queue_depth == 0 {
+            return Err(crate::ConfigError::ZeroQueueDepth.into());
+        }
+        Ok(Dataset {
+            core: Arc::new(ServeCore::start(engine, workers, queue_depth)),
+        })
+    }
+
+    /// Opens a session (cheap; any number may coexist).
+    pub fn session(&self) -> Session {
+        Session {
+            core: Arc::clone(&self.core),
+            mode: SubmitMode::Block,
+        }
+    }
+
+    /// The engine behind the dataset.
+    pub fn engine(&self) -> &Arc<StoreEngine> {
+        self.core.engine()
+    }
+
+    /// Total reads currently stored.
+    pub fn total_reads(&self) -> u64 {
+        self.core.engine().total_reads()
+    }
+
+    /// Serving counters (accepted, completed, shed, cancelled).
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats()
+    }
+
+    /// Decoded-chunk cache counters.
+    pub fn cache_stats(&self) -> CacheSnapshot {
+        self.core.engine().cache_stats()
+    }
+
+    /// Aggregated device accounting.
+    pub fn timing_snapshot(&self) -> TimingSnapshot {
+        self.core.engine().timing_snapshot()
+    }
+
+    /// Per-device accounting.
+    pub fn device_snapshots(&self) -> Vec<DeviceSnapshot> {
+        self.core.engine().device_snapshots()
+    }
+
+    /// The reactor's accounting (virtual device busy seconds,
+    /// utilization, horizon).
+    pub fn reactor_snapshot(&self) -> ReactorSnapshot {
+        self.core.reactor_snapshot()
+    }
+
+    /// Stops serving after the queue drains. Outstanding sessions
+    /// then fail submissions with [`StoreError::QueueClosed`].
+    pub fn shutdown(self) {
+        self.core.stop(true);
+    }
+
+    /// Stops immediately: operations still queued are *not* executed —
+    /// their tickets resolve to [`StoreError::Cancelled`].
+    pub fn abort(self) {
+        self.core.stop(false);
+    }
+}
+
+/// A typed submission handle on a [`Dataset`].
+///
+/// Each operation returns a ticket typed by its result —
+/// [`Session::get`] and [`Session::scan`] yield
+/// [`Ticket<ReadSet>`](Ticket), [`Session::append`] a `Ticket<u64>` —
+/// so mismatching a request with the wrong response kind cannot
+/// compile. Tickets resolve to [`Completion`](super::Completion)s
+/// carrying an [`OpReport`].
+///
+/// ```
+/// use sage_store::client::{DatasetBuilder, SubmitMode};
+/// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+///
+/// # fn main() -> Result<(), sage_store::StoreError> {
+/// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 9);
+/// let dataset = DatasetBuilder::new().chunk_reads(16).encode(&ds.reads)?;
+/// let session = dataset.session().with_mode(SubmitMode::Block);
+///
+/// // Typed tickets: get → ReadSet, append → u64. No enum matching.
+/// let reads = session.get(0..8)?.join()?;
+/// assert_eq!(reads.len(), 8);
+/// let first = session.append(&reads)?.join()?;
+/// assert_eq!(first, ds.reads.len() as u64);
+///
+/// // Every ticket also carries the operation's report.
+/// let warm = session.get(0..8)?.wait()?;
+/// assert_eq!(warm.report.cache_misses(), 0); // chunk already decoded
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    core: Arc<ServeCore>,
+    mode: SubmitMode,
+}
+
+impl Session {
+    /// Returns this session with a different full-queue behavior.
+    pub fn with_mode(mut self, mode: SubmitMode) -> Session {
+        self.mode = mode;
+        self
+    }
+
+    /// The session's full-queue behavior.
+    pub fn mode(&self) -> SubmitMode {
+        self.mode
+    }
+
+    /// Submits a `Get` for reads `range` (dataset-global ids,
+    /// half-open).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QueueFull`] (in [`SubmitMode::Fail`]) or
+    /// [`StoreError::QueueClosed`]. The operation's own errors arrive
+    /// through the ticket.
+    pub fn get(&self, range: Range<u64>) -> Result<Ticket<ReadSet>> {
+        self.get_at(range, 0.0)
+    }
+
+    /// [`Session::get`] submitted at virtual instant `submit_vt` —
+    /// closed-loop drivers chain a client's next submit to its
+    /// previous completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn get_at(&self, range: Range<u64>, submit_vt: f64) -> Result<Ticket<ReadSet>> {
+        let rx = self
+            .core
+            .submit(StoreOp::Get(range), submit_vt, self.mode)?;
+        Ok(Ticket::new(rx, extract_reads))
+    }
+
+    /// Submits a `Scan` returning every stored read matching
+    /// `predicate`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn scan<F>(&self, predicate: F) -> Result<Ticket<ReadSet>>
+    where
+        F: Fn(&Read) -> bool + Send + 'static,
+    {
+        self.scan_at(predicate, 0.0)
+    }
+
+    /// [`Session::scan`] submitted at virtual instant `submit_vt`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn scan_at<F>(&self, predicate: F, submit_vt: f64) -> Result<Ticket<ReadSet>>
+    where
+        F: Fn(&Read) -> bool + Send + 'static,
+    {
+        let rx = self
+            .core
+            .submit(StoreOp::Scan(Box::new(predicate)), submit_vt, self.mode)?;
+        Ok(Ticket::new(rx, extract_reads))
+    }
+
+    /// Submits an `Append`; the ticket resolves to the id of the
+    /// first appended read.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn append(&self, reads: &ReadSet) -> Result<Ticket<u64>> {
+        self.append_at(reads, 0.0)
+    }
+
+    /// [`Session::append`] submitted at virtual instant `submit_vt`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::get`].
+    pub fn append_at(&self, reads: &ReadSet, submit_vt: f64) -> Result<Ticket<u64>> {
+        let rx = self
+            .core
+            .submit(StoreOp::Append(reads.clone()), submit_vt, self.mode)?;
+        Ok(Ticket::new(rx, extract_appended))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{DatasetBuilder, SubmitMode};
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+    fn served(chunk: usize, cache: usize, workers: usize, depth: usize) -> (Dataset, ReadSet) {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(chunk)
+            .cache_chunks(cache)
+            .server_workers(workers)
+            .queue_depth(depth)
+            .encode(&reads)
+            .expect("build dataset");
+        (dataset, reads)
+    }
+
+    #[test]
+    fn session_answers_all_op_kinds_typed() {
+        let (dataset, reads) = served(16, 8, 3, 8);
+        let session = dataset.session();
+        let got = session.get(0..4).unwrap().wait().unwrap();
+        assert_eq!(got.value.len(), 4);
+        assert_eq!(got.report.chunks_touched(), 1);
+        let all = session.scan(|_| true).unwrap().join().unwrap();
+        assert_eq!(all.len(), reads.len());
+        let extra = ReadSet::from_reads(reads.reads()[..3].to_vec());
+        let first = session.append(&extra).unwrap().join().unwrap();
+        assert_eq!(first, reads.len() as u64);
+        assert_eq!(dataset.engine().requests_served(), 3);
+        let stats = dataset.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.cancelled, 0);
+        dataset.shutdown();
+    }
+
+    #[test]
+    fn reports_carry_cache_outcomes() {
+        let (dataset, _) = served(16, 8, 2, 8);
+        let session = dataset.session();
+        let cold = session.get(0..8).unwrap().wait().unwrap();
+        assert_eq!(cold.report.cache_misses(), 1);
+        assert_eq!(cold.report.cache_hits(), 0);
+        let warm = session.get(0..8).unwrap().wait().unwrap();
+        assert_eq!(warm.report.cache_misses(), 0);
+        assert_eq!(warm.report.cache_hits(), 1);
+        // Untimed engine: no charges either way.
+        assert!(cold.report.charges().is_empty());
+        assert!(warm.report.latency() >= 0.0);
+    }
+
+    #[test]
+    fn session_surfaces_request_errors_and_survives() {
+        let (dataset, reads) = served(16, 8, 2, 4);
+        let n = reads.len() as u64;
+        let session = dataset.session();
+        assert!(matches!(
+            session.get(0..n * 10).unwrap().wait(),
+            Err(StoreError::RangeOutOfBounds { .. })
+        ));
+        // The worker that answered the failing request still serves.
+        assert!(session.get(0..1).unwrap().join().is_ok());
+    }
+
+    #[test]
+    fn fail_mode_sheds_and_counts_rejections() {
+        let (dataset, _) = served(16, 8, 1, 1);
+        // One worker + depth-1 ring: a scan in flight plus one queued
+        // operation saturate the server.
+        let blocking = dataset.session();
+        let shedding = dataset.session().with_mode(SubmitMode::Fail);
+        assert_eq!(shedding.mode(), SubmitMode::Fail);
+        let slow = blocking.scan(|_| true).expect("first submit");
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..32 {
+            match shedding.get(0..1) {
+                Ok(t) => tickets.push(t),
+                Err(StoreError::QueueFull) => rejected += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(rejected > 0, "ring never filled");
+        assert_eq!(dataset.stats().rejected, rejected);
+        // Accepted work still completes.
+        assert!(slow.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn abort_cancels_queued_ops_with_typed_error() {
+        let (dataset, _) = served(16, 8, 1, 32);
+        let session = dataset.session();
+        // A deep backlog behind one worker guarantees queued-but-
+        // unserved operations at abort time.
+        let tickets: Vec<Ticket<ReadSet>> =
+            (0..24).map(|_| session.scan(|_| true).unwrap()).collect();
+        dataset.abort();
+        let mut answered = 0;
+        let mut cancelled = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => answered += 1,
+                Err(StoreError::Cancelled) => cancelled += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(cancelled > 0, "abort cancelled nothing");
+        assert_eq!(answered + cancelled, 24);
+        // The session outlives the dataset handle; submissions now
+        // fail typed instead of hanging.
+        assert!(matches!(session.get(0..1), Err(StoreError::QueueClosed)));
+    }
+
+    #[test]
+    fn abort_unblocks_backpressured_submitters() {
+        use std::sync::atomic::AtomicBool;
+        let (dataset, _) = served(16, 8, 1, 1);
+        let session = dataset.session();
+        // Stall the only worker inside a scan (sleep once, on the
+        // first read) so the ring stays full behind it.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let slow = session
+            .scan(move |_| {
+                if !g.swap(true, Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                true
+            })
+            .unwrap();
+        // Fill the depth-1 ring behind the busy worker…
+        let queued = session.get(0..1).unwrap();
+        // …and park a Block-mode submitter on the full ring.
+        let blocked_session = dataset.session();
+        let blocked = std::thread::spawn(move || blocked_session.get(0..2));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Abort must not deadlock behind the parked submitter (it
+        // used to: teardown wanted the write lock while the submitter
+        // held a read guard inside the blocking push).
+        dataset.abort();
+        match blocked.join().expect("submitter thread finishes") {
+            Err(StoreError::QueueClosed) => {}
+            Ok(t) => {
+                // Raced in before the close: it must still resolve.
+                assert!(matches!(t.wait(), Ok(_) | Err(StoreError::Cancelled)));
+            }
+            Err(other) => panic!("unexpected {other}"),
+        }
+        // The in-flight scan finished; the queued get was cancelled.
+        assert!(slow.wait().is_ok());
+        assert!(matches!(queued.wait(), Err(StoreError::Cancelled)));
+    }
+
+    #[test]
+    fn dropped_tickets_do_not_wedge_serving() {
+        let (dataset, _) = served(16, 8, 2, 8);
+        let session = dataset.session();
+        for _ in 0..8 {
+            drop(session.get(0..4).unwrap());
+        }
+        // The abandoned answers were executed and discarded; new work
+        // still flows.
+        assert!(session.get(0..2).unwrap().join().is_ok());
+        dataset.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_the_queue() {
+        let (dataset, _) = served(16, 8, 1, 16);
+        let session = dataset.session();
+        let tickets: Vec<Ticket<ReadSet>> = (0..10).map(|_| session.get(0..4).unwrap()).collect();
+        dataset.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "graceful shutdown must serve queued work");
+        }
+    }
+
+    #[test]
+    fn panicking_op_does_not_wedge_serving() {
+        let (dataset, _) = served(16, 8, 1, 4);
+        let session = dataset.session();
+        // The panicking predicate kills the only worker mid-execute.
+        let t1 = session.scan(|_| panic!("predicate bomb")).unwrap();
+        let t2 = session.get(0..1).unwrap();
+        // Shutdown must join cleanly and resolve both tickets instead
+        // of hanging their owners: the panicked op never completed,
+        // and the queued one was never picked up.
+        dataset.shutdown();
+        assert!(matches!(t1.wait(), Err(StoreError::Cancelled)));
+        assert!(matches!(t2.wait(), Err(StoreError::Cancelled)));
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_sizing() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = crate::codec::encode_sharded(&reads, &crate::StoreOptions::new(16)).unwrap();
+        let engine = Arc::new(StoreEngine::open(store, Default::default()));
+        assert!(matches!(
+            Dataset::serve(Arc::clone(&engine), 0, 4),
+            Err(StoreError::Config(crate::ConfigError::ZeroServerWorkers))
+        ));
+        assert!(matches!(
+            Dataset::serve(engine, 2, 0),
+            Err(StoreError::Config(crate::ConfigError::ZeroQueueDepth))
+        ));
+    }
+}

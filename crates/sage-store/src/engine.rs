@@ -1,4 +1,4 @@
-//! The concurrent query engine and its request-queue server.
+//! The concurrent query engine.
 //!
 //! [`StoreEngine`] is the shared-state core: an immutable-ish sharded
 //! container behind a `RwLock` (appends take the write lock), a
@@ -6,36 +6,34 @@
 //! device timing — either one [`SsdTiming`] device or a multi-SSD
 //! [`DeviceMap`] striping chunk extents across a fleet. Every method
 //! takes `&self`, so one engine in an `Arc` serves any number of
-//! client threads. The `*_traced` variants additionally report the
-//! [`DeviceCharge`]s an operation incurred, which is what lets a
-//! completion-queue reactor assign realistic queued latencies.
+//! client threads.
 //!
-//! [`StoreServer`] is a thin blocking adapter over a [`sage_io`]
-//! reactor: clients submit [`Request`]s into the bounded submission
-//! ring (blocking on backpressure, or shedding load via
-//! [`StoreServer::try_submit`]) and wait on per-request tickets that a
-//! dispatcher thread answers from the completion queues. Shutting the
-//! server down mid-queue resolves every still-queued ticket with
-//! [`StoreError::Cancelled`] instead of leaving clients hanging.
+//! All three operations run through **one path**: a typed [`StoreOp`]
+//! goes into [`StoreEngine::run_op`] and comes back as an [`OpValue`]
+//! plus an [`OpTrace`] — the device charges, chunk counts, and cache
+//! outcome the operation incurred. The convenience methods
+//! ([`StoreEngine::get`], [`scan`](StoreEngine::scan),
+//! [`append`](StoreEngine::append)) are thin wrappers that drop the
+//! trace; the serving layer ([`crate::client`]) keeps it and folds it
+//! into per-request [`OpReport`](crate::client::OpReport)s.
+//!
+//! The engine is served to concurrent clients by the typed session
+//! API in [`crate::client`]; [`EngineBackend`] is the [`IoBackend`]
+//! adapter that lets a [`sage_io::Reactor`] execute [`StoreOp`]s and
+//! place their charges on the virtual device timeline.
 
 use crate::codec::{order_preserving_compressor, ShardedStore};
 use crate::lru::{CachePolicy, CacheSnapshot, CacheStats, ChunkCache};
 use crate::manifest::ChunkMeta;
 use crate::timing::{SsdTiming, TimingSnapshot};
-use crate::{parse_chunk, Result, StoreError};
+use crate::{parse_chunk, ConfigError, Result, StoreError};
 use sage_core::{CompressOptions, OutputFormat, SageDecompressor};
 use sage_genomics::{Read, ReadSet};
-use sage_io::{
-    DeviceCharge, DeviceMap, DeviceSnapshot, IoBackend, IoConfig, Placement, Reactor,
-    ReactorSnapshot, SubmitError,
-};
+use sage_io::{DeviceCharge, DeviceMap, DeviceSnapshot, IoBackend, Placement};
 use sage_ssd::SsdConfig;
-use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -47,8 +45,9 @@ pub struct EngineConfig {
     /// When set (and `ssds` is empty), chunk fetches and appends
     /// charge this single device model.
     pub ssd: Option<SsdConfig>,
-    /// When non-empty, chunk extents are striped across this fleet
-    /// (takes precedence over `ssd`).
+    /// When non-empty, chunk extents are striped across this fleet.
+    /// Setting both `ssd` and `ssds` is a [`ConfigError::DeviceConflict`]
+    /// — see [`EngineConfig::validate`].
     pub ssds: Vec<SsdConfig>,
     /// How chunks are assigned to fleet devices.
     pub placement: Placement,
@@ -105,6 +104,23 @@ impl EngineConfig {
         self.placement = placement;
         self
     }
+
+    /// Checks the configuration for conflicting knobs.
+    ///
+    /// Configuring both [`with_ssd`](EngineConfig::with_ssd) and
+    /// [`with_ssd_fleet`](EngineConfig::with_ssd_fleet) used to
+    /// silently let the fleet win; it is now a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::DeviceConflict`] when both a single SSD and a
+    /// fleet are configured.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if self.ssd.is_some() && !self.ssds.is_empty() {
+            return Err(ConfigError::DeviceConflict);
+        }
+        Ok(())
+    }
 }
 
 /// The device side of an engine: nothing, one timed device, or a
@@ -154,6 +170,69 @@ impl Devices {
     }
 }
 
+/// One store operation — the typed request vocabulary shared by
+/// [`StoreEngine::run_op`], the reactor backend, and the session API
+/// in [`crate::client`].
+pub enum StoreOp {
+    /// Fetch reads `range` (dataset-global ids, half-open).
+    Get(Range<u64>),
+    /// Return all reads matching the predicate.
+    Scan(Box<dyn Fn(&Read) -> bool + Send>),
+    /// Append reads as new chunk(s) at the end of the dataset.
+    Append(ReadSet),
+}
+
+impl std::fmt::Debug for StoreOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreOp::Get(r) => write!(f, "Get({r:?})"),
+            StoreOp::Scan(_) => write!(f, "Scan(..)"),
+            StoreOp::Append(rs) => write!(f, "Append({} reads)", rs.len()),
+        }
+    }
+}
+
+/// The value a [`StoreOp`] produces.
+#[derive(Debug)]
+pub enum OpValue {
+    /// Reads for a `Get` or `Scan`.
+    Reads(ReadSet),
+    /// First read id assigned by an `Append`.
+    Appended(u64),
+}
+
+/// What serving one operation cost: the engine-side half of an
+/// [`OpReport`](crate::client::OpReport) (the client layer adds the
+/// virtual-time instants the reactor assigns).
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    /// Per-device charges the operation incurred (empty when every
+    /// touched chunk was cached or timing is off).
+    pub charges: Vec<DeviceCharge>,
+    /// Chunks the operation touched (decoded or served from cache;
+    /// for appends: chunks written).
+    pub chunks_touched: u64,
+    /// Touched chunks served from the decoded-chunk cache.
+    pub cache_hits: u64,
+    /// Touched chunks that had to be fetched and decoded.
+    pub cache_misses: u64,
+}
+
+impl OpTrace {
+    /// Total device service seconds across all charges.
+    pub fn device_seconds(&self) -> f64 {
+        self.charges.iter().map(|c| c.seconds).sum()
+    }
+}
+
+/// One chunk fetched through the cache.
+struct Fetched {
+    reads: Arc<ReadSet>,
+    charge: Option<DeviceCharge>,
+    /// `true` when the chunk was served from the cache.
+    hit: bool,
+}
+
 /// The mutable store state (blob + manifest) behind the engine's lock.
 #[derive(Debug)]
 struct StoreState {
@@ -173,9 +252,16 @@ pub struct StoreEngine {
 }
 
 impl StoreEngine {
-    /// Opens an engine over an encoded store.
-    pub fn open(store: ShardedStore, cfg: EngineConfig) -> StoreEngine {
-        StoreEngine {
+    /// Opens an engine over an encoded store, validating the
+    /// configuration first.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] when the configuration is invalid (e.g.
+    /// both a single SSD and a fleet configured).
+    pub fn try_open(store: ShardedStore, cfg: EngineConfig) -> Result<StoreEngine> {
+        cfg.validate()?;
+        Ok(StoreEngine {
             cache: Mutex::new(cfg.cache_policy.build(cfg.cache_chunks)),
             stats: CacheStats::default(),
             devices: Devices::open(&cfg, &store),
@@ -183,7 +269,19 @@ impl StoreEngine {
             append_workers: cfg.append_workers,
             requests_served: AtomicU64::new(0),
             state: RwLock::new(StoreState { store }),
-        }
+        })
+    }
+
+    /// Opens an engine over an encoded store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid — use
+    /// [`StoreEngine::try_open`] (or the
+    /// [`DatasetBuilder`](crate::client::DatasetBuilder)) to get the
+    /// conflict as a typed error instead.
+    pub fn open(store: ShardedStore, cfg: EngineConfig) -> StoreEngine {
+        StoreEngine::try_open(store, cfg).expect("invalid engine configuration")
     }
 
     /// Total reads currently stored.
@@ -276,11 +374,15 @@ impl StoreEngine {
     /// that fails validation charges nothing, so device counters, the
     /// traced charges, and the reactor's virtual timeline all agree on
     /// exactly the successful fetch set.
-    fn fetch_chunk(&self, meta: ChunkMeta) -> Result<(Arc<ReadSet>, Option<DeviceCharge>)> {
+    fn fetch_chunk(&self, meta: ChunkMeta) -> Result<Fetched> {
         let chunk_id = meta.id;
         if let Some(hit) = self.cache.lock().expect("cache poisoned").get(chunk_id) {
             self.stats.hit();
-            return Ok((hit, None));
+            return Ok(Fetched {
+                reads: hit,
+                charge: None,
+                hit: true,
+            });
         }
         self.stats.miss();
         // Chunks are immutable once written (appends only add new
@@ -328,56 +430,11 @@ impl StoreEngine {
             .expect("cache poisoned")
             .insert(chunk_id, Arc::clone(&reads));
         self.stats.evicted(evicted);
-        Ok((reads, charge))
-    }
-
-    /// Returns reads `range` (dataset-global ids, half-open), decoding
-    /// only the chunks the range touches.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::RangeOutOfBounds`] when the range reaches past
-    /// the stored dataset; [`StoreError::CorruptChunk`] when a chunk
-    /// fails validation.
-    pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
-        self.get_traced(range).map(|(reads, _)| reads)
-    }
-
-    /// [`StoreEngine::get`] plus the device charges the request
-    /// incurred (empty when every touched chunk was cached or timing
-    /// is off).
-    pub fn get_traced(&self, range: Range<u64>) -> Result<(ReadSet, Vec<DeviceCharge>)> {
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
-        // Snapshot the touched chunk metas under a short guard; decode
-        // happens unlocked (chunks are immutable once written).
-        let metas: Vec<ChunkMeta> = {
-            let state = self.state.read().expect("state poisoned");
-            let total = state.store.total_reads();
-            if range.end > total {
-                return Err(StoreError::RangeOutOfBounds {
-                    start: range.start,
-                    end: range.end,
-                    total,
-                });
-            }
-            state
-                .store
-                .manifest
-                .chunks_for_range(range.start, range.end)
-                .to_vec()
-        };
-        let mut out = ReadSet::new();
-        let mut charges = Vec::new();
-        for (meta, chunk) in metas.iter().zip(self.fetch_chunks(&metas)) {
-            let (chunk, charge) = chunk?;
-            charges.extend(charge);
-            let lo = range.start.saturating_sub(meta.first_read) as usize;
-            let hi = (range.end.min(meta.end_read()) - meta.first_read) as usize;
-            for r in &chunk.reads()[lo..hi] {
-                out.push(r.clone());
-            }
-        }
-        Ok((out, charges))
+        Ok(Fetched {
+            reads,
+            charge,
+            hit: false,
+        })
     }
 
     /// Fetches several chunks, fanning cold misses out over the codec
@@ -385,13 +442,8 @@ impl StoreEngine {
     /// one-chunk-at-a-time on the request thread. Cache hits are
     /// served inline first — a warm request never pays thread-spawn
     /// overhead.
-    #[allow(clippy::type_complexity)]
-    fn fetch_chunks(
-        &self,
-        metas: &[ChunkMeta],
-    ) -> Vec<Result<(Arc<ReadSet>, Option<DeviceCharge>)>> {
-        let mut out: Vec<Option<Result<(Arc<ReadSet>, Option<DeviceCharge>)>>> =
-            Vec::with_capacity(metas.len());
+    fn fetch_chunks(&self, metas: &[ChunkMeta]) -> Vec<Result<Fetched>> {
+        let mut out: Vec<Option<Result<Fetched>>> = Vec::with_capacity(metas.len());
         let mut missing: Vec<usize> = Vec::new();
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
@@ -399,7 +451,11 @@ impl StoreEngine {
                 match cache.get(meta.id) {
                     Some(hit) => {
                         self.stats.hit();
-                        out.push(Some(Ok((hit, None))));
+                        out.push(Some(Ok(Fetched {
+                            reads: hit,
+                            charge: None,
+                            hit: true,
+                        })));
                     }
                     None => {
                         out.push(None);
@@ -425,6 +481,41 @@ impl StoreEngine {
         out.into_iter().map(|o| o.expect("slot filled")).collect()
     }
 
+    /// Runs one typed operation — the single serving path behind
+    /// every public accessor, the reactor backend, and the session
+    /// API.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RangeOutOfBounds`] when a `Get` reaches past the
+    /// stored dataset; [`StoreError::CorruptChunk`] when a chunk fails
+    /// validation; codec errors from an `Append`.
+    pub fn run_op(&self, op: StoreOp) -> Result<(OpValue, OpTrace)> {
+        match op {
+            StoreOp::Get(range) => self
+                .op_get(range)
+                .map(|(reads, trace)| (OpValue::Reads(reads), trace)),
+            StoreOp::Scan(pred) => self
+                .op_scan(&*pred)
+                .map(|(reads, trace)| (OpValue::Reads(reads), trace)),
+            StoreOp::Append(reads) => self
+                .op_append(&reads)
+                .map(|(first, trace)| (OpValue::Appended(first), trace)),
+        }
+    }
+
+    /// Returns reads `range` (dataset-global ids, half-open), decoding
+    /// only the chunks the range touches.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RangeOutOfBounds`] when the range reaches past
+    /// the stored dataset; [`StoreError::CorruptChunk`] when a chunk
+    /// fails validation.
+    pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
+        self.op_get(range).map(|(reads, _)| reads)
+    }
+
     /// Returns every stored read matching `predicate`, walking all
     /// chunks through the cache.
     ///
@@ -432,31 +523,7 @@ impl StoreEngine {
     ///
     /// [`StoreError::CorruptChunk`] when a chunk fails validation.
     pub fn scan<F: Fn(&Read) -> bool>(&self, predicate: F) -> Result<ReadSet> {
-        self.scan_traced(predicate).map(|(reads, _)| reads)
-    }
-
-    /// [`StoreEngine::scan`] plus the device charges incurred.
-    pub fn scan_traced<F: Fn(&Read) -> bool>(
-        &self,
-        predicate: F,
-    ) -> Result<(ReadSet, Vec<DeviceCharge>)> {
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
-        // Snapshot the chunk table; reads appended mid-scan are not
-        // part of this scan's view.
-        let metas: Vec<ChunkMeta> = {
-            let state = self.state.read().expect("state poisoned");
-            state.store.manifest.chunks.clone()
-        };
-        let mut out = ReadSet::new();
-        let mut charges = Vec::new();
-        for chunk in self.fetch_chunks(&metas) {
-            let (chunk, charge) = chunk?;
-            charges.extend(charge);
-            for r in chunk.iter().filter(|r| predicate(r)) {
-                out.push(r.clone());
-            }
-        }
-        Ok((out, charges))
+        self.op_scan(&predicate).map(|(reads, _)| reads)
     }
 
     /// Appends reads as new chunk(s) at the end of the dataset,
@@ -467,24 +534,111 @@ impl StoreEngine {
     /// lets readers run unlocked); repeated small appends therefore
     /// accumulate undersized chunks until a future compaction pass.
     ///
+    /// # Errors
+    ///
+    /// Propagates codec failures from compressing the new chunks.
+    pub fn append(&self, reads: &ReadSet) -> Result<u64> {
+        self.op_append(reads).map(|(first, _)| first)
+    }
+
+    /// [`StoreEngine::get`] plus the device charges incurred.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
+    )]
+    pub fn get_traced(&self, range: Range<u64>) -> Result<(ReadSet, Vec<DeviceCharge>)> {
+        self.op_get(range).map(|(reads, t)| (reads, t.charges))
+    }
+
+    /// [`StoreEngine::scan`] plus the device charges incurred.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
+    )]
+    pub fn scan_traced<F: Fn(&Read) -> bool>(
+        &self,
+        predicate: F,
+    ) -> Result<(ReadSet, Vec<DeviceCharge>)> {
+        self.op_scan(&predicate)
+            .map(|(reads, t)| (reads, t.charges))
+    }
+
+    /// [`StoreEngine::append`] plus the device charges incurred.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
+    )]
+    pub fn append_traced(&self, reads: &ReadSet) -> Result<(u64, Vec<DeviceCharge>)> {
+        self.op_append(reads).map(|(first, t)| (first, t.charges))
+    }
+
+    /// The `Get` path.
+    fn op_get(&self, range: Range<u64>) -> Result<(ReadSet, OpTrace)> {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the touched chunk metas under a short guard; decode
+        // happens unlocked (chunks are immutable once written).
+        let metas: Vec<ChunkMeta> = {
+            let state = self.state.read().expect("state poisoned");
+            let total = state.store.total_reads();
+            if range.end > total {
+                return Err(StoreError::RangeOutOfBounds {
+                    start: range.start,
+                    end: range.end,
+                    total,
+                });
+            }
+            state
+                .store
+                .manifest
+                .chunks_for_range(range.start, range.end)
+                .to_vec()
+        };
+        let mut out = ReadSet::new();
+        let mut trace = OpTrace::default();
+        for (meta, fetched) in metas.iter().zip(self.fetch_chunks(&metas)) {
+            let fetched = fetched?;
+            trace.record(&fetched);
+            let lo = range.start.saturating_sub(meta.first_read) as usize;
+            let hi = (range.end.min(meta.end_read()) - meta.first_read) as usize;
+            for r in &fetched.reads.reads()[lo..hi] {
+                out.push(r.clone());
+            }
+        }
+        Ok((out, trace))
+    }
+
+    /// The `Scan` path.
+    fn op_scan(&self, predicate: &dyn Fn(&Read) -> bool) -> Result<(ReadSet, OpTrace)> {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the chunk table; reads appended mid-scan are not
+        // part of this scan's view.
+        let metas: Vec<ChunkMeta> = {
+            let state = self.state.read().expect("state poisoned");
+            state.store.manifest.chunks.clone()
+        };
+        let mut out = ReadSet::new();
+        let mut trace = OpTrace::default();
+        for fetched in self.fetch_chunks(&metas) {
+            let fetched = fetched?;
+            trace.record(&fetched);
+            for r in fetched.reads.iter().filter(|r| predicate(r)) {
+                out.push(r.clone());
+            }
+        }
+        Ok((out, trace))
+    }
+
+    /// The `Append` path.
+    ///
     /// The chunks are compressed *before* the state write lock is
     /// taken (in parallel over the codec's worker pool), so concurrent
     /// `get`/`scan` traffic only waits for the cheap blob/manifest
     /// splice. Concurrent appends serialize at the splice; their read
     /// ids are assigned there, in splice order.
-    ///
-    /// # Errors
-    ///
-    /// Propagates codec failures from compressing the new chunks.
-    pub fn append(&self, reads: &ReadSet) -> Result<u64> {
-        self.append_traced(reads).map(|(first, _)| first)
-    }
-
-    /// [`StoreEngine::append`] plus the device charges incurred.
-    pub fn append_traced(&self, reads: &ReadSet) -> Result<(u64, Vec<DeviceCharge>)> {
+    fn op_append(&self, reads: &ReadSet) -> Result<(u64, OpTrace)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         if reads.is_empty() {
-            return Ok((self.total_reads(), Vec::new()));
+            return Ok((self.total_reads(), OpTrace::default()));
         }
         // Chunk population never changes after encode, so reading it
         // outside the write lock is safe.
@@ -508,51 +662,37 @@ impl StoreEngine {
 
         let mut state = self.state.write().expect("state poisoned");
         let first_id = state.store.total_reads();
-        let mut charges = Vec::new();
+        let mut trace = OpTrace::default();
         for (chunk, bytes) in chunks.iter().zip(encoded) {
             state.store.splice_chunk(chunk.len() as u64, &bytes);
-            charges.extend(
+            trace.chunks_touched += 1;
+            trace.charges.extend(
                 self.devices
                     .charge_append(state.store.blob.len(), bytes.len()),
             );
         }
-        Ok((first_id, charges))
+        Ok((first_id, trace))
     }
 }
 
-/// A query against a [`StoreServer`].
-pub enum Request {
-    /// Fetch reads `range` (dataset-global ids).
-    Get(Range<u64>),
-    /// Return all reads matching the predicate.
-    Scan(Box<dyn Fn(&Read) -> bool + Send>),
-    /// Append reads to the dataset.
-    Append(ReadSet),
-}
-
-impl std::fmt::Debug for Request {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Request::Get(r) => write!(f, "Get({r:?})"),
-            Request::Scan(_) => write!(f, "Scan(..)"),
-            Request::Append(rs) => write!(f, "Append({} reads)", rs.len()),
+impl OpTrace {
+    /// Accounts one fetched chunk.
+    fn record(&mut self, fetched: &Fetched) {
+        self.chunks_touched += 1;
+        if fetched.hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
         }
+        self.charges.extend(fetched.charge);
     }
 }
 
-/// A server's answer to one [`Request`].
-#[derive(Debug)]
-pub enum Response {
-    /// Reads for a `Get` or `Scan`.
-    Reads(ReadSet),
-    /// First read id assigned by an `Append`.
-    Appended(u64),
-}
-
-/// The [`IoBackend`] that runs [`Request`]s against a [`StoreEngine`],
-/// reporting each request's device charges so the reactor can place it
-/// on the virtual device timeline. Public so harnesses can drive a
-/// [`Reactor`] directly (see the `io_sweep` bench).
+/// The [`IoBackend`] that runs [`StoreOp`]s against a [`StoreEngine`],
+/// reporting each operation's device charges so the reactor can place
+/// it on the virtual device timeline. Public so harnesses can drive a
+/// [`sage_io::Reactor`] directly; the session API in [`crate::client`]
+/// is the ergonomic front end.
 #[derive(Debug)]
 pub struct EngineBackend {
     engine: Arc<StoreEngine>,
@@ -571,262 +711,17 @@ impl EngineBackend {
 }
 
 impl IoBackend for EngineBackend {
-    type Op = Request;
-    type Output = Result<Response>;
+    type Op = StoreOp;
+    type Output = Result<(OpValue, OpTrace)>;
 
-    fn execute(&self, op: Request) -> (Result<Response>, Vec<DeviceCharge>) {
-        let traced = match op {
-            Request::Get(range) => self
-                .engine
-                .get_traced(range)
-                .map(|(reads, charges)| (Response::Reads(reads), charges)),
-            Request::Scan(pred) => self
-                .engine
-                .scan_traced(|r| pred(r))
-                .map(|(reads, charges)| (Response::Reads(reads), charges)),
-            Request::Append(reads) => self
-                .engine
-                .append_traced(&reads)
-                .map(|(first, charges)| (Response::Appended(first), charges)),
-        };
-        match traced {
-            Ok((response, charges)) => (Ok(response), charges),
+    fn execute(&self, op: StoreOp) -> (Self::Output, Vec<DeviceCharge>) {
+        match self.engine.run_op(op) {
+            Ok((value, trace)) => {
+                let charges = trace.charges.clone();
+                (Ok((value, trace)), charges)
+            }
             Err(e) => (Err(e), Vec::new()),
         }
-    }
-}
-
-/// A pending answer; [`RequestTicket::wait`] blocks for it.
-#[derive(Debug)]
-pub struct RequestTicket {
-    rx: Receiver<Result<Response>>,
-}
-
-impl RequestTicket {
-    /// Blocks until the server answers.
-    ///
-    /// # Errors
-    ///
-    /// The request's own error; [`StoreError::Cancelled`] when the
-    /// server shut down with the request still queued; or
-    /// [`StoreError::QueueClosed`] when the server vanished without
-    /// resolving the ticket at all.
-    pub fn wait(self) -> Result<Response> {
-        self.rx.recv().map_err(|_| StoreError::QueueClosed)?
-    }
-}
-
-/// Point-in-time server counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Requests accepted into the submission ring.
-    pub submitted: u64,
-    /// Requests completed (answered or failed).
-    pub completed: u64,
-    /// `try_submit` requests shed because the ring was full.
-    pub rejected: u64,
-    /// Requests cancelled by a shutdown while still queued.
-    pub cancelled: u64,
-    /// Requests queued in the ring right now.
-    pub queued: usize,
-}
-
-/// A bounded request queue over a completion-queue reactor in front of
-/// an engine.
-#[derive(Debug)]
-pub struct StoreServer {
-    engine: Arc<StoreEngine>,
-    reactor: Option<Reactor<EngineBackend>>,
-    pending: Arc<Mutex<HashMap<u64, SyncSender<Result<Response>>>>>,
-    dispatcher: Option<JoinHandle<()>>,
-    next_token: AtomicU64,
-    cancelled: Arc<AtomicU64>,
-}
-
-impl StoreServer {
-    /// Starts a reactor with `n_workers` threads over a submission
-    /// ring of at most `queue_depth` in-flight requests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_workers` or `queue_depth` is 0.
-    pub fn start(engine: Arc<StoreEngine>, n_workers: usize, queue_depth: usize) -> StoreServer {
-        assert!(n_workers > 0, "need at least one worker");
-        assert!(queue_depth > 0, "need a non-empty queue");
-        let reactor = Reactor::start(
-            Arc::new(EngineBackend::new(Arc::clone(&engine))),
-            IoConfig {
-                workers: n_workers,
-                queue_depth,
-                devices: engine.n_devices().max(1),
-            },
-        );
-        let pending: Arc<Mutex<HashMap<u64, SyncSender<Result<Response>>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let cancelled = Arc::new(AtomicU64::new(0));
-        let cq = reactor.completions();
-        let dispatcher = {
-            let pending = Arc::clone(&pending);
-            let cancelled = Arc::clone(&cancelled);
-            std::thread::spawn(move || {
-                while let Some(cqe) = cq.wait_any() {
-                    // A client that dropped its ticket is not an
-                    // error; its send just goes nowhere.
-                    if let Some(tx) = pending
-                        .lock()
-                        .expect("pending poisoned")
-                        .remove(&cqe.user_data)
-                    {
-                        let _ = tx.send(cqe.output);
-                    }
-                }
-                // End of stream: anything still pending was queued
-                // when the server shut down and will never execute.
-                // Resolve those tickets with a typed error instead of
-                // letting their owners hang.
-                for (_, tx) in pending.lock().expect("pending poisoned").drain() {
-                    cancelled.fetch_add(1, Ordering::Relaxed);
-                    let _ = tx.send(Err(StoreError::Cancelled));
-                }
-            })
-        };
-        StoreServer {
-            engine,
-            reactor: Some(reactor),
-            pending,
-            dispatcher: Some(dispatcher),
-            next_token: AtomicU64::new(0),
-            cancelled,
-        }
-    }
-
-    /// The engine behind the server.
-    pub fn engine(&self) -> &Arc<StoreEngine> {
-        &self.engine
-    }
-
-    fn reactor(&self) -> &Reactor<EngineBackend> {
-        self.reactor.as_ref().expect("reactor lives until shutdown")
-    }
-
-    /// Registers a ticket and hands back its token + sender slot.
-    fn register(&self) -> (u64, RequestTicket) {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = sync_channel(1);
-        self.pending
-            .lock()
-            .expect("pending poisoned")
-            .insert(token, tx);
-        (token, RequestTicket { rx })
-    }
-
-    fn unregister(&self, token: u64) {
-        self.pending
-            .lock()
-            .expect("pending poisoned")
-            .remove(&token);
-    }
-
-    /// Enqueues a request, blocking while the queue is full
-    /// (backpressure), and returns a ticket for the answer.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::QueueClosed`] when the server already shut down.
-    pub fn submit(&self, request: Request) -> Result<RequestTicket> {
-        let (token, ticket) = self.register();
-        match self.reactor().submit(request, token, 0.0) {
-            Ok(()) => Ok(ticket),
-            Err(_) => {
-                self.unregister(token);
-                Err(StoreError::QueueClosed)
-            }
-        }
-    }
-
-    /// Enqueues a request without blocking: a full queue sheds the
-    /// request instead of applying backpressure. Rejections are
-    /// counted in [`StoreServer::stats`].
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::QueueFull`] when the ring is at capacity;
-    /// [`StoreError::QueueClosed`] when the server already shut down.
-    pub fn try_submit(&self, request: Request) -> Result<RequestTicket> {
-        let (token, ticket) = self.register();
-        match self.reactor().try_submit(request, token, 0.0) {
-            Ok(()) => Ok(ticket),
-            Err(SubmitError::Full) => {
-                self.unregister(token);
-                Err(StoreError::QueueFull)
-            }
-            Err(SubmitError::Closed) => {
-                self.unregister(token);
-                Err(StoreError::QueueClosed)
-            }
-        }
-    }
-
-    /// Convenience: submit and wait.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`StoreServer::submit`] plus the request's own error.
-    pub fn call(&self, request: Request) -> Result<Response> {
-        self.submit(request)?.wait()
-    }
-
-    /// Server counters: accepted, completed, shed, and cancelled
-    /// requests.
-    pub fn stats(&self) -> ServerStats {
-        let snap = self.reactor().snapshot();
-        ServerStats {
-            submitted: snap.submitted,
-            completed: snap.completed,
-            rejected: snap.rejected,
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            queued: snap.queued,
-        }
-    }
-
-    /// The underlying reactor's accounting (virtual device busy
-    /// seconds, utilization, horizon).
-    pub fn reactor_snapshot(&self) -> ReactorSnapshot {
-        self.reactor().snapshot()
-    }
-
-    /// Stops the workers after the queue drains and joins them.
-    /// (Dropping the server does the same.)
-    pub fn shutdown(self) {
-        drop(self);
-    }
-
-    /// Stops immediately: requests still queued are *not* executed —
-    /// their tickets resolve to [`StoreError::Cancelled`].
-    pub fn abort(mut self) {
-        self.stop(false);
-    }
-
-    /// Idempotent teardown shared by `shutdown`/`abort`/`Drop`.
-    fn stop(&mut self, graceful: bool) {
-        if let Some(reactor) = self.reactor.take() {
-            if graceful {
-                reactor.shutdown();
-            } else {
-                // Unserved submissions are dropped here; the
-                // dispatcher resolves their tickets as cancelled.
-                drop(reactor.abort());
-            }
-        }
-        if let Some(d) = self.dispatcher.take() {
-            let _ = d.join();
-        }
-    }
-}
-
-impl Drop for StoreServer {
-    fn drop(&mut self) {
-        self.stop(true);
     }
 }
 
@@ -864,6 +759,20 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_device_knobs_are_a_typed_error() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(16)).unwrap();
+        let cfg = EngineConfig::default()
+            .with_ssd(SsdConfig::pcie())
+            .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]);
+        assert_eq!(cfg.validate(), Err(ConfigError::DeviceConflict));
+        match StoreEngine::try_open(store, cfg) {
+            Err(StoreError::Config(ConfigError::DeviceConflict)) => {}
+            other => panic!("expected DeviceConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn repeated_gets_hit_the_cache() {
         let (engine, _) = engine(16, 8);
         engine.get(0..16).unwrap();
@@ -879,31 +788,33 @@ mod tests {
     }
 
     #[test]
-    fn segmented_lru_engine_answers_identically() {
+    fn every_cache_policy_answers_identically() {
         let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
         let store = encode_sharded(&reads, &StoreOptions::new(16)).unwrap();
-        let lru = StoreEngine::open(
+        let reference = StoreEngine::open(
             store.clone(),
             EngineConfig::default()
                 .with_cache_chunks(4)
                 .with_cache_policy(CachePolicy::Lru),
         );
-        let slru = StoreEngine::open(
-            store,
-            EngineConfig::default()
-                .with_cache_chunks(4)
-                .with_cache_policy(CachePolicy::SegmentedLru),
-        );
-        for range in [0..16u64, 8..40, 0..reads.len() as u64] {
-            let a = lru.get(range.clone()).unwrap();
-            let b = slru.get(range).unwrap();
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(b.iter()) {
-                assert_eq!(x.seq, y.seq);
-                assert_eq!(x.qual, y.qual);
+        for policy in [CachePolicy::SegmentedLru, CachePolicy::Clock] {
+            let other = StoreEngine::open(
+                store.clone(),
+                EngineConfig::default()
+                    .with_cache_chunks(4)
+                    .with_cache_policy(policy),
+            );
+            for range in [0..16u64, 8..40, 0..reads.len() as u64] {
+                let a = reference.get(range.clone()).unwrap();
+                let b = other.get(range).unwrap();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.seq, y.seq, "{}", policy.label());
+                    assert_eq!(x.qual, y.qual, "{}", policy.label());
+                }
             }
+            assert!(other.cache_stats().hits > 0, "{}", policy.label());
         }
-        assert!(slru.cache_stats().hits > 0);
     }
 
     #[test]
@@ -937,123 +848,34 @@ mod tests {
     }
 
     #[test]
-    fn server_answers_all_request_kinds() {
+    fn run_op_answers_all_op_kinds() {
         let (engine, reads) = engine(16, 8);
-        let server = StoreServer::start(Arc::new(engine), 3, 8);
-        match server.call(Request::Get(0..4)).unwrap() {
-            Response::Reads(rs) => assert_eq!(rs.len(), 4),
-            other => panic!("wrong response {other:?}"),
+        match engine.run_op(StoreOp::Get(0..4)).unwrap() {
+            (OpValue::Reads(rs), trace) => {
+                assert_eq!(rs.len(), 4);
+                assert_eq!(trace.chunks_touched, 1);
+                assert_eq!(trace.cache_misses, 1);
+            }
+            other => panic!("wrong value {other:?}"),
         }
-        match server.call(Request::Scan(Box::new(|_| true))).unwrap() {
-            Response::Reads(rs) => assert_eq!(rs.len(), reads.len()),
-            other => panic!("wrong response {other:?}"),
+        match engine.run_op(StoreOp::Scan(Box::new(|_| true))).unwrap() {
+            (OpValue::Reads(rs), trace) => {
+                assert_eq!(rs.len(), reads.len());
+                assert_eq!(trace.chunks_touched as usize, reads.len().div_ceil(16));
+                // The scan re-touches the chunk the get decoded.
+                assert_eq!(trace.cache_hits, 1);
+            }
+            other => panic!("wrong value {other:?}"),
         }
         let extra = ReadSet::from_reads(reads.reads()[..3].to_vec());
-        match server.call(Request::Append(extra)).unwrap() {
-            Response::Appended(first) => assert_eq!(first, reads.len() as u64),
-            other => panic!("wrong response {other:?}"),
-        }
-        assert_eq!(server.engine().requests_served(), 3);
-        let stats = server.stats();
-        assert_eq!(stats.submitted, 3);
-        assert_eq!(stats.completed, 3);
-        assert_eq!(stats.rejected, 0);
-        assert_eq!(stats.cancelled, 0);
-        server.shutdown();
-    }
-
-    #[test]
-    fn server_survives_request_errors() {
-        let (engine, reads) = engine(16, 8);
-        let n = reads.len() as u64;
-        let server = StoreServer::start(Arc::new(engine), 2, 4);
-        assert!(matches!(
-            server.call(Request::Get(0..n * 10)),
-            Err(StoreError::RangeOutOfBounds { .. })
-        ));
-        // The worker that answered the failing request still serves.
-        assert!(server.call(Request::Get(0..1)).is_ok());
-    }
-
-    #[test]
-    fn try_submit_sheds_and_counts_rejections() {
-        let (engine, _) = engine(16, 8);
-        // One worker + depth-1 ring: a scan in flight plus one queued
-        // request saturate the server.
-        let server = StoreServer::start(Arc::new(engine), 1, 1);
-        let slow = server
-            .submit(Request::Scan(Box::new(|_| true)))
-            .expect("first submit");
-        let mut tickets = Vec::new();
-        let mut rejected = 0;
-        for _ in 0..32 {
-            match server.try_submit(Request::Get(0..1)) {
-                Ok(t) => tickets.push(t),
-                Err(StoreError::QueueFull) => rejected += 1,
-                Err(other) => panic!("unexpected {other}"),
+        match engine.run_op(StoreOp::Append(extra)).unwrap() {
+            (OpValue::Appended(first), trace) => {
+                assert_eq!(first, reads.len() as u64);
+                assert_eq!(trace.chunks_touched, 1);
             }
+            other => panic!("wrong value {other:?}"),
         }
-        assert!(rejected > 0, "ring never filled");
-        assert_eq!(server.stats().rejected, rejected);
-        // Accepted work still completes.
-        assert!(slow.wait().is_ok());
-        for t in tickets {
-            assert!(t.wait().is_ok());
-        }
-    }
-
-    #[test]
-    fn abort_cancels_queued_requests_with_typed_error() {
-        let (engine, _) = engine(16, 8);
-        let server = StoreServer::start(Arc::new(engine), 1, 32);
-        // A deep backlog behind one worker guarantees queued-but-
-        // unserved requests at abort time.
-        let tickets: Vec<RequestTicket> = (0..24)
-            .map(|_| server.submit(Request::Scan(Box::new(|_| true))).unwrap())
-            .collect();
-        server.abort();
-        let mut answered = 0;
-        let mut cancelled = 0;
-        for t in tickets {
-            match t.wait() {
-                Ok(_) => answered += 1,
-                Err(StoreError::Cancelled) => cancelled += 1,
-                Err(other) => panic!("unexpected {other}"),
-            }
-        }
-        assert!(cancelled > 0, "abort cancelled nothing");
-        assert_eq!(answered + cancelled, 24);
-    }
-
-    #[test]
-    fn panicking_request_does_not_wedge_the_server() {
-        let (engine, _) = engine(16, 8);
-        let server = StoreServer::start(Arc::new(engine), 1, 4);
-        // The panicking predicate kills the only worker mid-execute.
-        let t1 = server
-            .submit(Request::Scan(Box::new(|_| panic!("predicate bomb"))))
-            .unwrap();
-        let t2 = server.submit(Request::Get(0..1)).unwrap();
-        // Shutdown must join cleanly (the dead worker's guard already
-        // counted it down) and resolve both tickets instead of hanging
-        // their owners: the panicked request never completed, and the
-        // queued one was never picked up.
-        server.shutdown();
-        assert!(matches!(t1.wait(), Err(StoreError::Cancelled)));
-        assert!(matches!(t2.wait(), Err(StoreError::Cancelled)));
-    }
-
-    #[test]
-    fn graceful_shutdown_drains_the_queue() {
-        let (engine, _) = engine(16, 8);
-        let server = StoreServer::start(Arc::new(engine), 1, 16);
-        let tickets: Vec<RequestTicket> = (0..10)
-            .map(|_| server.submit(Request::Get(0..4)).unwrap())
-            .collect();
-        server.shutdown();
-        for t in tickets {
-            assert!(t.wait().is_ok(), "graceful shutdown must serve queued work");
-        }
+        assert_eq!(engine.requests_served(), 3);
     }
 
     #[test]
@@ -1091,14 +913,22 @@ mod tests {
         );
         assert_eq!(engine.n_devices(), 2);
         let n = engine.total_reads();
-        let (_, charges) = engine.get_traced(0..n).unwrap();
-        assert_eq!(charges.len(), n_chunks);
+        let (value, trace) = engine.run_op(StoreOp::Get(0..n)).unwrap();
+        assert!(matches!(value, OpValue::Reads(_)));
+        assert_eq!(trace.charges.len(), n_chunks);
+        assert_eq!(trace.chunks_touched as usize, n_chunks);
+        assert_eq!(trace.cache_misses as usize, n_chunks);
+        assert_eq!(trace.cache_hits, 0);
         // Round-robin: consecutive chunks alternate devices.
-        let on_dev0 = charges.iter().filter(|c| c.device == 0).count();
-        let on_dev1 = charges.iter().filter(|c| c.device == 1).count();
+        let on_dev0 = trace.charges.iter().filter(|c| c.device == 0).count();
+        let on_dev1 = trace.charges.iter().filter(|c| c.device == 1).count();
         assert!(on_dev0 > 0 && on_dev1 > 0);
         assert_eq!(on_dev0 + on_dev1, n_chunks);
-        assert!(charges.iter().all(|c| c.seconds > 0.0));
+        assert!(trace.charges.iter().all(|c| c.seconds > 0.0));
+        assert!(
+            (trace.device_seconds() - trace.charges.iter().map(|c| c.seconds).sum::<f64>()).abs()
+                < 1e-18
+        );
         let snaps = engine.device_snapshots();
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].reads as usize, on_dev0);
@@ -1121,10 +951,14 @@ mod tests {
                 .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::sata()]),
         );
         let extra = ReadSet::from_reads(reads.reads()[..20].to_vec());
-        let (first, charges) = engine.append_traced(&extra).unwrap();
+        let (value, trace) = engine.run_op(StoreOp::Append(extra.clone())).unwrap();
+        let OpValue::Appended(first) = value else {
+            panic!("wrong value kind");
+        };
         assert_eq!(first, reads.len() as u64);
         // 20 reads / 8 per chunk = 3 chunks appended, each charged.
-        assert_eq!(charges.len(), 3);
+        assert_eq!(trace.charges.len(), 3);
+        assert_eq!(trace.chunks_touched, 3);
         let agg = engine.timing_snapshot();
         assert_eq!(agg.writes, 3);
         // Appended reads come back bit-identical.

@@ -16,14 +16,21 @@
 //! - [`manifest`] — a serialized index mapping read-id ranges →
 //!   chunk → byte [`Extent`], so any read range can be answered by
 //!   decoding only the chunks it touches;
-//! - [`engine`] — [`StoreEngine`] answers concurrent `get(range)` /
-//!   `scan(predicate)` / `append(reads)` calls behind a pluggable
-//!   cache of decoded chunks ([`lru`]: plain LRU or segmented LRU,
-//!   hit/miss statistics exported), and [`StoreServer`] fronts it with
-//!   a [`sage_io`] completion-queue reactor — a bounded submission
-//!   ring (blocking backpressure or counted load-shedding via
-//!   [`StoreServer::try_submit`]), a fixed worker set, and typed
-//!   cancellation of requests still queued at shutdown;
+//! - [`engine`] — [`StoreEngine`] answers concurrent operations
+//!   behind a pluggable cache of decoded chunks ([`lru`]: LRU,
+//!   segmented LRU, or CLOCK; hit/miss statistics exported). All
+//!   three operation kinds run through one typed path
+//!   ([`engine::StoreOp`] → [`StoreEngine::run_op`] →
+//!   [`engine::OpValue`] + [`engine::OpTrace`]);
+//! - [`client`] — **the serving front end**: a [`DatasetBuilder`]
+//!   folds codec, engine, and server knobs into one validated
+//!   configuration and produces a [`Dataset`]; [`Session`]s on it
+//!   return *typed tickets* resolving to [`OpReport`]-carrying
+//!   completions, with blocking vs. load-shedding submission a
+//!   per-session [`SubmitMode`] and a shared closed-loop driver for
+//!   load studies;
+//! - [`shim`] — the deprecated `Request`/`Response`/`StoreServer`
+//!   surface, kept as a thin layer over [`client`] for one release;
 //! - [`timing`] — SSD-backed timing: a single device maps the blob
 //!   onto [`sage_ssd::SageLayout`] pages and charges
 //!   [`sage_ssd::SsdModel`] latencies per chunk fetch, or a fleet
@@ -34,34 +41,44 @@
 //! ## Quickstart
 //!
 //! ```
-//! use sage_store::{encode_sharded, EngineConfig, StoreEngine, StoreOptions};
+//! use sage_store::client::DatasetBuilder;
 //! use sage_genomics::sim::{simulate_dataset, DatasetProfile};
 //!
 //! # fn main() -> Result<(), sage_store::StoreError> {
 //! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
-//! let sharded = encode_sharded(&ds.reads, &StoreOptions::new(64))?;
-//! let engine = StoreEngine::open(sharded, EngineConfig::default());
-//! let some = engine.get(10..20)?;
+//! let dataset = DatasetBuilder::new().chunk_reads(64).encode(&ds.reads)?;
+//! let session = dataset.session();
+//! let some = session.get(10..20)?.join()?;   // Ticket<ReadSet>
 //! assert_eq!(some.len(), 10);
 //! assert_eq!(some.reads()[0].seq, ds.reads.reads()[10].seq);
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod client;
 pub mod codec;
 pub mod engine;
 pub mod lru;
 pub mod manifest;
+pub mod shim;
 pub mod timing;
 
-pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
-pub use engine::{
-    EngineBackend, EngineConfig, Request, RequestTicket, Response, ServerStats, StoreEngine,
-    StoreServer,
+pub use client::{
+    ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LoadReport, OpReport, ServerStats,
+    Session, SubmitMode, Ticket,
 };
-pub use lru::{CachePolicy, CacheSnapshot, CacheStats, ChunkCache, LruCache, SegmentedLruCache};
+pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
+pub use engine::{EngineBackend, EngineConfig, OpTrace, OpValue, StoreEngine, StoreOp};
+pub use lru::{
+    CachePolicy, CacheSnapshot, CacheStats, ChunkCache, ClockCache, LruCache, SegmentedLruCache,
+};
 pub use manifest::{ChunkMeta, StoreManifest};
 pub use timing::{SsdTiming, TimingSnapshot};
+
+// The deprecated serving surface, re-exported at the old paths for
+// one release.
+#[allow(deprecated)]
+pub use shim::{Request, RequestTicket, Response, StoreServer};
 
 // The store's multi-device and queueing vocabulary comes from the I/O
 // substrate; re-exported so store users need not name sage-io.
@@ -70,9 +87,56 @@ pub use sage_io::{DeviceCharge, DeviceSnapshot, Placement};
 use sage_core::error::SageError;
 use sage_core::{Extent, SageArchive};
 
+/// An invalid engine/server configuration, detected before anything
+/// is built. Produced by [`DatasetBuilder`] and
+/// [`StoreEngine::try_open`] — conflicting knobs are a typed error
+/// instead of silent last-wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Both a single SSD and an SSD fleet were configured; a store is
+    /// timed by exactly one device model.
+    DeviceConflict,
+    /// An SSD fleet was configured but holds no devices.
+    EmptyFleet,
+    /// A placement policy was chosen without configuring a fleet to
+    /// place chunks on.
+    PlacementWithoutFleet,
+    /// The serving layer was sized with zero worker threads.
+    ZeroServerWorkers,
+    /// The submission ring was sized with zero capacity.
+    ZeroQueueDepth,
+    /// Chunks were sized to hold zero reads.
+    ZeroChunkReads,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::DeviceConflict => write!(
+                f,
+                "conflicting device knobs: both a single SSD and an SSD fleet were configured"
+            ),
+            ConfigError::EmptyFleet => write!(f, "the configured SSD fleet holds no devices"),
+            ConfigError::PlacementWithoutFleet => {
+                write!(
+                    f,
+                    "a placement policy was chosen but no SSD fleet is configured"
+                )
+            }
+            ConfigError::ZeroServerWorkers => write!(f, "the server needs at least one worker"),
+            ConfigError::ZeroQueueDepth => write!(f, "the submission ring needs capacity ≥ 1"),
+            ConfigError::ZeroChunkReads => write!(f, "chunks must hold at least one read"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Errors produced by the store.
 #[derive(Debug)]
 pub enum StoreError {
+    /// The configuration is invalid (conflicting or degenerate knobs).
+    Config(ConfigError),
     /// A chunk failed to encode or decode; typed header errors
     /// ([`SageError::BadMagic`] etc.) identify *how* a chunk is bad.
     Codec(SageError),
@@ -109,6 +173,7 @@ pub enum StoreError {
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            StoreError::Config(e) => write!(f, "invalid configuration: {e}"),
             StoreError::Codec(e) => write!(f, "codec error: {e}"),
             StoreError::CorruptChunk { chunk_id, cause } => {
                 write!(f, "corrupt chunk {chunk_id}: {cause}")
@@ -133,6 +198,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Codec(e) | StoreError::CorruptChunk { cause: e, .. } => Some(e),
+            StoreError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -141,6 +207,12 @@ impl std::error::Error for StoreError {
 impl From<SageError> for StoreError {
     fn from(e: SageError) -> StoreError {
         StoreError::Codec(e)
+    }
+}
+
+impl From<ConfigError> for StoreError {
+    fn from(e: ConfigError) -> StoreError {
+        StoreError::Config(e)
     }
 }
 

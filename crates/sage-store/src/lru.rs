@@ -7,7 +7,7 @@
 //! chunks: chunk population is fixed at encode time, so chunk count is
 //! a faithful proxy for memory.
 //!
-//! Two eviction policies implement the [`ChunkCache`] trait (the
+//! Three eviction policies implement the [`ChunkCache`] trait (the
 //! ROADMAP's eviction-policy ablation grows here):
 //!
 //! - [`LruCache`] — plain least-recently-used.
@@ -15,6 +15,11 @@
 //!   segment; only a second touch promotes them into the *protected*
 //!   segment. One-shot scans churn probation and leave the hot set
 //!   alone, which plain LRU cannot do.
+//! - [`ClockCache`] — CLOCK (second-chance): a circular buffer of
+//!   slots with one reference bit each; the hand sweeps past recently
+//!   touched slots, clearing their bit, and evicts the first
+//!   untouched one. LRU-like behavior at O(1) amortized bookkeeping —
+//!   the classic buffer-pool policy, here as an ablation point.
 
 use sage_genomics::ReadSet;
 use std::collections::HashMap;
@@ -51,6 +56,8 @@ pub enum CachePolicy {
     Lru,
     /// Segmented LRU (probationary + protected segments).
     SegmentedLru,
+    /// CLOCK / second-chance (reference bits swept by a hand).
+    Clock,
 }
 
 impl CachePolicy {
@@ -59,6 +66,25 @@ impl CachePolicy {
         match self {
             CachePolicy::Lru => Box::new(LruCache::new(capacity)),
             CachePolicy::SegmentedLru => Box::new(SegmentedLruCache::new(capacity)),
+            CachePolicy::Clock => Box::new(ClockCache::new(capacity)),
+        }
+    }
+
+    /// All policies, for ablation sweeps.
+    pub fn all() -> [CachePolicy; 3] {
+        [
+            CachePolicy::Lru,
+            CachePolicy::SegmentedLru,
+            CachePolicy::Clock,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::SegmentedLru => "slru",
+            CachePolicy::Clock => "clock",
         }
     }
 }
@@ -359,6 +385,131 @@ impl ChunkCache for SegmentedLruCache {
     }
 }
 
+/// One slot of a [`ClockCache`]: an entry plus its reference bit.
+#[derive(Debug)]
+struct ClockSlot {
+    chunk_id: u32,
+    referenced: bool,
+    reads: Arc<ReadSet>,
+}
+
+/// A CLOCK (second-chance) cache keyed by chunk id.
+///
+/// Entries live in a fixed circular buffer; each carries a reference
+/// bit set on every touch. On eviction a hand sweeps the ring: slots
+/// with the bit set get a second chance (bit cleared, hand moves on),
+/// and the first slot found with the bit clear is the victim. The
+/// sweep is O(1) amortized — each pass clears bits that took O(1) each
+/// to set — which is why buffer pools prefer CLOCK to exact LRU at
+/// scale.
+#[derive(Debug)]
+pub struct ClockCache {
+    capacity: usize,
+    hand: usize,
+    slots: Vec<Option<ClockSlot>>,
+    /// chunk id → slot index.
+    index: HashMap<u32, usize>,
+}
+
+impl ClockCache {
+    /// A cache holding at most `capacity` decoded chunks. The slot
+    /// ring grows lazily with the resident set, so a huge capacity
+    /// costs nothing until it is actually used.
+    pub fn new(capacity: usize) -> ClockCache {
+        ClockCache {
+            capacity,
+            hand: 0,
+            slots: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Advances the hand one position (wrapping).
+    fn advance(&mut self) {
+        self.hand = (self.hand + 1) % self.slots.len().max(1);
+    }
+
+    /// Sweeps the hand to a victim slot, granting second chances, and
+    /// evicts it. Only called when every slot is occupied, so the
+    /// sweep terminates within two revolutions.
+    fn evict_one(&mut self) {
+        loop {
+            let slot = self.slots[self.hand]
+                .as_mut()
+                .expect("evict_one only runs on a full ring");
+            if slot.referenced {
+                slot.referenced = false;
+                self.advance();
+                continue;
+            }
+            let victim = self.slots[self.hand].take().expect("occupied");
+            self.index.remove(&victim.chunk_id);
+            // The freed slot is where the next insert lands; leave the
+            // hand pointing at it.
+            return;
+        }
+    }
+}
+
+impl ChunkCache for ClockCache {
+    fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>> {
+        let &i = self.index.get(&chunk_id)?;
+        let slot = self.slots[i].as_mut().expect("indexed slot occupied");
+        slot.referenced = true;
+        Some(Arc::clone(&slot.reads))
+    }
+
+    fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        // A resident chunk gets its value refreshed in place.
+        if let Some(&i) = self.index.get(&chunk_id) {
+            let slot = self.slots[i].as_mut().expect("indexed slot occupied");
+            slot.referenced = true;
+            slot.reads = reads;
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.slots.len() < self.capacity {
+            // Warm-up: grow the ring to the full configured capacity
+            // instead of evicting.
+            self.slots.push(None);
+        } else if self.index.len() >= self.slots.len() {
+            self.evict_one();
+            evicted = 1;
+        }
+        // Find the free slot (the hand sits on one after eviction;
+        // scan during warm-up).
+        let free = if self.slots[self.hand].is_none() {
+            self.hand
+        } else {
+            (0..self.slots.len())
+                .find(|&i| self.slots[i].is_none())
+                .expect("a slot is free after eviction")
+        };
+        self.slots[free] = Some(ClockSlot {
+            chunk_id,
+            // A fresh entry starts *unreferenced*: only a real touch
+            // after admission earns the second chance. This is what
+            // lets a one-shot burst recycle its own slots instead of
+            // forcing touched entries out.
+            referenced: false,
+            reads,
+        });
+        self.index.insert(chunk_id, free);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,14 +636,90 @@ mod tests {
 
     #[test]
     fn policy_builds_the_right_cache() {
-        let mut a = CachePolicy::Lru.build(3);
-        let mut b = CachePolicy::SegmentedLru.build(3);
-        a.insert(1, rs(1));
-        b.insert(1, rs(1));
-        assert_eq!(a.capacity(), 3);
-        assert_eq!(b.capacity(), 3);
-        assert!(a.get(1).is_some());
-        assert!(b.get(1).is_some());
+        for policy in CachePolicy::all() {
+            let mut c = policy.build(3);
+            c.insert(1, rs(1));
+            assert_eq!(c.capacity(), 3, "{}", policy.label());
+            assert!(c.get(1).is_some(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn clock_gives_touched_entries_a_second_chance() {
+        let mut c = ClockCache::new(3);
+        for id in 0..3 {
+            c.insert(id, rs(1));
+        }
+        // Touch 0 and 1; 2's reference bit decays as the hand sweeps.
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+        assert!(ChunkCache::get(&mut c, 1).is_some());
+        // Full ring: inserting 3 must evict *something*, and the
+        // recently touched 0 and 1 must survive the sweep.
+        assert_eq!(c.insert(3, rs(1)), 1);
+        assert_eq!(c.len(), 3);
+        assert!(
+            ChunkCache::get(&mut c, 0).is_some(),
+            "touched entry evicted"
+        );
+        assert!(
+            ChunkCache::get(&mut c, 1).is_some(),
+            "touched entry evicted"
+        );
+        assert!(ChunkCache::get(&mut c, 3).is_some(), "fresh entry evicted");
+        assert!(
+            ChunkCache::get(&mut c, 2).is_none(),
+            "victim still resident"
+        );
+    }
+
+    #[test]
+    fn clock_reinsert_refreshes_in_place() {
+        let mut c = ClockCache::new(2);
+        c.insert(0, rs(1));
+        c.insert(1, rs(1));
+        assert_eq!(c.insert(1, rs(2)), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(ChunkCache::get(&mut c, 1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clock_respects_capacity_under_churn() {
+        let mut c = ClockCache::new(4);
+        let mut evictions = 0;
+        for id in 0..64 {
+            evictions += c.insert(id, rs(1));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(evictions, 60);
+        // The survivors are real, resident entries.
+        let resident = (0..64)
+            .filter(|&id| ChunkCache::get(&mut c, id).is_some())
+            .count();
+        assert_eq!(resident, 4);
+    }
+
+    #[test]
+    fn clock_honors_capacities_past_the_old_slot_cap() {
+        // The slot ring used to be silently capped at 2^16 entries;
+        // a larger configured capacity must really be usable.
+        let cap = (1 << 16) + 50;
+        let mut c = ClockCache::new(cap);
+        let shared = rs(1);
+        let mut evictions = 0;
+        for id in 0..(cap as u32 + 10) {
+            evictions += c.insert(id, Arc::clone(&shared));
+        }
+        assert_eq!(c.len(), cap);
+        assert_eq!(evictions, 10);
+        assert_eq!(c.capacity(), cap);
+    }
+
+    #[test]
+    fn clock_zero_capacity_caches_nothing() {
+        let mut c = ClockCache::new(0);
+        assert_eq!(c.insert(5, rs(1)), 0);
+        assert!(ChunkCache::get(&mut c, 5).is_none());
+        assert!(ChunkCache::is_empty(&c));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! The deprecated `Request`/`Response`/`StoreServer` surface, kept as
+//! a thin shim over the typed session layer ([`crate::client`]) for
+//! one release.
+//!
+//! Everything here delegates to a [`Dataset`]/[`Session`] pair: a
+//! [`Request`] is translated into the matching typed submission, and
+//! the answer is folded back into the stringly [`Response`] enum.
+//! New code should use [`crate::client`] directly — typed tickets
+//! make the variant mismatch these enums force callers to
+//! pattern-match around unrepresentable, and every result carries an
+//! `OpReport`.
+
+#![allow(deprecated)]
+
+use crate::client::{Dataset, ServerStats, Session, SubmitMode, Ticket};
+use crate::engine::StoreEngine;
+use crate::Result;
+use sage_genomics::{Read, ReadSet};
+use sage_io::ReactorSnapshot;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A query against a [`StoreServer`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use sage_store::client::Session — its typed tickets make request/response mismatches unrepresentable"
+)]
+pub enum Request {
+    /// Fetch reads `range` (dataset-global ids).
+    Get(Range<u64>),
+    /// Return all reads matching the predicate.
+    Scan(Box<dyn Fn(&Read) -> bool + Send>),
+    /// Append reads to the dataset.
+    Append(ReadSet),
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Request::Get(r) => write!(f, "Get({r:?})"),
+            Request::Scan(_) => write!(f, "Scan(..)"),
+            Request::Append(rs) => write!(f, "Append({} reads)", rs.len()),
+        }
+    }
+}
+
+/// A server's answer to one [`Request`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use sage_store::client::Session — typed tickets return ReadSet / u64 directly"
+)]
+#[derive(Debug)]
+pub enum Response {
+    /// Reads for a `Get` or `Scan`.
+    Reads(ReadSet),
+    /// First read id assigned by an `Append`.
+    Appended(u64),
+}
+
+/// The typed ticket behind one shimmed request.
+enum AnyTicket {
+    Reads(Ticket<ReadSet>),
+    Appended(Ticket<u64>),
+}
+
+/// A pending answer; [`RequestTicket::wait`] blocks for it.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sage_store::client::Ticket, which is typed by its result and carries an OpReport"
+)]
+pub struct RequestTicket {
+    inner: AnyTicket,
+}
+
+impl std::fmt::Debug for RequestTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RequestTicket(..)")
+    }
+}
+
+impl RequestTicket {
+    /// Blocks until the server answers.
+    ///
+    /// # Errors
+    ///
+    /// The request's own error; [`crate::StoreError::Cancelled`] when
+    /// the server shut down with the request still queued; or
+    /// [`crate::StoreError::QueueClosed`] when the server vanished
+    /// without resolving the ticket at all.
+    pub fn wait(self) -> Result<Response> {
+        match self.inner {
+            AnyTicket::Reads(t) => t.join().map(Response::Reads),
+            AnyTicket::Appended(t) => t.join().map(Response::Appended),
+        }
+    }
+}
+
+/// A bounded request queue over a completion-queue reactor in front
+/// of an engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use sage_store::client::{DatasetBuilder, Dataset, Session} — one validated entry point onto the same serving path"
+)]
+#[derive(Debug)]
+pub struct StoreServer {
+    dataset: Dataset,
+}
+
+impl StoreServer {
+    /// Starts a reactor with `n_workers` threads over a submission
+    /// ring of at most `queue_depth` in-flight requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` or `queue_depth` is 0. (The replacement,
+    /// [`crate::client::Dataset::serve`], returns a typed error
+    /// instead.)
+    pub fn start(engine: Arc<StoreEngine>, n_workers: usize, queue_depth: usize) -> StoreServer {
+        StoreServer {
+            dataset: Dataset::serve(engine, n_workers, queue_depth)
+                .expect("need at least one worker and a non-empty queue"),
+        }
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<StoreEngine> {
+        self.dataset.engine()
+    }
+
+    fn submit_via(&self, session: &Session, request: Request) -> Result<RequestTicket> {
+        let inner = match request {
+            Request::Get(range) => AnyTicket::Reads(session.get(range)?),
+            Request::Scan(pred) => AnyTicket::Reads(session.scan(pred)?),
+            Request::Append(reads) => AnyTicket::Appended(session.append(&reads)?),
+        };
+        Ok(RequestTicket { inner })
+    }
+
+    /// Enqueues a request, blocking while the queue is full
+    /// (backpressure), and returns a ticket for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::QueueClosed`] when the server already
+    /// shut down.
+    pub fn submit(&self, request: Request) -> Result<RequestTicket> {
+        self.submit_via(&self.dataset.session(), request)
+    }
+
+    /// Enqueues a request without blocking: a full queue sheds the
+    /// request instead of applying backpressure. Rejections are
+    /// counted in [`StoreServer::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::QueueFull`] when the ring is at capacity;
+    /// [`crate::StoreError::QueueClosed`] when the server already
+    /// shut down.
+    pub fn try_submit(&self, request: Request) -> Result<RequestTicket> {
+        self.submit_via(&self.dataset.session().with_mode(SubmitMode::Fail), request)
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreServer::submit`] plus the request's own error.
+    pub fn call(&self, request: Request) -> Result<Response> {
+        self.submit(request)?.wait()
+    }
+
+    /// Server counters: accepted, completed, shed, and cancelled
+    /// requests.
+    pub fn stats(&self) -> ServerStats {
+        self.dataset.stats()
+    }
+
+    /// The underlying reactor's accounting (virtual device busy
+    /// seconds, utilization, horizon).
+    pub fn reactor_snapshot(&self) -> ReactorSnapshot {
+        self.dataset.reactor_snapshot()
+    }
+
+    /// Stops the workers after the queue drains and joins them.
+    /// (Dropping the server does the same.)
+    pub fn shutdown(self) {
+        self.dataset.shutdown();
+    }
+
+    /// Stops immediately: requests still queued are *not* executed —
+    /// their tickets resolve to [`crate::StoreError::Cancelled`].
+    pub fn abort(self) {
+        self.dataset.abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_sharded;
+    use crate::{EngineConfig, StoreError, StoreOptions};
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+
+    fn server(workers: usize, depth: usize) -> (StoreServer, ReadSet) {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(16)).unwrap();
+        let engine = Arc::new(StoreEngine::open(
+            store,
+            EngineConfig::default().with_cache_chunks(8),
+        ));
+        (StoreServer::start(engine, workers, depth), reads)
+    }
+
+    #[test]
+    fn shim_answers_all_request_kinds() {
+        let (server, reads) = server(3, 8);
+        match server.call(Request::Get(0..4)).unwrap() {
+            Response::Reads(rs) => assert_eq!(rs.len(), 4),
+            other => panic!("wrong response {other:?}"),
+        }
+        match server.call(Request::Scan(Box::new(|_| true))).unwrap() {
+            Response::Reads(rs) => assert_eq!(rs.len(), reads.len()),
+            other => panic!("wrong response {other:?}"),
+        }
+        let extra = ReadSet::from_reads(reads.reads()[..3].to_vec());
+        match server.call(Request::Append(extra)).unwrap() {
+            Response::Appended(first) => assert_eq!(first, reads.len() as u64),
+            other => panic!("wrong response {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shim_try_submit_sheds_load() {
+        let (server, _) = server(1, 1);
+        let slow = server
+            .submit(Request::Scan(Box::new(|_| true)))
+            .expect("first submit");
+        let mut rejected = 0;
+        let mut tickets = Vec::new();
+        for _ in 0..32 {
+            match server.try_submit(Request::Get(0..1)) {
+                Ok(t) => tickets.push(t),
+                Err(StoreError::QueueFull) => rejected += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(rejected > 0, "ring never filled");
+        assert_eq!(server.stats().rejected, rejected);
+        assert!(slow.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn shim_abort_cancels_queued_requests() {
+        let (server, _) = server(1, 32);
+        let tickets: Vec<RequestTicket> = (0..16)
+            .map(|_| server.submit(Request::Scan(Box::new(|_| true))).unwrap())
+            .collect();
+        server.abort();
+        let mut cancelled = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => {}
+                Err(StoreError::Cancelled) => cancelled += 1,
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(cancelled > 0, "abort cancelled nothing");
+    }
+}

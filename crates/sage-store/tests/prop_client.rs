@@ -1,0 +1,233 @@
+//! Property tests: the serving layer must be an access-path detail,
+//! never a data-path difference — a [`Session`]'s `get`/`scan`/
+//! `append` must return bit-identical results to direct
+//! [`StoreEngine`] calls across chunk sizes, cache policies, and
+//! fleet shapes; and the ticket lifecycle (drop, queue-full, cancel)
+//! must never corrupt subsequent answers.
+
+use proptest::prelude::*;
+use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+use sage_genomics::ReadSet;
+use sage_ssd::SsdConfig;
+use sage_store::client::{DatasetBuilder, SubmitMode};
+use sage_store::{
+    encode_sharded, CachePolicy, EngineConfig, Placement, StoreEngine, StoreError, StoreOptions,
+};
+
+/// The device shapes under test: untimed, one SSD, a homogeneous
+/// round-robin fleet, and a mixed capacity-weighted fleet.
+fn apply_devices(shape: u8, cfg: EngineConfig) -> EngineConfig {
+    match shape {
+        0 => cfg,
+        1 => cfg.with_ssd(SsdConfig::pcie()),
+        2 => cfg.with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]),
+        _ => cfg
+            .with_ssd_fleet(vec![
+                SsdConfig::pcie(),
+                SsdConfig::sata(),
+                SsdConfig::pcie(),
+            ])
+            .with_placement(Placement::CapacityWeighted),
+    }
+}
+
+fn apply_devices_builder(shape: u8, b: DatasetBuilder) -> DatasetBuilder {
+    match shape {
+        0 => b,
+        1 => b.ssd(SsdConfig::pcie()),
+        2 => b.ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]),
+        _ => b
+            .ssd_fleet(vec![
+                SsdConfig::pcie(),
+                SsdConfig::sata(),
+                SsdConfig::pcie(),
+            ])
+            .placement(Placement::CapacityWeighted),
+    }
+}
+
+fn policy_for(ix: u8) -> CachePolicy {
+    CachePolicy::all()[ix as usize % CachePolicy::all().len()]
+}
+
+fn assert_same_reads(a: &ReadSet, b: &ReadSet, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.seq, y.seq, "{what}: base mismatch");
+        assert_eq!(x.qual, y.qual, "{what}: quality mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One configuration point: same sharded store served two ways —
+    /// directly via `StoreEngine` and through a `Session` — must
+    /// answer get, scan, and append bit-identically.
+    #[test]
+    fn session_equals_direct_engine(
+        seed in 0u64..1000,
+        chunk_ix in 0usize..4,
+        policy_ix in 0u8..3,
+        shape in 0u8..4,
+        cache_chunks in 0usize..6,
+    ) {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), seed).reads;
+        let n = reads.len() as u64;
+        // Chunk sizes: single-read, a prime that never divides
+        // evenly, a power of two, and one chunk larger than the set.
+        let chunk = [1usize, 7, 16, reads.len() + 5][chunk_ix];
+        let policy = policy_for(policy_ix);
+        let sharded = encode_sharded(&reads, &StoreOptions::new(chunk)).unwrap();
+
+        let engine = StoreEngine::open(
+            sharded.clone(),
+            apply_devices(
+                shape,
+                EngineConfig::default()
+                    .with_cache_chunks(cache_chunks)
+                    .with_cache_policy(policy),
+            ),
+        );
+        let dataset = apply_devices_builder(
+            shape,
+            DatasetBuilder::new()
+                .cache_chunks(cache_chunks)
+                .cache_policy(policy)
+                .server_workers(2)
+                .queue_depth(4),
+        )
+        .open(sharded)
+        .unwrap();
+        let session = dataset.session();
+
+        // Gets: a few deterministic windows derived from the seed.
+        for k in 0..4u64 {
+            let start = (seed.wrapping_mul(31).wrapping_add(k * 17)) % n;
+            let span = 1 + (seed.wrapping_add(k * 7)) % 40;
+            let range = start..(start + span).min(n);
+            let direct = engine.get(range.clone()).unwrap();
+            let served = session.get(range.clone()).unwrap().join().unwrap();
+            assert_same_reads(&direct, &served, "get");
+            // Both equal the source, read for read.
+            for (i, r) in direct.iter().enumerate() {
+                prop_assert_eq!(&r.seq, &reads.reads()[range.start as usize + i].seq);
+            }
+        }
+
+        // Scan: a content predicate over every chunk.
+        let cut = 1 + (seed % 50) as usize;
+        let direct = engine.scan(move |r| r.len() > cut).unwrap();
+        let served = session.scan(move |r| r.len() > cut).unwrap().join().unwrap();
+        assert_same_reads(&direct, &served, "scan");
+
+        // Append: both stores extend identically (ids and content).
+        let extra = ReadSet::from_reads(reads.reads()[..(seed % 9 + 1) as usize].to_vec());
+        let direct_first = engine.append(&extra).unwrap();
+        let served_first = session.append(&extra).unwrap().join().unwrap();
+        prop_assert_eq!(direct_first, served_first);
+        prop_assert_eq!(direct_first, n);
+        let tail = direct_first..direct_first + extra.len() as u64;
+        assert_same_reads(
+            &engine.get(tail.clone()).unwrap(),
+            &session.get(tail).unwrap().join().unwrap(),
+            "post-append get",
+        );
+        dataset.shutdown();
+    }
+}
+
+/// Dropped tickets (abandoned answers) must not corrupt or stall the
+/// answers of later operations — across every cache policy.
+#[test]
+fn dropped_tickets_never_corrupt_later_answers() {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 77).reads;
+    for policy in CachePolicy::all() {
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(2)
+            .cache_policy(policy)
+            .server_workers(2)
+            .queue_depth(4)
+            .encode(&reads)
+            .unwrap();
+        let session = dataset.session();
+        for i in 0..12u64 {
+            // Every third ticket is dropped unharvested.
+            let t = session.get(i..i + 8).unwrap();
+            if i % 3 == 0 {
+                drop(t);
+            } else {
+                let got = t.join().unwrap();
+                for (k, r) in got.iter().enumerate() {
+                    assert_eq!(
+                        r.seq,
+                        reads.reads()[i as usize + k].seq,
+                        "{}",
+                        policy.label()
+                    );
+                }
+            }
+        }
+        dataset.shutdown();
+    }
+}
+
+/// The queue-full path: `Fail` mode sheds typed errors, and shed
+/// submissions leave no pending-state residue (subsequent operations
+/// still answer).
+#[test]
+fn queue_full_sheds_cleanly() {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 78).reads;
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(16)
+        .server_workers(1)
+        .queue_depth(1)
+        .encode(&reads)
+        .unwrap();
+    let slow = dataset.session().scan(|_| true).unwrap();
+    let shedding = dataset.session().with_mode(SubmitMode::Fail);
+    let mut rejected = 0u64;
+    for _ in 0..24 {
+        match shedding.get(0..1) {
+            Ok(t) => {
+                t.join().ok();
+            }
+            Err(StoreError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert!(rejected > 0, "ring never filled");
+    assert_eq!(dataset.stats().rejected, rejected);
+    assert!(slow.join().is_ok());
+    // After the storm: a clean answer, and no cancelled leftovers.
+    let got = dataset.session().get(0..4).unwrap().join().unwrap();
+    assert_eq!(got.len(), 4);
+    dataset.shutdown();
+}
+
+/// The cancelled path: tickets still queued at abort resolve with
+/// `StoreError::Cancelled`, never with wrong data or a hang.
+#[test]
+fn cancelled_tickets_resolve_typed() {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 79).reads;
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(16)
+        .server_workers(1)
+        .queue_depth(32)
+        .encode(&reads)
+        .unwrap();
+    let session = dataset.session();
+    let tickets: Vec<_> = (0..20).map(|_| session.scan(|_| true).unwrap()).collect();
+    let expected = reads.len();
+    dataset.abort();
+    let mut cancelled = 0;
+    for t in tickets {
+        match t.join() {
+            Ok(rs) => assert_eq!(rs.len(), expected, "served answer must be complete"),
+            Err(StoreError::Cancelled) => cancelled += 1,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert!(cancelled > 0, "abort cancelled nothing");
+}

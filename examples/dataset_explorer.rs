@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example dataset_explorer -- [short|long]`
 
+use sage::client::DatasetBuilder;
 use sage::core::ablation::{ablation_breakdowns, OptLevel};
 use sage::core::SageCompressor;
 use sage::genomics::sim::{simulate_dataset, DatasetProfile};
@@ -86,6 +87,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "SAGe's tuned encoding stores the mismatch information in {:.1}x less space",
         no / o4.1.total_bits() as f64
+    );
+
+    // Finally, the access-path view: serve the same dataset through
+    // the typed client API and pull one random window — the report
+    // shows how few chunks a windowed get actually decodes.
+    let chunk_reads = (ds.reads.len() / 16).max(4);
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(chunk_reads)
+        .cache_chunks(8)
+        .encode(&ds.reads)?;
+    let mid = dataset.total_reads() / 2;
+    let span = (2 * chunk_reads as u64).min(dataset.total_reads() - mid);
+    let window = dataset.session().get(mid..mid + span)?.wait()?;
+    println!(
+        "\nrandom access: a {span}-read window at id {mid} decoded {} of {} chunks",
+        window.report.chunks_touched(),
+        ds.reads.len().div_ceil(chunk_reads),
     );
     Ok(())
 }

@@ -1,84 +1,92 @@
-//! Store server: encode a dataset into the sharded chunk store, then
-//! serve concurrent random-access queries through the completion-queue
-//! reactor — with chunk extents striped across a two-SSD fleet, so
-//! every cache miss is charged a `SAGe_Read` extent command against
-//! its owning device model.
+//! Store serving: encode a dataset into the sharded chunk store and
+//! serve concurrent random-access queries through the typed session
+//! API (`sage::client`) — with chunk extents striped across a two-SSD
+//! fleet, so every cache miss is charged a `SAGe_Read` extent command
+//! against its owning device model.
+//!
+//! One builder folds every knob (codec, cache, fleet, serving);
+//! sessions return typed tickets (`get → Ticket<ReadSet>`, `append →
+//! Ticket<u64>`), and every completion carries an `OpReport` with the
+//! operation's device charges, cache outcome, and virtual latency.
 //!
 //! Run with: `cargo run --release --example store_server`
 
+use sage::client::{DatasetBuilder, SubmitMode};
 use sage::genomics::sim::{simulate_dataset, DatasetProfile};
 use sage::genomics::ReadSet;
 use sage::ssd::SsdConfig;
-use sage::store::{
-    encode_sharded, CachePolicy, EngineConfig, Request, Response, StoreEngine, StoreOptions,
-    StoreServer,
-};
-use std::sync::Arc;
+use sage::store::CachePolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Synthesize a read set and shard it into 64-read chunks,
-    //    compressed in parallel by the worker pool.
+    // 1. Synthesize a read set and build the served dataset in one
+    //    fluent pass: 64-read chunks compressed in parallel, a small
+    //    segmented-LRU cache, chunk extents striped round-robin over
+    //    a two-device PCIe fleet, four reactor workers behind a
+    //    16-deep submission ring. Conflicting knobs (say, `ssd` plus
+    //    `ssd_fleet`) would fail here with a typed ConfigError.
     let ds = simulate_dataset(&DatasetProfile::rs1().scaled(0.05), 7);
-    let sharded = encode_sharded(&ds.reads, &StoreOptions::new(64))?;
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(64)
+        .cache_chunks(6)
+        .cache_policy(CachePolicy::SegmentedLru)
+        .ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+        .server_workers(4)
+        .queue_depth(16)
+        .encode(&ds.reads)?;
     println!(
-        "sharded: {} reads -> {} chunks, {} blob bytes ({:.2}x vs raw bases)",
-        sharded.total_reads(),
-        sharded.n_chunks(),
-        sharded.blob.len(),
-        ds.reads.total_bases() as f64 / sharded.blob.len() as f64,
+        "serving {} reads across {} devices ({} blob bytes)",
+        dataset.total_reads(),
+        dataset.engine().n_devices(),
+        ds.reads.total_bases(),
     );
 
-    // 2. Open the engine over a two-device PCIe fleet (chunk extents
-    //    striped round-robin) with a small segmented-LRU cache, and
-    //    put the reactor-backed bounded-queue server in front of it.
-    let engine = Arc::new(StoreEngine::open(
-        sharded,
-        EngineConfig::default()
-            .with_cache_chunks(6)
-            .with_cache_policy(CachePolicy::SegmentedLru)
-            .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()]),
-    ));
-    let server = Arc::new(StoreServer::start(Arc::clone(&engine), 4, 16));
-
-    // 3. Four clients issue interleaved random-range gets.
-    let total = engine.total_reads();
+    // 2. Four clients issue interleaved random-range gets, each on
+    //    its own session. Tickets are typed: no response enum to
+    //    match, a `get` can only resolve to reads.
+    let total = dataset.total_reads();
     std::thread::scope(|s| {
         for c in 0..4u64 {
-            let server = Arc::clone(&server);
+            let session = dataset.session();
             s.spawn(move || {
                 for i in 0..50u64 {
                     let start = (c * 131 + i * 37) % total;
                     let end = (start + 20).min(total);
-                    let Response::Reads(reads) =
-                        server.call(Request::Get(start..end)).expect("get")
-                    else {
-                        panic!("wrong response kind")
-                    };
+                    let reads = session
+                        .get(start..end)
+                        .expect("submit")
+                        .join()
+                        .expect("get");
                     assert_eq!(reads.len() as u64, end - start);
                 }
             });
         }
     });
 
-    // 4. A predicate scan and an append go through the same queue.
-    let Response::Reads(n_heavy) = server.call(Request::Scan(Box::new(|r| r.len() >= 100)))? else {
-        panic!("wrong response kind")
-    };
-    let extra = ReadSet::from_reads(ds.reads.reads()[..32].to_vec());
-    let Response::Appended(first_new) = server.call(Request::Append(extra))? else {
-        panic!("wrong response kind")
-    };
+    // 3. A predicate scan and an append flow through the same queue —
+    //    and their completions report what serving them cost.
+    let session = dataset.session().with_mode(SubmitMode::Block);
+    let scan = session.scan(|r| r.len() >= 100)?.wait()?;
     println!(
-        "scan matched {} reads; append placed new reads at id {first_new}",
-        n_heavy.len()
+        "scan matched {} reads: touched {} chunks ({} cached), charged {:.3} ms of device time",
+        scan.value.len(),
+        scan.report.chunks_touched(),
+        scan.report.cache_hits(),
+        scan.report.charges().iter().map(|c| c.seconds).sum::<f64>() * 1e3,
+    );
+    let extra = ReadSet::from_reads(ds.reads.reads()[..32].to_vec());
+    let append = session.append(&extra)?.wait()?;
+    println!(
+        "append placed new reads at id {} ({} chunks written)",
+        append.value,
+        append.report.chunks_touched()
     );
 
-    // 5. Report what the store observed.
-    let stats = engine.cache_stats();
-    let timing = engine.timing_snapshot();
+    // 4. Report what the store observed.
+    let stats = dataset.cache_stats();
+    let timing = dataset.timing_snapshot();
     println!(
         "served {} requests; cache {:.1}% hits ({} misses, {} evictions)",
-        engine.requests_served(),
+        dataset.engine().requests_served(),
         stats.hit_rate() * 100.0,
         stats.misses,
         stats.evictions
@@ -89,7 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timing.reads,
         timing.writes
     );
-    for d in engine.device_snapshots() {
+    for d in dataset.device_snapshots() {
         println!(
             "  device {} ({}): {} chunks, {} reads, {:.3} ms busy",
             d.device,
@@ -99,10 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (d.read_seconds + d.write_seconds) * 1e3
         );
     }
-    let qstats = server.stats();
+    let qstats = dataset.stats();
     println!(
         "queue: {} submitted, {} completed, {} shed, {} cancelled",
         qstats.submitted, qstats.completed, qstats.rejected, qstats.cancelled
     );
+    dataset.shutdown();
     Ok(())
 }

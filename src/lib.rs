@@ -26,23 +26,32 @@
 //!   latency accounting, and multi-SSD extent sharding (`DeviceMap`).
 //! - [`store`] — the sharded chunk-container store: parallel chunk codec,
 //!   manifest-indexed random access, a concurrent query engine with
-//!   pluggable chunk caches (LRU, segmented LRU), and single- or
+//!   pluggable chunk caches (LRU, segmented LRU, CLOCK), and single- or
 //!   multi-SSD timing modes served through the reactor.
+//! - [`client`] — **the typed serving API** (re-export of
+//!   [`store::client`]): `DatasetBuilder` → `Dataset` → `Session`,
+//!   typed tickets with per-operation `OpReport`s, and the shared
+//!   closed-loop load driver. This is the one entry point onto the
+//!   serving path.
 //! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
-//!   paper's evaluation figures (GEM and GenStore integration, energy).
+//!   paper's evaluation figures (GEM and GenStore integration, energy),
+//!   including the store-served preparation scenario routed through a
+//!   [`client`] session.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use sage::genomics::sim::{DatasetProfile, simulate_dataset};
-//! use sage::core::{SageCompressor, SageDecompressor, OutputFormat};
+//! use sage::client::DatasetBuilder;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Synthesize a small short-read dataset and compress it.
+//! // Synthesize a small short-read dataset, encode it into the chunk
+//! // store, and serve random access through a typed session.
 //! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 42);
-//! let archive = SageCompressor::new().compress(&ds.reads)?;
-//! let reads = SageDecompressor::new(OutputFormat::Ascii).decompress(&archive)?;
-//! assert_eq!(reads.len(), ds.reads.len());
+//! let dataset = DatasetBuilder::new().chunk_reads(64).encode(&ds.reads)?;
+//! let session = dataset.session();
+//! let reads = session.get(10..20)?.join()?;   // Ticket<ReadSet>
+//! assert_eq!(reads.len(), 10);
 //! # Ok(())
 //! # }
 //! ```
@@ -55,3 +64,6 @@ pub use sage_io as io;
 pub use sage_pipeline as pipeline;
 pub use sage_ssd as ssd;
 pub use sage_store as store;
+
+// The serving front end, surfaced at the crate root: `sage::client`.
+pub use sage_store::client;

@@ -1,75 +1,60 @@
 //! End-to-end: the completion-queue reactor serving the multi-SSD
-//! chunk store through the facade crate.
+//! chunk store through the facade crate's typed client API.
 //!
-//! The bench harness (`io_sweep`) measures this path; these tests pin
-//! its semantics — data correctness under striping, virtual-time
-//! queueing behavior, and the server adapter's shed/cancel contract.
+//! The bench harnesses (`io_sweep`, `fig15_multissd`) measure this
+//! path; these tests pin its semantics — data correctness under
+//! striping, virtual-time queueing behavior, and the serving layer's
+//! shed/cancel contract — all through `sage::client`.
 
+use sage::client::{ClosedLoopSpec, Dataset, DatasetBuilder, SubmitMode, Ticket};
 use sage::genomics::sim::{simulate_dataset, DatasetProfile};
-use sage::io::{IoConfig, Reactor};
+use sage::genomics::ReadSet;
 use sage::pipeline::SystemConfig;
-use sage::store::{
-    encode_sharded, EngineBackend, EngineConfig, Request, Response, StoreEngine, StoreOptions,
-};
-use std::sync::Arc;
+use sage::store::{StoreError, StoreOp};
 
-fn striped_engine(
-    devices: usize,
-    cache_chunks: usize,
-) -> (Arc<StoreEngine>, sage::genomics::ReadSet) {
+fn striped_dataset(devices: usize, cache_chunks: usize) -> (Dataset, ReadSet) {
     let reads = simulate_dataset(&DatasetProfile::tiny_short(), 33).reads;
-    let store = encode_sharded(&reads, &StoreOptions::new(16)).expect("encode");
     let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
-    let engine = Arc::new(StoreEngine::open(
-        store,
-        EngineConfig::default()
-            .with_cache_chunks(cache_chunks)
-            .with_ssd_fleet(fleet),
-    ));
-    (engine, reads)
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(16)
+        .cache_chunks(cache_chunks)
+        .ssd_fleet(fleet)
+        .server_workers(3)
+        .queue_depth(8)
+        .encode(&reads)
+        .expect("build dataset");
+    (dataset, reads)
 }
 
 #[test]
-fn reactor_serves_striped_gets_bit_identically() {
-    let (engine, reads) = striped_engine(4, 0);
-    let n = engine.total_reads();
-    let reactor = Reactor::start(
-        Arc::new(EngineBackend::new(Arc::clone(&engine))),
-        IoConfig {
-            workers: 3,
-            queue_depth: 8,
-            devices: 4,
-        },
-    );
-    let cq = reactor.completions();
-    // 40 interleaved ranges, token ↦ range start so completions are
-    // checkable out of order.
-    for i in 0..40u64 {
-        let start = (i * 7) % n;
+fn sessions_serve_striped_gets_bit_identically() {
+    let (dataset, reads) = striped_dataset(4, 0);
+    let n = dataset.total_reads();
+    let session = dataset.session();
+    // 40 interleaved ranges; typed tickets are checkable in order
+    // while the reactor completes them out of order underneath.
+    let tickets: Vec<(u64, Ticket<ReadSet>)> = (0..40u64)
+        .map(|i| {
+            let start = (i * 7) % n;
+            let end = (start + 5).min(n);
+            (start, session.get(start..end).expect("submit"))
+        })
+        .collect();
+    for (start, ticket) in tickets {
         let end = (start + 5).min(n);
-        reactor
-            .submit(Request::Get(start..end), start, 0.0)
-            .expect("submit");
-    }
-    for _ in 0..40 {
-        let cqe = cq.wait_any().expect("live reactor");
-        let start = cqe.user_data;
-        let end = (start + 5).min(n);
-        match cqe.output.expect("get") {
-            Response::Reads(rs) => {
-                assert_eq!(rs.len() as u64, end - start);
-                for (k, r) in rs.iter().enumerate() {
-                    assert_eq!(r.seq, reads.reads()[start as usize + k].seq);
-                    assert_eq!(r.qual, reads.reads()[start as usize + k].qual);
-                }
-            }
-            other => panic!("wrong response {other:?}"),
+        let c = ticket.wait().expect("get");
+        assert_eq!(c.value.len() as u64, end - start);
+        for (k, r) in c.value.iter().enumerate() {
+            assert_eq!(r.seq, reads.reads()[start as usize + k].seq);
+            assert_eq!(r.qual, reads.reads()[start as usize + k].qual);
         }
         // Cold cache: every request charged at least one device.
-        assert!(cqe.device_seconds > 0.0);
-        assert!(cqe.completed_vt >= cqe.started_vt);
+        assert!(c.report.device_seconds > 0.0);
+        assert!(!c.report.charges().is_empty());
+        assert_eq!(c.report.cache_hits(), 0);
+        assert!(c.report.completed_vt >= c.report.started_vt);
     }
-    let snap = reactor.snapshot();
+    let snap = dataset.reactor_snapshot();
     assert_eq!(snap.completed, 40);
     assert_eq!(snap.device_busy.len(), 4);
     assert!(
@@ -77,79 +62,46 @@ fn reactor_serves_striped_gets_bit_identically() {
         "striping engaged {:?}",
         snap.device_busy
     );
-    reactor.shutdown();
+    dataset.shutdown();
 }
 
 #[test]
 fn warm_cache_requests_cost_no_device_time() {
-    let (engine, _) = striped_engine(2, 64);
-    let reactor = Reactor::start(
-        Arc::new(EngineBackend::new(engine)),
-        IoConfig {
-            workers: 1,
-            queue_depth: 4,
-            devices: 2,
-        },
-    );
-    let cq = reactor.completions();
-    reactor.submit(Request::Get(0..16), 0, 0.0).expect("cold");
-    let cold = cq.wait_any().expect("live");
-    assert!(cold.output.is_ok());
-    assert!(cold.device_seconds > 0.0);
+    let (dataset, _) = striped_dataset(2, 64);
+    let session = dataset.session();
+    let cold = session.get(0..16).expect("submit").wait().expect("cold");
+    assert!(cold.report.device_seconds > 0.0);
+    assert_eq!(cold.report.cache_misses(), 1);
     // Same chunk again: served from cache, zero virtual latency.
-    reactor.submit(Request::Get(0..16), 1, 0.0).expect("warm");
-    let warm = cq.wait_any().expect("live");
-    assert!(warm.output.is_ok());
-    assert_eq!(warm.device_seconds, 0.0);
-    assert_eq!(warm.latency(), 0.0);
-    reactor.shutdown();
+    let warm = session.get(0..16).expect("submit").wait().expect("warm");
+    assert_eq!(warm.report.device_seconds, 0.0);
+    assert_eq!(warm.report.latency(), 0.0);
+    assert_eq!(warm.report.cache_hits(), 1);
+    dataset.shutdown();
 }
 
 #[test]
 fn deeper_closed_loops_trade_latency_for_throughput() {
     // The io_sweep claim in miniature: on one device, queue depth
-    // doesn't change total service demand, so throughput is flat while
-    // p99 latency grows with depth.
-    let mean_latency = |depth: u64| {
-        let (engine, _) = striped_engine(1, 0);
-        let n = engine.total_reads();
-        let reactor = Reactor::start(
-            Arc::new(EngineBackend::new(engine)),
-            IoConfig {
-                workers: 1,
-                queue_depth: depth as usize,
-                devices: 1,
-            },
-        );
-        let cq = reactor.completions();
-        for c in 0..depth {
-            let start = (c * 17) % n;
-            reactor
-                .submit(Request::Get(start..(start + 3).min(n)), c, 0.0)
-                .expect("submit");
-        }
-        let mut sum = 0.0;
-        let mut harvested = 0u64;
-        let total = 48u64;
-        let mut issued = depth;
-        while harvested < total {
-            let cqe = cq.wait_any().expect("live");
-            assert!(cqe.output.is_ok());
-            sum += cqe.latency();
-            harvested += 1;
-            if issued < total {
-                let start = (issued * 17) % n;
-                reactor
-                    .submit(
-                        Request::Get(start..(start + 3).min(n)),
-                        cqe.user_data,
-                        cqe.completed_vt,
-                    )
-                    .expect("submit");
-                issued += 1;
-            }
-        }
-        sum / total as f64
+    // doesn't change total service demand, so throughput is flat
+    // while latency grows with depth.
+    let mean_latency = |depth: usize| {
+        let (dataset, _) = striped_dataset(1, 0);
+        let n = dataset.total_reads();
+        let report = dataset
+            .drive_closed_loop(
+                &ClosedLoopSpec {
+                    clients: depth,
+                    requests: 48,
+                    workers: 1,
+                },
+                |c, i| {
+                    let start = ((c + depth as u64 * i) * 17) % n;
+                    StoreOp::Get(start..(start + 3).min(n))
+                },
+            )
+            .expect("drive");
+        report.mean_ms()
     };
     let shallow = mean_latency(1);
     let deep = mean_latency(8);
@@ -157,4 +109,60 @@ fn deeper_closed_loops_trade_latency_for_throughput() {
         deep > shallow * 3.0,
         "depth-8 mean latency {deep} should far exceed depth-1 {shallow}"
     );
+}
+
+#[test]
+fn fail_mode_sheds_while_block_mode_backpressures() {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 34).reads;
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(16)
+        .server_workers(1)
+        .queue_depth(1)
+        .encode(&reads)
+        .expect("build");
+    let blocking = dataset.session();
+    let shedding = dataset.session().with_mode(SubmitMode::Fail);
+    let slow = blocking.scan(|_| true).expect("submit scan");
+    let mut rejected = 0u64;
+    let mut accepted = Vec::new();
+    for _ in 0..16 {
+        match shedding.get(0..1) {
+            Ok(t) => accepted.push(t),
+            Err(StoreError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert!(rejected > 0, "ring never filled");
+    assert_eq!(dataset.stats().rejected, rejected);
+    assert!(slow.wait().is_ok());
+    for t in accepted {
+        assert!(t.wait().is_ok());
+    }
+}
+
+#[test]
+fn abort_resolves_queued_tickets_with_cancelled() {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 35).reads;
+    let dataset = DatasetBuilder::new()
+        .chunk_reads(16)
+        .server_workers(1)
+        .queue_depth(24)
+        .encode(&reads)
+        .expect("build");
+    let session = dataset.session();
+    let tickets: Vec<Ticket<ReadSet>> = (0..16).map(|_| session.scan(|_| true).unwrap()).collect();
+    dataset.abort();
+    let mut cancelled = 0;
+    let mut answered = 0;
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => answered += 1,
+            Err(StoreError::Cancelled) => cancelled += 1,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert!(cancelled > 0, "abort cancelled nothing");
+    assert_eq!(answered + cancelled, 16);
+    // Submissions after teardown fail typed.
+    assert!(matches!(session.get(0..1), Err(StoreError::QueueClosed)));
 }
