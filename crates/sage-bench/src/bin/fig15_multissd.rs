@@ -106,8 +106,8 @@ fn main() {
                         format!("{n}x"),
                         format!("{:.0}", report.req_per_s),
                         format!("{:.3}", report.bases_per_sec() / 1e9),
-                        format!("{:.3}", report.p50_ms),
-                        format!("{:.3}", report.p99_ms),
+                        format!("{:.3}", report.latency.p50_ms),
+                        format!("{:.3}", report.latency.p99_ms),
                         fmt_x(speedup),
                     ],
                     &widths

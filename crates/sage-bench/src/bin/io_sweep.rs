@@ -56,8 +56,11 @@ impl Cell {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"devices\":{},\"queue_depth\":{},\"req_per_s\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4},\"utilization\":[{util}]}}",
-            self.devices, self.queue_depth, self.report.req_per_s, self.report.p50_ms, self.report.p99_ms
+            "{{\"devices\":{},\"queue_depth\":{},\"req_per_s\":{:.1},\"latency\":{},\"utilization\":[{util}]}}",
+            self.devices,
+            self.queue_depth,
+            self.report.req_per_s,
+            self.report.latency.json(),
         )
     }
 }
@@ -111,8 +114,8 @@ fn print_cell(c: &Cell, widths: &[usize]) {
                 format!("{}", c.devices),
                 format!("{}", c.queue_depth),
                 format!("{:.0}", c.report.req_per_s),
-                format!("{:.3}", c.report.p50_ms),
-                format!("{:.3}", c.report.p99_ms),
+                format!("{:.3}", c.report.latency.p50_ms),
+                format!("{:.3}", c.report.latency.p99_ms),
                 util,
             ],
             widths
@@ -194,16 +197,16 @@ fn main() {
     );
     for pair in qd_cells.windows(2) {
         assert!(
-            pair[1].report.p99_ms >= pair[0].report.p99_ms * 0.98,
+            pair[1].report.latency.p99_ms >= pair[0].report.latency.p99_ms * 0.98,
             "p99 must grow with queue depth: qd {} → {:.3} ms, qd {} → {:.3} ms",
             pair[0].queue_depth,
-            pair[0].report.p99_ms,
+            pair[0].report.latency.p99_ms,
             pair[1].queue_depth,
-            pair[1].report.p99_ms
+            pair[1].report.latency.p99_ms
         );
     }
     assert!(
-        qd_cells.last().expect("cells").report.p99_ms > qd_cells[0].report.p99_ms,
+        qd_cells.last().expect("cells").report.latency.p99_ms > qd_cells[0].report.latency.p99_ms,
         "deep queues must cost p99 latency"
     );
 }

@@ -90,6 +90,20 @@ pub struct ReactorSnapshot {
     pub utilization: Vec<f64>,
 }
 
+impl ReactorSnapshot {
+    /// Per-device utilization over a caller-chosen window — load
+    /// drivers report utilization over *their* makespan (the latest
+    /// completion they harvested), which can differ from the
+    /// scheduler's global horizon when other traffic shares the
+    /// reactor. All zeros for a non-positive window.
+    pub fn utilization_over(&self, window: f64) -> Vec<f64> {
+        if window <= 0.0 {
+            return vec![0.0; self.device_busy.len()];
+        }
+        self.device_busy.iter().map(|b| b / window).collect()
+    }
+}
+
 /// A running reactor over backend `B`.
 #[derive(Debug)]
 pub struct Reactor<B: IoBackend> {

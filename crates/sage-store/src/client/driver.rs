@@ -14,6 +14,7 @@
 //! The `io_sweep` and `fig15_multissd` benches and the pipeline's
 //! store-served preparation scenario all drive this one loop.
 
+use super::stats::LatencyStats;
 use super::Dataset;
 use crate::engine::{EngineBackend, OpValue, StoreOp};
 use crate::Result;
@@ -53,10 +54,10 @@ pub struct LoadReport {
     pub makespan: f64,
     /// Operations per virtual second.
     pub req_per_s: f64,
-    /// Median virtual latency, milliseconds.
-    pub p50_ms: f64,
-    /// 99th-percentile virtual latency, milliseconds.
-    pub p99_ms: f64,
+    /// Aggregated latency distribution — the same percentile
+    /// machinery ([`LatencyStats`]) the open-loop
+    /// [`QosReport`](super::workload::QosReport) uses.
+    pub latency: LatencyStats,
     /// Every per-operation virtual latency, seconds, ascending.
     pub latencies: Vec<f64>,
     /// Busy (service) seconds accumulated per device.
@@ -70,14 +71,6 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Mean virtual latency, milliseconds.
-    pub fn mean_ms(&self) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
-        }
-        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64 * 1e3
-    }
-
     /// Bases served per virtual second (the store's sustained
     /// preparation rate).
     pub fn bases_per_sec(&self) -> f64 {
@@ -101,15 +94,6 @@ pub fn range_for(client: u64, seq: u64, total: u64, span_max: u64) -> std::ops::
     let start = z % total;
     let end = (start + 1 + z % span_max).min(total);
     start..end
-}
-
-/// `p` in `[0, 1]` over an ascending-sorted slice.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
 }
 
 impl Dataset {
@@ -192,14 +176,9 @@ impl Dataset {
             } else {
                 0.0
             },
-            p50_ms: percentile(&latencies, 0.50) * 1e3,
-            p99_ms: percentile(&latencies, 0.99) * 1e3,
-            device_busy: snap.device_busy.clone(),
-            utilization: snap
-                .device_busy
-                .iter()
-                .map(|b| if makespan > 0.0 { b / makespan } else { 0.0 })
-                .collect(),
+            latency: LatencyStats::from_sorted_secs(&latencies),
+            utilization: snap.utilization_over(makespan),
+            device_busy: snap.device_busy,
             latencies,
             reads_served,
             bases_served,
@@ -242,8 +221,9 @@ mod tests {
         assert_eq!(report.latencies.len(), 64);
         assert!(report.makespan > 0.0);
         assert!(report.req_per_s > 0.0);
-        assert!(report.p99_ms >= report.p50_ms);
-        assert!(report.mean_ms() > 0.0);
+        assert!(report.latency.p99_ms >= report.latency.p50_ms);
+        assert!(report.latency.mean_ms > 0.0);
+        assert_eq!(report.latency.count, 64);
         assert!(report.reads_served >= 64);
         assert!(report.bases_served > 0);
         assert!(report.bases_per_sec() > 0.0);
@@ -268,7 +248,8 @@ mod tests {
                     |c, i| StoreOp::Get(range_for(c, i, total, 8)),
                 )
                 .expect("drive")
-                .mean_ms()
+                .latency
+                .mean_ms
         };
         let shallow = mean_at(1);
         let deep = mean_at(8);

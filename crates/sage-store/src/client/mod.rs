@@ -9,7 +9,7 @@
 //! [`Ticket<ReadSet>`](Ticket), [`Session::append`] a `Ticket<u64>`,
 //! so a variant-mismatch between request and response is
 //! unrepresentable — there is no enum to pattern-match, unlike the
-//! deprecated `Request`/`Response` pair.
+//! removed `Request`/`Response` pair.
 //!
 //! Every ticket resolves to a [`Completion`] carrying an
 //! [`OpReport`]: the device charges the operation incurred, its cache
@@ -39,20 +39,30 @@
 //! # }
 //! ```
 //!
-//! For load studies there is a shared **closed-loop driver**
+//! For load studies there are two shared drivers over one serving
+//! machinery. The **closed-loop driver**
 //! ([`Dataset::drive_closed_loop`]): `clients` logical clients each
 //! keep one operation in flight, submitting their next at the virtual
-//! instant the previous completed. The `io_sweep` and
+//! instant the previous completed — the `io_sweep` and
 //! `fig15_multissd` benches and the pipeline's store-served scenario
-//! all run on it — one serving machinery, measured once.
+//! all run on it. And the **open-loop driver**
+//! ([`Dataset::drive_open_loop`], in [`workload`]): seedable arrival
+//! processes inject requests at generated virtual instants regardless
+//! of completions, shedding at a bounded virtual queue, which is what
+//! measures latency–throughput curves to saturation (`qos_sweep`,
+//! `cache_ablation`). Both aggregate latency through one
+//! [`LatencyStats`] percentile machinery.
 
 mod builder;
 mod driver;
 mod session;
+mod stats;
+pub mod workload;
 
 pub use builder::DatasetBuilder;
-pub use driver::{percentile, range_for, ClosedLoopSpec, LoadReport};
+pub use driver::{range_for, ClosedLoopSpec, LoadReport};
 pub use session::{Dataset, ServerStats, Session};
+pub use stats::{percentile, LatencyStats};
 
 use crate::engine::OpValue;
 use crate::{Result, StoreError};

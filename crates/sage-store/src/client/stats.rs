@@ -1,0 +1,113 @@
+//! Shared latency aggregation: one histogram/percentile machinery for
+//! every load driver.
+//!
+//! Both drive reports — the closed loop's
+//! [`LoadReport`](super::LoadReport) and the open loop's
+//! [`QosReport`](super::workload::QosReport) — aggregate per-operation
+//! virtual latencies into the same [`LatencyStats`], so bench bins
+//! print and assert on identical percentile math instead of each
+//! re-deriving its own.
+
+/// `p` in `[0, 1]` over an ascending-sorted slice (nearest-rank).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Aggregated latency distribution of one drive (all milliseconds).
+///
+/// Built once from the sorted per-operation virtual latencies by
+/// [`LatencyStats::from_sorted_secs`]; every percentile any bench
+/// prints comes out of this one extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Operations aggregated.
+    pub count: u64,
+    /// Mean virtual latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median virtual latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile virtual latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile virtual latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile virtual latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst observed virtual latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Aggregates an ascending-sorted slice of per-operation latencies
+    /// in **seconds** into millisecond statistics.
+    pub fn from_sorted_secs(sorted: &[f64]) -> LatencyStats {
+        if sorted.is_empty() {
+            return LatencyStats::default();
+        }
+        let sum: f64 = sorted.iter().sum();
+        LatencyStats {
+            count: sorted.len() as u64,
+            mean_ms: sum / sorted.len() as f64 * 1e3,
+            p50_ms: percentile(sorted, 0.50) * 1e3,
+            p95_ms: percentile(sorted, 0.95) * 1e3,
+            p99_ms: percentile(sorted, 0.99) * 1e3,
+            p999_ms: percentile(sorted, 0.999) * 1e3,
+            max_ms: sorted[sorted.len() - 1] * 1e3,
+        }
+    }
+
+    /// Renders the stats as a JSON object fragment — the bench bins'
+    /// shared serialization, so `BENCH_io.json`, `BENCH_qos.json`, and
+    /// `BENCH_cache.json` all spell latency identically.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"p50_ms\":{:.4},\"p95_ms\":{:.4},\"p99_ms\":{:.4},\"p999_ms\":{:.4},\"mean_ms\":{:.4},\"max_ms\":{:.4}}}",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.p999_ms, self.mean_ms, self.max_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_extract_from_sorted_slice() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.5), 51.0); // nearest rank
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn stats_aggregate_in_milliseconds() {
+        let secs: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let s = LatencyStats::from_sorted_secs(&secs);
+        assert_eq!(s.count, 1000);
+        assert!((s.mean_ms - 500.5).abs() < 1e-9);
+        assert!((s.p50_ms - 500.5).abs() < 1.5);
+        assert!((s.p99_ms - 990.0).abs() < 1.5);
+        assert!((s.p999_ms - 999.0).abs() < 1.5);
+        assert_eq!(s.max_ms, 1000.0);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.p999_ms);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        assert_eq!(LatencyStats::from_sorted_secs(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn json_fragment_parses_shape() {
+        let s = LatencyStats::from_sorted_secs(&[1e-3, 2e-3]);
+        let j = s.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in ["p50_ms", "p95_ms", "p99_ms", "p999_ms", "mean_ms", "max_ms"] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
+    }
+}

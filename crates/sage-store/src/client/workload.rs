@@ -1,0 +1,1257 @@
+//! Open-loop workload generation and QoS measurement.
+//!
+//! The closed-loop driver ([`Dataset::drive_closed_loop`]) can only
+//! measure operating points where offered load equals service rate —
+//! each client waits for its previous operation before submitting the
+//! next, so the system is never pushed past saturation. This module
+//! supplies the other half of the classic storage-QoS picture: a
+//! **deterministic, seedable open-loop driver** that injects requests
+//! at generated *arrival instants* on the virtual timeline regardless
+//! of completions, which is what makes latency–throughput curves to
+//! saturation (and past it) measurable.
+//!
+//! Three composable pieces:
+//!
+//! - **Arrival processes** — [`ArrivalProcess`] generators emitting
+//!   interarrival gaps in virtual seconds: [`FixedArrivals`] (constant
+//!   rate), [`PoissonArrivals`] (exponential gaps), and
+//!   [`BurstyArrivals`] (MMPP-style on/off: Poisson bursts separated
+//!   by silences). The [`Arrivals`] enum is the plain-config form the
+//!   drive spec carries.
+//! - **Access patterns** — [`AccessPattern`] generators producing read
+//!   ranges: [`UniformPattern`], [`ZipfPattern`] (Zipf(θ) over
+//!   span-sized slots), [`SequentialPattern`] (wrapping scan cursor),
+//!   and [`HotspotPattern`] (hot/cold two-tier mix). The [`Pattern`]
+//!   enum is the config form. An [`OpMix`] turns ranges into a typed
+//!   [`StoreOp`] stream (get/scan/append fractions) via [`OpStream`].
+//! - **The open-loop driver** — [`Dataset::drive_open_loop`] walks the
+//!   arrival timeline, sheds arrivals that find the virtual queue at
+//!   capacity (open-loop overload drops load instead of slowing the
+//!   arrival process — the deterministic analogue of
+//!   [`SubmitMode::Fail`](super::SubmitMode::Fail) load shedding), and
+//!   aggregates per-operation [`OpReport`](super::OpReport)s into a
+//!   [`QosReport`]: achieved vs offered throughput, shed counts, a
+//!   shared [`LatencyStats`] percentile block, per-device utilization,
+//!   and per-op-kind cache outcomes.
+//!
+//! Everything is driven by one [`WorkloadRng`] (SplitMix64) seeded
+//! from the spec, so a fixed `(seed, spec)` pair replays bit-identical
+//! arrival instants and operation streams. On an identically-prepared
+//! dataset (same encode, cold cache) the whole [`QosReport`] is
+//! reproduced exactly — the property the QoS benches assert on.
+
+use super::stats::LatencyStats;
+use super::Dataset;
+use crate::engine::{EngineBackend, OpTrace, OpValue, StoreOp};
+use crate::{ConfigError, Result};
+use sage_genomics::ReadSet;
+use sage_io::{IoConfig, Reactor};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Decorrelates the arrival-instant stream from the op stream: both
+/// derive from the one spec seed without sharing draws.
+const ARRIVAL_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+const OP_STREAM: u64 = 0xbf58_476d_1ce4_e5b9;
+
+/// The workload generators' deterministic random source (SplitMix64).
+///
+/// Small, seedable, and stable across platforms — every arrival
+/// process and access pattern draws from one of these, which is what
+/// makes a drive replayable from its spec alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> WorkloadRng {
+        WorkloadRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)` (0 when `n` is 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// Exponential draw with mean `1/rate` (an interarrival gap of a
+    /// Poisson process at `rate` events per second).
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------
+
+/// A generator of open-loop arrival instants: each call yields the
+/// virtual-seconds gap to the next arrival. Implementations carry
+/// their own phase state; randomness always comes from the caller's
+/// [`WorkloadRng`] so streams replay from the seed.
+pub trait ArrivalProcess: Send {
+    /// Virtual seconds until the next arrival (must be ≥ 0 and finite).
+    fn next_interarrival(&mut self, rng: &mut WorkloadRng) -> f64;
+}
+
+/// Constant-rate arrivals: every gap is exactly `1/rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedArrivals {
+    /// Arrivals per virtual second.
+    pub rate: f64,
+}
+
+impl ArrivalProcess for FixedArrivals {
+    fn next_interarrival(&mut self, _rng: &mut WorkloadRng) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Poisson arrivals: exponential gaps with mean `1/rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    /// Mean arrivals per virtual second.
+    pub rate: f64,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_interarrival(&mut self, rng: &mut WorkloadRng) -> f64 {
+        rng.exp(self.rate)
+    }
+}
+
+/// Bursty (on/off, MMPP-style) arrivals: exponentially-distributed ON
+/// phases (mean `mean_on` seconds) during which arrivals are Poisson
+/// at `on_rate`, separated by exponentially-distributed silent OFF
+/// phases (mean `mean_off` seconds). The long-run mean rate is
+/// `on_rate · mean_on / (mean_on + mean_off)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyArrivals {
+    /// Arrivals per virtual second while a burst is on.
+    pub on_rate: f64,
+    /// Mean ON-phase duration, virtual seconds.
+    pub mean_on: f64,
+    /// Mean OFF-phase duration, virtual seconds.
+    pub mean_off: f64,
+    /// Virtual seconds left in the current phase.
+    phase_left: f64,
+    /// `true` while in an ON phase.
+    on: bool,
+}
+
+impl BurstyArrivals {
+    /// A bursty process starting at the beginning of an ON phase.
+    pub fn new(on_rate: f64, mean_on: f64, mean_off: f64) -> BurstyArrivals {
+        BurstyArrivals {
+            on_rate,
+            mean_on,
+            mean_off,
+            phase_left: 0.0,
+            on: false,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrivals {
+    fn next_interarrival(&mut self, rng: &mut WorkloadRng) -> f64 {
+        let mut gap = 0.0;
+        loop {
+            if self.on {
+                let dt = rng.exp(self.on_rate);
+                if dt <= self.phase_left {
+                    self.phase_left -= dt;
+                    return gap + dt;
+                }
+                // The burst ends before the next arrival: spend the
+                // rest of the ON phase, then go silent.
+                gap += self.phase_left;
+                self.on = false;
+                self.phase_left = rng.exp(1.0 / self.mean_off);
+            } else {
+                gap += self.phase_left;
+                self.on = true;
+                self.phase_left = rng.exp(1.0 / self.mean_on);
+            }
+        }
+    }
+}
+
+/// Arrival-process configuration — the plain-data form an
+/// [`OpenLoopSpec`] carries. [`Arrivals::process`] instantiates the
+/// matching stateful [`ArrivalProcess`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Constant-rate arrivals at `rate` per virtual second.
+    Fixed {
+        /// Arrivals per virtual second.
+        rate: f64,
+    },
+    /// Poisson arrivals at mean `rate` per virtual second.
+    Poisson {
+        /// Mean arrivals per virtual second.
+        rate: f64,
+    },
+    /// On/off bursts: Poisson at `on_rate` during ON phases of mean
+    /// `mean_on` seconds, silent for mean `mean_off` seconds between.
+    Bursty {
+        /// Arrivals per virtual second while a burst is on.
+        on_rate: f64,
+        /// Mean ON-phase duration, virtual seconds.
+        mean_on: f64,
+        /// Mean OFF-phase duration, virtual seconds.
+        mean_off: f64,
+    },
+}
+
+impl Arrivals {
+    /// Instantiates the stateful generator for this configuration.
+    pub fn process(&self) -> Box<dyn ArrivalProcess> {
+        match *self {
+            Arrivals::Fixed { rate } => Box::new(FixedArrivals { rate }),
+            Arrivals::Poisson { rate } => Box::new(PoissonArrivals { rate }),
+            Arrivals::Bursty {
+                on_rate,
+                mean_on,
+                mean_off,
+            } => Box::new(BurstyArrivals::new(on_rate, mean_on, mean_off)),
+        }
+    }
+
+    /// Long-run mean arrival rate (per virtual second).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            Arrivals::Fixed { rate } | Arrivals::Poisson { rate } => rate,
+            Arrivals::Bursty {
+                on_rate,
+                mean_on,
+                mean_off,
+            } => on_rate * mean_on / (mean_on + mean_off),
+        }
+    }
+
+    /// Display label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arrivals::Fixed { .. } => "fixed",
+            Arrivals::Poisson { .. } => "poisson",
+            Arrivals::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Checks the configured rates and durations.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::NonPositiveRate`] when any rate or phase
+    /// duration is not a positive finite number.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        let ok = |v: f64| v.is_finite() && v > 0.0;
+        let valid = match *self {
+            Arrivals::Fixed { rate } | Arrivals::Poisson { rate } => ok(rate),
+            Arrivals::Bursty {
+                on_rate,
+                mean_on,
+                mean_off,
+            } => ok(on_rate) && ok(mean_on) && ok(mean_off),
+        };
+        if valid {
+            Ok(())
+        } else {
+            Err(ConfigError::NonPositiveRate)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access patterns
+// ---------------------------------------------------------------------
+
+/// A generator of read ranges over a dataset of fixed size (captured
+/// at instantiation). Randomness comes from the caller's
+/// [`WorkloadRng`]; implementations may carry cursor or table state.
+pub trait AccessPattern: Send {
+    /// The next read range (always within the captured dataset bounds,
+    /// never empty for a non-empty dataset).
+    fn next_range(&mut self, rng: &mut WorkloadRng) -> Range<u64>;
+}
+
+/// Clamps a drawn start to a valid `[start, start+span)` range.
+fn clamp_range(start: u64, span: u64, total: u64) -> Range<u64> {
+    if total == 0 {
+        return 0..0;
+    }
+    let start = start.min(total - 1);
+    start..(start + span.max(1)).min(total)
+}
+
+/// Uniformly random range starts across the whole dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformPattern {
+    total: u64,
+    span: u64,
+}
+
+impl UniformPattern {
+    /// Uniform `span`-read ranges over `total` reads.
+    pub fn new(total: u64, span: u64) -> UniformPattern {
+        UniformPattern { total, span }
+    }
+}
+
+impl AccessPattern for UniformPattern {
+    fn next_range(&mut self, rng: &mut WorkloadRng) -> Range<u64> {
+        clamp_range(rng.below(self.total.max(1)), self.span, self.total)
+    }
+}
+
+/// Zipf(θ)-distributed range starts over span-sized slots: slot `i`
+/// (0-based) is drawn with probability ∝ `1/(i+1)^θ`, so a small set
+/// of hot slots absorbs most of the traffic — the classic skewed
+/// serving workload the cache ablation runs on.
+///
+/// The cumulative weight table is built once at instantiation
+/// (`total/span` slots) and sampled by inverse-CDF binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfPattern {
+    total: u64,
+    span: u64,
+    /// Cumulative normalized slot weights, ascending to 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfPattern {
+    /// Zipf(`theta`) over `span`-read slots of a `total`-read dataset.
+    pub fn new(total: u64, span: u64, theta: f64) -> ZipfPattern {
+        let slots = (total.max(1)).div_ceil(span.max(1)).max(1) as usize;
+        let mut cdf = Vec::with_capacity(slots);
+        let mut sum = 0.0;
+        for i in 0..slots {
+            sum += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(sum);
+        }
+        for w in &mut cdf {
+            *w /= sum;
+        }
+        ZipfPattern { total, span, cdf }
+    }
+
+    /// Slot count of the built table.
+    pub fn slots(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl AccessPattern for ZipfPattern {
+    fn next_range(&mut self, rng: &mut WorkloadRng) -> Range<u64> {
+        let u = rng.next_f64();
+        let slot = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        clamp_range(slot as u64 * self.span, self.span, self.total)
+    }
+}
+
+/// A wrapping sequential cursor: each range starts where the previous
+/// one ended — the streaming-scan half of scan-resistance studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialPattern {
+    total: u64,
+    span: u64,
+    cursor: u64,
+}
+
+impl SequentialPattern {
+    /// Sequential `span`-read windows over `total` reads, from 0.
+    pub fn new(total: u64, span: u64) -> SequentialPattern {
+        SequentialPattern {
+            total,
+            span,
+            cursor: 0,
+        }
+    }
+}
+
+impl AccessPattern for SequentialPattern {
+    fn next_range(&mut self, _rng: &mut WorkloadRng) -> Range<u64> {
+        let r = clamp_range(self.cursor, self.span, self.total);
+        self.cursor = if r.end >= self.total { 0 } else { r.end };
+        r
+    }
+}
+
+/// A two-tier hot/cold mix: with probability `hot_weight` the start is
+/// drawn uniformly from the first `hot_fraction` of the keyspace,
+/// otherwise uniformly from the cold remainder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotPattern {
+    total: u64,
+    span: u64,
+    hot_fraction: f64,
+    hot_weight: f64,
+}
+
+impl HotspotPattern {
+    /// `hot_weight` of the traffic lands on the first `hot_fraction`
+    /// of `total` reads.
+    pub fn new(total: u64, span: u64, hot_fraction: f64, hot_weight: f64) -> HotspotPattern {
+        HotspotPattern {
+            total,
+            span,
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+            hot_weight: hot_weight.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl AccessPattern for HotspotPattern {
+    fn next_range(&mut self, rng: &mut WorkloadRng) -> Range<u64> {
+        let hot_len = ((self.total as f64 * self.hot_fraction) as u64).clamp(1, self.total.max(1));
+        let start = if rng.next_f64() < self.hot_weight {
+            rng.below(hot_len)
+        } else if hot_len >= self.total {
+            rng.below(self.total.max(1))
+        } else {
+            hot_len + rng.below(self.total - hot_len)
+        };
+        clamp_range(start, self.span, self.total)
+    }
+}
+
+/// Access-pattern configuration — the plain-data form an
+/// [`OpenLoopSpec`] carries. [`Pattern::instantiate`] builds the
+/// matching stateful [`AccessPattern`] generator for a dataset size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Uniformly random `span`-read ranges.
+    Uniform {
+        /// Reads per range.
+        span: u64,
+    },
+    /// Zipf(`theta`)-skewed range starts over `span`-read slots.
+    Zipf {
+        /// Skew exponent (θ ≈ 1 is the classic heavy skew).
+        theta: f64,
+        /// Reads per range.
+        span: u64,
+    },
+    /// A wrapping sequential scan in `span`-read windows.
+    Sequential {
+        /// Reads per range.
+        span: u64,
+    },
+    /// `hot_weight` of traffic on the first `hot_fraction` of reads.
+    Hotspot {
+        /// Fraction of the keyspace that is hot, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Fraction of traffic landing on the hot set, in `[0, 1]`.
+        hot_weight: f64,
+        /// Reads per range.
+        span: u64,
+    },
+}
+
+impl Pattern {
+    /// Instantiates the stateful generator over a `total`-read dataset.
+    pub fn instantiate(&self, total: u64) -> Box<dyn AccessPattern> {
+        match *self {
+            Pattern::Uniform { span } => Box::new(UniformPattern::new(total, span)),
+            Pattern::Zipf { theta, span } => Box::new(ZipfPattern::new(total, span, theta)),
+            Pattern::Sequential { span } => Box::new(SequentialPattern::new(total, span)),
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_weight,
+                span,
+            } => Box::new(HotspotPattern::new(total, span, hot_fraction, hot_weight)),
+        }
+    }
+
+    /// Display label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Uniform { .. } => "uniform",
+            Pattern::Zipf { .. } => "zipf",
+            Pattern::Sequential { .. } => "sequential",
+            Pattern::Hotspot { .. } => "hotspot",
+        }
+    }
+
+    /// Checks the configured span and shape parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroSpan`] when ranges are sized to zero reads;
+    /// [`ConfigError::NonPositiveRate`] when a shape parameter is out
+    /// of range: θ not positive finite, `hot_fraction` outside
+    /// `(0, 1]`, or `hot_weight` outside `[0, 1]`.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        let span = match *self {
+            Pattern::Uniform { span } | Pattern::Sequential { span } => span,
+            Pattern::Zipf { theta, span } => {
+                if !(theta.is_finite() && theta > 0.0) {
+                    return Err(ConfigError::NonPositiveRate);
+                }
+                span
+            }
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_weight,
+                span,
+            } => {
+                if !(hot_fraction.is_finite() && hot_fraction > 0.0 && hot_fraction <= 1.0) {
+                    return Err(ConfigError::NonPositiveRate);
+                }
+                if !(hot_weight.is_finite() && (0.0..=1.0).contains(&hot_weight)) {
+                    return Err(ConfigError::NonPositiveRate);
+                }
+                span
+            }
+        };
+        if span == 0 {
+            return Err(ConfigError::ZeroSpan);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Op mix
+// ---------------------------------------------------------------------
+
+/// Which operation kind a generated request is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A ranged read ([`StoreOp::Get`]).
+    Get,
+    /// A full chunk-walk ([`StoreOp::Scan`]).
+    Scan,
+    /// An append of template reads ([`StoreOp::Append`]).
+    Append,
+}
+
+/// Relative operation-kind weights of a generated stream (they need
+/// not sum to 1; only the ratios matter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Weight of ranged `Get`s.
+    pub get: f64,
+    /// Weight of full-walk `Scan`s.
+    pub scan: f64,
+    /// Weight of `Append`s.
+    pub append: f64,
+}
+
+impl Default for OpMix {
+    fn default() -> OpMix {
+        OpMix::gets()
+    }
+}
+
+impl OpMix {
+    /// A pure ranged-read stream (the default).
+    pub fn gets() -> OpMix {
+        OpMix {
+            get: 1.0,
+            scan: 0.0,
+            append: 0.0,
+        }
+    }
+
+    /// Checks the weights.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::DegenerateOpMix`] when any weight is negative or
+    /// non-finite, or all are zero.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        if ok(self.get)
+            && ok(self.scan)
+            && ok(self.append)
+            && self.get + self.scan + self.append > 0.0
+        {
+            Ok(())
+        } else {
+            Err(ConfigError::DegenerateOpMix)
+        }
+    }
+
+    /// Draws one op kind by weight.
+    fn pick(&self, rng: &mut WorkloadRng) -> OpKind {
+        let total = self.get + self.scan + self.append;
+        let u = rng.next_f64() * total;
+        if u < self.get {
+            OpKind::Get
+        } else if u < self.get + self.scan {
+            OpKind::Scan
+        } else {
+            OpKind::Append
+        }
+    }
+}
+
+/// A deterministic stream of typed [`StoreOp`]s: an access pattern
+/// supplying ranges, an [`OpMix`] choosing kinds, one seeded
+/// [`WorkloadRng`] driving both. Scans walk every chunk with an
+/// all-rejecting predicate (serving cost without result assembly);
+/// appends clone the template reads.
+pub struct OpStream {
+    rng: WorkloadRng,
+    pattern: Box<dyn AccessPattern>,
+    mix: OpMix,
+    append_template: ReadSet,
+}
+
+impl std::fmt::Debug for OpStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpStream(mix: {:?})", self.mix)
+    }
+}
+
+impl OpStream {
+    /// A stream over a `total`-read dataset. `append_template` is the
+    /// read set cloned into every generated `Append` (pass an empty
+    /// set when the mix has no appends).
+    pub fn new(
+        pattern: &Pattern,
+        mix: OpMix,
+        seed: u64,
+        total: u64,
+        append_template: ReadSet,
+    ) -> OpStream {
+        OpStream {
+            rng: WorkloadRng::new(seed),
+            pattern: pattern.instantiate(total),
+            mix,
+            append_template,
+        }
+    }
+
+    /// The next operation and its kind.
+    pub fn next_op(&mut self) -> (StoreOp, OpKind) {
+        match self.mix.pick(&mut self.rng) {
+            OpKind::Get => (
+                StoreOp::Get(self.pattern.next_range(&mut self.rng)),
+                OpKind::Get,
+            ),
+            OpKind::Scan => (StoreOp::Scan(Box::new(|_| false)), OpKind::Scan),
+            OpKind::Append => (
+                StoreOp::Append(self.append_template.clone()),
+                OpKind::Append,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The open-loop driver
+// ---------------------------------------------------------------------
+
+/// Sizing of one open-loop drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// The arrival process injecting requests on the virtual timeline.
+    pub arrivals: Arrivals,
+    /// The access pattern generating read ranges.
+    pub pattern: Pattern,
+    /// Operation-kind weights.
+    pub mix: OpMix,
+    /// Arrivals to generate (sheds included).
+    pub requests: u64,
+    /// Virtual queue bound: an arrival that finds this many admitted
+    /// operations still incomplete *at its arrival instant* is shed —
+    /// the open-loop analogue of
+    /// [`SubmitMode::Fail`](super::SubmitMode::Fail).
+    pub queue_depth: usize,
+    /// Reactor worker threads. Execution is serialized by the driver
+    /// for bit-determinism, so this only overlaps real decode work.
+    pub workers: usize,
+    /// Seed deriving the arrival and op streams.
+    pub seed: u64,
+}
+
+impl OpenLoopSpec {
+    /// A spec with the default shape: `arrivals` over uniform 16-read
+    /// gets, 256 requests, a 64-deep virtual queue, one worker, seed
+    /// `0x5a6e`.
+    pub fn new(arrivals: Arrivals) -> OpenLoopSpec {
+        OpenLoopSpec {
+            arrivals,
+            pattern: Pattern::Uniform { span: 16 },
+            mix: OpMix::gets(),
+            requests: 256,
+            queue_depth: 64,
+            workers: 1,
+            seed: 0x5a6e,
+        }
+    }
+
+    /// Checks every knob.
+    ///
+    /// # Errors
+    ///
+    /// The first failing knob's [`ConfigError`].
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        self.arrivals.validate()?;
+        self.pattern.validate()?;
+        self.mix.validate()?;
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroServerWorkers);
+        }
+        Ok(())
+    }
+}
+
+/// Per-op-kind serving outcome aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpKindStats {
+    /// Operations of this kind completed.
+    pub ops: u64,
+    /// Chunk touches served from the decoded-chunk cache.
+    pub chunk_hits: u64,
+    /// Chunk touches that had to fetch and decode.
+    pub chunk_misses: u64,
+}
+
+impl OpKindStats {
+    /// Chunk-touch hit fraction in `[0, 1]` (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.chunk_hits + self.chunk_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.chunk_hits as f64 / total as f64
+    }
+
+    fn record(&mut self, trace: &OpTrace) {
+        self.ops += 1;
+        self.chunk_hits += trace.cache_hits;
+        self.chunk_misses += trace.cache_misses;
+    }
+}
+
+/// What an open-loop drive measured (virtual-time metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosReport {
+    /// Arrivals generated (completed + shed).
+    pub offered: u64,
+    /// Operations admitted and completed.
+    pub completed: u64,
+    /// Arrivals shed because the virtual queue was at capacity.
+    pub shed: u64,
+    /// Measured offered rate: arrivals per virtual second over the
+    /// arrival span.
+    pub offered_rate: f64,
+    /// Achieved throughput: completions per virtual second of makespan.
+    pub achieved_rate: f64,
+    /// Virtual makespan: the latest completion instant.
+    pub makespan: f64,
+    /// Aggregated latency distribution (shared percentile machinery).
+    pub latency: LatencyStats,
+    /// Every per-operation virtual latency, seconds, ascending.
+    pub latencies: Vec<f64>,
+    /// Busy (service) seconds accumulated per device.
+    pub device_busy: Vec<f64>,
+    /// Per-device utilization over the makespan.
+    pub utilization: Vec<f64>,
+    /// Ranged-read outcomes.
+    pub gets: OpKindStats,
+    /// Full-walk scan outcomes.
+    pub scans: OpKindStats,
+    /// Append outcomes.
+    pub appends: OpKindStats,
+    /// Reads returned across all get results.
+    pub reads_served: u64,
+    /// Bases returned across all get results.
+    pub bases_served: u64,
+}
+
+impl QosReport {
+    /// Shed fraction of the offered load in `[0, 1]`.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+
+    /// Mean device-service seconds per completed operation (0 when
+    /// nothing completed or nothing was charged).
+    pub fn mean_service_secs(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.device_busy.iter().sum::<f64>() / self.completed as f64
+    }
+
+    /// The fleet capacity this drive implies: operations per virtual
+    /// second that `devices` parallel devices can absorb at this op
+    /// stream's mean service demand. Meaningful when the drive ran
+    /// far below saturation (a trickle-rate calibration run) — the
+    /// `qos_sweep` bench anchors its offered-rate grid on it.
+    pub fn capacity_estimate(&self, devices: usize) -> f64 {
+        let mean = self.mean_service_secs();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        devices as f64 / mean
+    }
+
+    /// Chunk-touch hit rate across all op kinds.
+    pub fn overall_hit_rate(&self) -> f64 {
+        let hits = self.gets.chunk_hits + self.scans.chunk_hits + self.appends.chunk_hits;
+        let total =
+            hits + self.gets.chunk_misses + self.scans.chunk_misses + self.appends.chunk_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
+}
+
+impl Dataset {
+    /// Drives an **open loop** against the dataset: requests are
+    /// injected at arrival instants generated by `spec.arrivals` on
+    /// the virtual timeline *regardless of completions* — unlike
+    /// [`Dataset::drive_closed_loop`], offered load does not slow down
+    /// when the store saturates, which is what makes
+    /// latency–throughput curves to saturation measurable. An arrival
+    /// that finds `spec.queue_depth` admitted operations still
+    /// incomplete at its instant is **shed** and counted, the
+    /// deterministic open-loop analogue of
+    /// [`SubmitMode::Fail`](super::SubmitMode::Fail) load shedding.
+    ///
+    /// The drive runs on its own reactor (its own virtual clock
+    /// starting at 0) and serializes execution, so a fixed
+    /// `(spec.seed, spec)` on an identically-prepared dataset (same
+    /// encode, cold cache) reproduces the [`QosReport`] bit-for-bit.
+    ///
+    /// ```
+    /// use sage_store::client::DatasetBuilder;
+    /// use sage_store::client::workload::{Arrivals, OpenLoopSpec};
+    /// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    /// use sage_ssd::SsdConfig;
+    ///
+    /// # fn main() -> Result<(), sage_store::StoreError> {
+    /// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 11);
+    /// let dataset = DatasetBuilder::new()
+    ///     .chunk_reads(16)
+    ///     .cache_chunks(0)              // every op pays its device
+    ///     .ssd(SsdConfig::pcie())
+    ///     .encode(&ds.reads)?;
+    ///
+    /// let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: 50.0 });
+    /// spec.requests = 64;
+    /// let report = dataset.drive_open_loop(&spec)?;
+    /// assert_eq!(report.offered, 64);
+    /// assert_eq!(report.completed + report.shed, 64);
+    /// assert!(report.latency.p99_ms >= report.latency.p50_ms);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::Config`] for an invalid spec; otherwise
+    /// the first operation error, if any operation fails.
+    pub fn drive_open_loop(&self, spec: &OpenLoopSpec) -> Result<QosReport> {
+        spec.validate()?;
+        let engine = Arc::clone(self.engine());
+        let total = engine.total_reads();
+        // When appends are in the mix, the template is sampled before
+        // the drive's clock starts (warming the chunks it touches).
+        let append_template = if spec.mix.append > 0.0 && total > 0 {
+            engine.get(0..total.min(4))?
+        } else {
+            ReadSet::new()
+        };
+        let devices = engine.n_devices().max(1);
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(engine)),
+            IoConfig {
+                workers: spec.workers,
+                queue_depth: spec.queue_depth,
+                devices,
+            },
+        );
+        let cq = reactor.completions();
+
+        let mut arrivals = spec.arrivals.process();
+        let mut arrival_rng = WorkloadRng::new(spec.seed ^ ARRIVAL_STREAM);
+        let mut ops = OpStream::new(
+            &spec.pattern,
+            spec.mix,
+            spec.seed ^ OP_STREAM,
+            total,
+            append_template,
+        );
+
+        let mut clock = 0.0f64;
+        // Completion instants of admitted ops; entries ≤ the current
+        // arrival instant have drained from the virtual queue.
+        let mut inflight: Vec<f64> = Vec::with_capacity(spec.queue_depth);
+        let mut shed = 0u64;
+        let mut makespan = 0.0f64;
+        let mut latencies = Vec::with_capacity(spec.requests as usize);
+        let mut gets = OpKindStats::default();
+        let mut scans = OpKindStats::default();
+        let mut appends = OpKindStats::default();
+        let mut reads_served = 0u64;
+        let mut bases_served = 0u64;
+        for i in 0..spec.requests {
+            clock += arrivals.next_interarrival(&mut arrival_rng).max(0.0);
+            inflight.retain(|done| *done > clock);
+            if inflight.len() >= spec.queue_depth {
+                shed += 1;
+                continue;
+            }
+            let (op, kind) = ops.next_op();
+            reactor.submit(op, i, clock).expect("live reactor");
+            // Lockstep harvest: dispatch order equals arrival order,
+            // which keeps the virtual timeline bit-deterministic for
+            // any worker count.
+            let cqe = cq.wait_any().expect("submitted op completes");
+            let latency = cqe.latency();
+            let (value, trace) = cqe.output?;
+            match kind {
+                OpKind::Get => gets.record(&trace),
+                OpKind::Scan => scans.record(&trace),
+                OpKind::Append => appends.record(&trace),
+            }
+            if let (OpKind::Get, OpValue::Reads(rs)) = (kind, &value) {
+                reads_served += rs.len() as u64;
+                bases_served += rs.total_bases() as u64;
+            }
+            latencies.push(latency);
+            makespan = makespan.max(cqe.completed_vt);
+            inflight.push(cqe.completed_vt);
+        }
+        let snap = reactor.snapshot();
+        reactor.shutdown();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let completed = latencies.len() as u64;
+        Ok(QosReport {
+            offered: spec.requests,
+            completed,
+            shed,
+            offered_rate: if clock > 0.0 {
+                spec.requests as f64 / clock
+            } else {
+                spec.arrivals.mean_rate()
+            },
+            achieved_rate: if makespan > 0.0 {
+                completed as f64 / makespan
+            } else {
+                0.0
+            },
+            makespan,
+            latency: LatencyStats::from_sorted_secs(&latencies),
+            utilization: snap.utilization_over(makespan),
+            device_busy: snap.device_busy,
+            latencies,
+            gets,
+            scans,
+            appends,
+            reads_served,
+            bases_served,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DatasetBuilder;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    use sage_ssd::SsdConfig;
+
+    fn fleet_dataset(devices: usize) -> Dataset {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 77).reads;
+        DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(0)
+            .ssd_fleet((0..devices).map(|_| SsdConfig::pcie()).collect())
+            .encode(&reads)
+            .expect("build")
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = WorkloadRng::new(42);
+        let mut b = WorkloadRng::new(42);
+        let draws: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        assert_eq!(draws, (0..64).map(|_| b.next_u64()).collect::<Vec<_>>());
+        let mut c = WorkloadRng::new(7);
+        let fs: Vec<f64> = (0..4096).map(|_| c.next_f64()).collect();
+        assert!(fs.iter().all(|f| (0.0..1.0).contains(f)));
+        let m = mean(&fs);
+        assert!((m - 0.5).abs() < 0.05, "mean {m} far from 0.5");
+        assert!(c.below(0) == 0 && c.below(1) == 0);
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_configured_mean() {
+        let mut rng = WorkloadRng::new(3);
+        let mut p = PoissonArrivals { rate: 200.0 };
+        let gaps: Vec<f64> = (0..8192).map(|_| p.next_interarrival(&mut rng)).collect();
+        assert!(gaps.iter().all(|g| *g >= 0.0 && g.is_finite()));
+        let m = mean(&gaps);
+        assert!((m - 1.0 / 200.0).abs() < 0.1 / 200.0, "mean gap {m}");
+        // Fixed arrivals: every gap exactly 1/rate.
+        let mut f = FixedArrivals { rate: 50.0 };
+        assert_eq!(f.next_interarrival(&mut rng), 0.02);
+        assert_eq!(f.next_interarrival(&mut rng), 0.02);
+    }
+
+    #[test]
+    fn bursty_long_run_rate_is_duty_cycled() {
+        let cfg = Arrivals::Bursty {
+            on_rate: 1000.0,
+            mean_on: 0.05,
+            mean_off: 0.15,
+        };
+        assert!((cfg.mean_rate() - 250.0).abs() < 1e-9);
+        let mut rng = WorkloadRng::new(9);
+        let mut p = cfg.process();
+        let n = 20_000;
+        let span: f64 = (0..n).map(|_| p.next_interarrival(&mut rng)).sum();
+        let measured = n as f64 / span;
+        assert!(
+            (measured - 250.0).abs() < 25.0,
+            "long-run bursty rate {measured} far from 250"
+        );
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_slots() {
+        let total = 10_000u64;
+        let span = 100u64;
+        let mut z = ZipfPattern::new(total, span, 1.1);
+        assert_eq!(z.slots(), 100);
+        let mut rng = WorkloadRng::new(5);
+        let mut hot = 0usize;
+        let n = 4096;
+        for _ in 0..n {
+            let r = z.next_range(&mut rng);
+            assert!(r.end <= total && r.start < r.end);
+            if r.start / span < 5 {
+                hot += 1;
+            }
+        }
+        // Under uniform the first 5 of 100 slots would get ~5%.
+        assert!(
+            hot as f64 / n as f64 > 0.35,
+            "zipf hot share {}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn sequential_wraps_and_hotspot_concentrates() {
+        let mut s = SequentialPattern::new(50, 20);
+        let mut rng = WorkloadRng::new(1);
+        assert_eq!(s.next_range(&mut rng), 0..20);
+        assert_eq!(s.next_range(&mut rng), 20..40);
+        assert_eq!(s.next_range(&mut rng), 40..50);
+        assert_eq!(s.next_range(&mut rng), 0..20);
+
+        let mut h = HotspotPattern::new(10_000, 8, 0.1, 0.9);
+        let mut hot = 0usize;
+        let n = 4096;
+        for _ in 0..n {
+            if h.next_range(&mut rng).start < 1000 {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / n as f64;
+        assert!((share - 0.9).abs() < 0.05, "hotspot share {share}");
+    }
+
+    #[test]
+    fn op_mix_picks_by_weight() {
+        let mix = OpMix {
+            get: 0.5,
+            scan: 0.25,
+            append: 0.25,
+        };
+        let mut stream =
+            OpStream::new(&Pattern::Uniform { span: 4 }, mix, 17, 1000, ReadSet::new());
+        let mut counts = [0usize; 3];
+        for _ in 0..4096 {
+            match stream.next_op().1 {
+                OpKind::Get => counts[0] += 1,
+                OpKind::Scan => counts[1] += 1,
+                OpKind::Append => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 4096.0 - 0.5).abs() < 0.05);
+        assert!((counts[1] as f64 / 4096.0 - 0.25).abs() < 0.05);
+        assert!((counts[2] as f64 / 4096.0 - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn spec_validation_rejects_degenerate_knobs() {
+        let good = OpenLoopSpec::new(Arrivals::Poisson { rate: 100.0 });
+        assert!(good.validate().is_ok());
+        let mut bad = good;
+        bad.arrivals = Arrivals::Fixed { rate: 0.0 };
+        assert_eq!(bad.validate(), Err(ConfigError::NonPositiveRate));
+        let mut bad = good;
+        bad.pattern = Pattern::Uniform { span: 0 };
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroSpan));
+        let mut bad = good;
+        bad.pattern = Pattern::Hotspot {
+            hot_fraction: 0.1,
+            hot_weight: f64::NAN,
+            span: 8,
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::NonPositiveRate));
+        let mut bad = good;
+        bad.pattern = Pattern::Hotspot {
+            hot_fraction: 1.5,
+            hot_weight: 0.9,
+            span: 8,
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::NonPositiveRate));
+        let mut bad = good;
+        bad.mix = OpMix {
+            get: 0.0,
+            scan: 0.0,
+            append: 0.0,
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::DegenerateOpMix));
+        let mut bad = good;
+        bad.queue_depth = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroQueueDepth));
+        let mut bad = good;
+        bad.workers = 0;
+        assert_eq!(bad.validate(), Err(ConfigError::ZeroServerWorkers));
+        // An invalid spec surfaces as a typed StoreError.
+        let dataset = fleet_dataset(1);
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: -1.0 });
+        spec.requests = 4;
+        assert!(matches!(
+            dataset.drive_open_loop(&spec),
+            Err(crate::StoreError::Config(ConfigError::NonPositiveRate))
+        ));
+    }
+
+    #[test]
+    fn open_loop_measures_the_virtual_timeline() {
+        let dataset = fleet_dataset(2);
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: 100.0 });
+        spec.requests = 64;
+        let report = dataset.drive_open_loop(&spec).expect("drive");
+        assert_eq!(report.offered, 64);
+        assert_eq!(report.completed + report.shed, 64);
+        assert_eq!(report.latencies.len() as u64, report.completed);
+        assert!(report.makespan > 0.0);
+        assert!(report.achieved_rate > 0.0);
+        assert!(report.offered_rate > 0.0);
+        assert!(report.latency.p99_ms >= report.latency.p50_ms);
+        assert!(report.gets.ops == report.completed);
+        assert_eq!(report.gets.chunk_hits, 0); // cache disabled
+        assert!(report.gets.chunk_misses > 0);
+        assert!(report.reads_served > 0 && report.bases_served > 0);
+        assert_eq!(report.utilization.len(), 2);
+        assert!(report.device_busy.iter().any(|b| *b > 0.0));
+    }
+
+    #[test]
+    fn overload_sheds_and_saturates() {
+        // An absurd arrival rate against one device must shed most of
+        // the offered load once the virtual queue fills.
+        let run = |rate: f64, depth: usize| {
+            let dataset = fleet_dataset(1);
+            let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate });
+            spec.requests = 128;
+            spec.queue_depth = depth;
+            dataset.drive_open_loop(&spec).expect("drive")
+        };
+        let overloaded = run(1e7, 8);
+        assert!(overloaded.shed > 0, "overload must shed");
+        assert!(overloaded.shed_fraction() > 0.5);
+        assert!(overloaded.achieved_rate < overloaded.offered_rate);
+        // A gentle rate through the same machinery sheds nothing.
+        let calm = run(10.0, 8);
+        assert_eq!(calm.shed, 0);
+        assert_eq!(calm.completed, 128);
+        // Overload latency (bounded by the queue) still exceeds calm.
+        assert!(overloaded.latency.p99_ms > calm.latency.p99_ms);
+    }
+
+    #[test]
+    fn same_seed_same_spec_is_bit_identical() {
+        let run = || {
+            let dataset = fleet_dataset(2);
+            let mut spec = OpenLoopSpec::new(Arrivals::Bursty {
+                on_rate: 4000.0,
+                mean_on: 0.01,
+                mean_off: 0.01,
+            });
+            spec.pattern = Pattern::Zipf {
+                theta: 1.0,
+                span: 16,
+            };
+            spec.requests = 96;
+            spec.queue_depth = 16;
+            spec.seed = 0xfeed;
+            dataset.drive_open_loop(&spec).expect("drive")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seed+spec must reproduce the QosReport");
+        assert!(a.completed > 0);
+    }
+
+    #[test]
+    fn mixed_streams_report_per_kind_outcomes() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 78).reads;
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(4)
+            .encode(&reads)
+            .expect("build");
+        let before = dataset.total_reads();
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: 500.0 });
+        spec.mix = OpMix {
+            get: 0.8,
+            scan: 0.1,
+            append: 0.1,
+        };
+        spec.requests = 80;
+        let report = dataset.drive_open_loop(&spec).expect("drive");
+        assert!(report.gets.ops > 0 && report.scans.ops > 0 && report.appends.ops > 0);
+        assert_eq!(
+            report.gets.ops + report.scans.ops + report.appends.ops,
+            report.completed
+        );
+        // Appends really landed.
+        assert!(dataset.total_reads() > before);
+        // Scans walk chunks; with a warm cache some touches hit.
+        assert!(report.scans.chunk_hits + report.scans.chunk_misses > 0);
+        assert!(report.overall_hit_rate() > 0.0);
+    }
+}

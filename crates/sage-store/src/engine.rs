@@ -541,37 +541,6 @@ impl StoreEngine {
         self.op_append(reads).map(|(first, _)| first)
     }
 
-    /// [`StoreEngine::get`] plus the device charges incurred.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
-    )]
-    pub fn get_traced(&self, range: Range<u64>) -> Result<(ReadSet, Vec<DeviceCharge>)> {
-        self.op_get(range).map(|(reads, t)| (reads, t.charges))
-    }
-
-    /// [`StoreEngine::scan`] plus the device charges incurred.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
-    )]
-    pub fn scan_traced<F: Fn(&Read) -> bool>(
-        &self,
-        predicate: F,
-    ) -> Result<(ReadSet, Vec<DeviceCharge>)> {
-        self.op_scan(&predicate)
-            .map(|(reads, t)| (reads, t.charges))
-    }
-
-    /// [`StoreEngine::append`] plus the device charges incurred.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use StoreEngine::run_op (or a client::Session, whose tickets carry a full OpReport)"
-    )]
-    pub fn append_traced(&self, reads: &ReadSet) -> Result<(u64, Vec<DeviceCharge>)> {
-        self.op_append(reads).map(|(first, t)| (first, t.charges))
-    }
-
     /// The `Get` path.
     fn op_get(&self, range: Range<u64>) -> Result<(ReadSet, OpTrace)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
@@ -797,7 +766,11 @@ mod tests {
                 .with_cache_chunks(4)
                 .with_cache_policy(CachePolicy::Lru),
         );
-        for policy in [CachePolicy::SegmentedLru, CachePolicy::Clock] {
+        for policy in [
+            CachePolicy::SegmentedLru,
+            CachePolicy::Clock,
+            CachePolicy::TwoQ,
+        ] {
             let other = StoreEngine::open(
                 store.clone(),
                 EngineConfig::default()

@@ -29,8 +29,11 @@
 //!   completions, with blocking vs. load-shedding submission a
 //!   per-session [`SubmitMode`] and a shared closed-loop driver for
 //!   load studies;
-//! - [`shim`] — the deprecated `Request`/`Response`/`StoreServer`
-//!   surface, kept as a thin layer over [`client`] for one release;
+//! - [`client::workload`] — open-loop workload generation and QoS
+//!   measurement: seedable arrival processes (fixed/Poisson/bursty)
+//!   and access patterns (uniform/Zipf/sequential/hotspot) feeding
+//!   [`Dataset::drive_open_loop`], whose [`QosReport`] carries
+//!   latency–throughput curves to saturation;
 //! - [`timing`] — SSD-backed timing: a single device maps the blob
 //!   onto [`sage_ssd::SageLayout`] pages and charges
 //!   [`sage_ssd::SsdModel`] latencies per chunk fetch, or a fleet
@@ -60,25 +63,21 @@ pub mod codec;
 pub mod engine;
 pub mod lru;
 pub mod manifest;
-pub mod shim;
 pub mod timing;
 
+pub use client::workload::{OpenLoopSpec, QosReport};
 pub use client::{
-    ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LoadReport, OpReport, ServerStats,
-    Session, SubmitMode, Ticket,
+    ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LatencyStats, LoadReport, OpReport,
+    ServerStats, Session, SubmitMode, Ticket,
 };
 pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
 pub use engine::{EngineBackend, EngineConfig, OpTrace, OpValue, StoreEngine, StoreOp};
 pub use lru::{
     CachePolicy, CacheSnapshot, CacheStats, ChunkCache, ClockCache, LruCache, SegmentedLruCache,
+    TwoQCache,
 };
 pub use manifest::{ChunkMeta, StoreManifest};
 pub use timing::{SsdTiming, TimingSnapshot};
-
-// The deprecated serving surface, re-exported at the old paths for
-// one release.
-#[allow(deprecated)]
-pub use shim::{Request, RequestTicket, Response, StoreServer};
 
 // The store's multi-device and queueing vocabulary comes from the I/O
 // substrate; re-exported so store users need not name sage-io.
@@ -107,6 +106,13 @@ pub enum ConfigError {
     ZeroQueueDepth,
     /// Chunks were sized to hold zero reads.
     ZeroChunkReads,
+    /// A workload rate, duration, or shape parameter is not a
+    /// positive finite number.
+    NonPositiveRate,
+    /// An access pattern was configured with zero-read ranges.
+    ZeroSpan,
+    /// An op mix with negative, non-finite, or all-zero weights.
+    DegenerateOpMix,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -126,6 +132,15 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroServerWorkers => write!(f, "the server needs at least one worker"),
             ConfigError::ZeroQueueDepth => write!(f, "the submission ring needs capacity ≥ 1"),
             ConfigError::ZeroChunkReads => write!(f, "chunks must hold at least one read"),
+            ConfigError::NonPositiveRate => write!(
+                f,
+                "workload rates, durations, and shape parameters must be positive and finite"
+            ),
+            ConfigError::ZeroSpan => write!(f, "access-pattern ranges must span at least one read"),
+            ConfigError::DegenerateOpMix => write!(
+                f,
+                "op-mix weights must be non-negative, finite, and not all zero"
+            ),
         }
     }
 }
@@ -162,8 +177,8 @@ pub enum StoreError {
     /// The request queue was closed before the request completed.
     QueueClosed,
     /// The request queue was full and the request was rejected (only
-    /// [`StoreServer::try_submit`] sheds load this way; the blocking
-    /// submit path applies backpressure instead).
+    /// [`SubmitMode::Fail`] sessions shed load this way; the blocking
+    /// submit mode applies backpressure instead).
     QueueFull,
     /// The server shut down while the request was still queued; it was
     /// never executed.

@@ -20,6 +20,13 @@
 //!   touched slots, clearing their bit, and evicts the first
 //!   untouched one. LRU-like behavior at O(1) amortized bookkeeping —
 //!   the classic buffer-pool policy, here as an ablation point.
+//! - [`TwoQCache`] — 2Q: new chunks enter a small FIFO (**A1in**);
+//!   evicted A1in ids are remembered in a data-free ghost list
+//!   (**A1out**), and only a chunk that misses *while ghosted* is
+//!   admitted to the LRU main area (**Am**). One-shot scans churn the
+//!   FIFO and the ghosts without ever entering Am — the strongest
+//!   scan resistance of the four, at the cost of a second fetch
+//!   before a chunk earns main-area residency.
 
 use sage_genomics::ReadSet;
 use std::collections::HashMap;
@@ -58,6 +65,8 @@ pub enum CachePolicy {
     SegmentedLru,
     /// CLOCK / second-chance (reference bits swept by a hand).
     Clock,
+    /// 2Q (A1in FIFO + A1out ghosts + Am main LRU).
+    TwoQ,
 }
 
 impl CachePolicy {
@@ -67,15 +76,17 @@ impl CachePolicy {
             CachePolicy::Lru => Box::new(LruCache::new(capacity)),
             CachePolicy::SegmentedLru => Box::new(SegmentedLruCache::new(capacity)),
             CachePolicy::Clock => Box::new(ClockCache::new(capacity)),
+            CachePolicy::TwoQ => Box::new(TwoQCache::new(capacity)),
         }
     }
 
     /// All policies, for ablation sweeps.
-    pub fn all() -> [CachePolicy; 3] {
+    pub fn all() -> [CachePolicy; 4] {
         [
             CachePolicy::Lru,
             CachePolicy::SegmentedLru,
             CachePolicy::Clock,
+            CachePolicy::TwoQ,
         ]
     }
 
@@ -85,6 +96,7 @@ impl CachePolicy {
             CachePolicy::Lru => "lru",
             CachePolicy::SegmentedLru => "slru",
             CachePolicy::Clock => "clock",
+            CachePolicy::TwoQ => "2q",
         }
     }
 }
@@ -510,6 +522,165 @@ impl ChunkCache for ClockCache {
     }
 }
 
+/// A 2Q cache keyed by chunk id.
+///
+/// Three areas, per the classic simplified-2Q algorithm:
+///
+/// - **A1in** — a small FIFO (a quarter of the capacity) that every
+///   first-seen chunk enters. Hits in A1in serve the data but do not
+///   reorder it; a one-shot burst flows through and falls out the far
+///   end.
+/// - **A1out** — a data-free *ghost* list (half the capacity, ids
+///   only) remembering what recently fell out of A1in.
+/// - **Am** — the main LRU area. A chunk is admitted here only when it
+///   is inserted *while its id is ghosted* — i.e. it missed again
+///   shortly after leaving the FIFO, which is 2Q's evidence of real
+///   reuse. Scans never produce that evidence, so they never displace
+///   the main area: when the cache is full, eviction drains A1in
+///   first and touches Am only once the FIFO is below its quota.
+#[derive(Debug)]
+pub struct TwoQCache {
+    capacity: usize,
+    /// FIFO quota: evictions drain A1in while it holds at least this
+    /// many chunks.
+    a1in_capacity: usize,
+    /// Ghost-list bound (ids only; no data retained).
+    ghost_capacity: usize,
+    tick: u64,
+    a1in: Segment,
+    am: Segment,
+    /// Ghosted id → expiry order (oldest trimmed first).
+    ghost: HashMap<u32, u64>,
+}
+
+impl TwoQCache {
+    /// A1in's share of the capacity (Kin in the 2Q paper).
+    pub const A1IN_FRACTION: f64 = 0.25;
+    /// A1out's share of the capacity (Kout in the 2Q paper).
+    pub const GHOST_FRACTION: f64 = 0.5;
+
+    /// A cache holding at most `capacity` decoded chunks (plus up to
+    /// `capacity/2` data-free ghost ids).
+    pub fn new(capacity: usize) -> TwoQCache {
+        TwoQCache {
+            capacity,
+            a1in_capacity: ((capacity as f64 * Self::A1IN_FRACTION) as usize).max(1),
+            ghost_capacity: (capacity as f64 * Self::GHOST_FRACTION) as usize,
+            tick: 0,
+            a1in: Segment::default(),
+            am: Segment::default(),
+            ghost: HashMap::new(),
+        }
+    }
+
+    /// Chunks currently in the main (Am) area.
+    pub fn main_len(&self) -> usize {
+        self.am.entries.len()
+    }
+
+    /// Chunks currently in the A1in FIFO.
+    pub fn fifo_len(&self) -> usize {
+        self.a1in.entries.len()
+    }
+
+    /// Ids currently ghosted (no data retained).
+    pub fn ghost_len(&self) -> usize {
+        self.ghost.len()
+    }
+
+    /// Remembers an id in the ghost list, trimming the oldest ghosts
+    /// past the bound.
+    fn remember_ghost(&mut self, chunk_id: u32) {
+        if self.ghost_capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.ghost.insert(chunk_id, self.tick);
+        while self.ghost.len() > self.ghost_capacity {
+            let oldest = self
+                .ghost
+                .iter()
+                .min_by_key(|(_, t)| **t)
+                .map(|(&k, _)| k)
+                .expect("non-empty ghost list");
+            self.ghost.remove(&oldest);
+        }
+    }
+
+    /// Frees one resident slot: drains the A1in FIFO (ghosting the
+    /// victim) while it is at quota, otherwise evicts the Am LRU
+    /// (unghosted — Am residents already proved reuse once).
+    fn evict_one(&mut self) {
+        if self.a1in.entries.len() >= self.a1in_capacity {
+            if let Some((victim, _)) = self.a1in.pop_lru() {
+                self.remember_ghost(victim);
+                return;
+            }
+        }
+        if self.am.pop_lru().is_none() {
+            // Degenerate split: everything resident sits in an
+            // under-quota A1in (e.g. capacity 1). Drain it anyway.
+            if let Some((victim, _)) = self.a1in.pop_lru() {
+                self.remember_ghost(victim);
+            }
+        }
+    }
+}
+
+impl ChunkCache for TwoQCache {
+    fn get(&mut self, chunk_id: u32) -> Option<Arc<ReadSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(rs) = self.am.touch(chunk_id, tick) {
+            return Some(rs);
+        }
+        // A1in hits serve the data but keep FIFO order: recency inside
+        // the admission queue is deliberately ignored.
+        self.a1in
+            .entries
+            .get(&chunk_id)
+            .map(|(_, rs)| Arc::clone(rs))
+    }
+
+    fn insert(&mut self, chunk_id: u32, reads: Arc<ReadSet>) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        // A resident chunk just gets its value refreshed in place
+        // (A1in keeps its original FIFO position).
+        if let Some(slot) = self.am.entries.get_mut(&chunk_id) {
+            *slot = (tick, reads);
+            return 0;
+        }
+        if let Some((_, slot)) = self.a1in.entries.get_mut(&chunk_id) {
+            *slot = reads;
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.len() >= self.capacity {
+            self.evict_one();
+            evicted = 1;
+        }
+        if self.ghost.remove(&chunk_id).is_some() {
+            // Missed again while ghosted: proven reuse, admit to Am.
+            self.am.entries.insert(chunk_id, (tick, reads));
+        } else {
+            self.a1in.entries.insert(chunk_id, (tick, reads));
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.entries.len() + self.am.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +891,115 @@ mod tests {
         assert_eq!(c.insert(5, rs(1)), 0);
         assert!(ChunkCache::get(&mut c, 5).is_none());
         assert!(ChunkCache::is_empty(&c));
+    }
+
+    /// Cycles `id` through A1in and the ghost list into Am: insert →
+    /// force a FIFO eviction → reinsert while ghosted.
+    fn promote_to_main(c: &mut TwoQCache, id: u32, filler: &mut u32) {
+        c.insert(id, rs(1));
+        while !c.ghost.contains_key(&id) {
+            *filler += 1;
+            c.insert(1_000_000 + *filler, rs(1));
+        }
+        c.insert(id, rs(1));
+        assert!(c.am.entries.contains_key(&id), "{id} should be in Am");
+    }
+
+    #[test]
+    fn twoq_admits_to_main_only_via_ghosts() {
+        let mut c = TwoQCache::new(4); // a1in quota 1, ghosts 2
+        c.insert(0, rs(1));
+        assert_eq!(c.fifo_len(), 1);
+        assert_eq!(c.main_len(), 0);
+        // An A1in hit serves the data without promoting.
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+        assert_eq!(c.main_len(), 0);
+        // Push 0 out of the FIFO: its data is gone, its id ghosted.
+        for id in [1, 2, 3, 4] {
+            c.insert(id, rs(1));
+        }
+        assert!(ChunkCache::get(&mut c, 0).is_none(), "ghosts hold no data");
+        assert!(c.ghost_len() > 0);
+        // The re-miss insert lands in Am.
+        c.insert(0, rs(1));
+        assert_eq!(c.main_len(), 1);
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+    }
+
+    #[test]
+    fn twoq_scan_burst_cannot_flush_the_main_area() {
+        let mut c = TwoQCache::new(4);
+        let mut filler = 0;
+        promote_to_main(&mut c, 0, &mut filler);
+        assert_eq!(c.main_len(), 1);
+        // A one-shot scan over 20 cold chunks churns the FIFO and the
+        // ghosts only.
+        for id in 100..120 {
+            c.insert(id, rs(1));
+        }
+        assert!(
+            ChunkCache::get(&mut c, 0).is_some(),
+            "main-area chunk survived the scan"
+        );
+        assert_eq!(c.main_len(), 1);
+        // Plain LRU at the same capacity loses the hot chunk entirely.
+        let mut lru = LruCache::new(4);
+        lru.insert(0, rs(1));
+        assert!(LruCache::get(&mut lru, 0).is_some());
+        for id in 100..120 {
+            LruCache::insert(&mut lru, id, rs(1));
+        }
+        assert!(LruCache::get(&mut lru, 0).is_none());
+    }
+
+    #[test]
+    fn twoq_reinsert_refreshes_in_place() {
+        let mut c = TwoQCache::new(4);
+        c.insert(0, rs(1));
+        assert_eq!(c.insert(0, rs(2)), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(ChunkCache::get(&mut c, 0).unwrap().len(), 2);
+        // Same for an Am resident.
+        let mut filler = 0;
+        promote_to_main(&mut c, 7, &mut filler);
+        assert_eq!(c.insert(7, rs(3)), 0);
+        assert_eq!(ChunkCache::get(&mut c, 7).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn twoq_respects_capacity_under_churn() {
+        let mut c = TwoQCache::new(4);
+        let mut evictions = 0;
+        for id in 0..64 {
+            evictions += c.insert(id, rs(1));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(evictions, 60);
+        assert!(c.ghost_len() <= 2, "ghost list bounded at capacity/2");
+        let resident = (0..64)
+            .filter(|&id| ChunkCache::get(&mut c, id).is_some())
+            .count();
+        assert_eq!(resident, 4);
+    }
+
+    #[test]
+    fn twoq_zero_capacity_caches_nothing() {
+        let mut c = TwoQCache::new(0);
+        assert_eq!(c.insert(5, rs(1)), 0);
+        assert!(ChunkCache::get(&mut c, 5).is_none());
+        assert!(ChunkCache::is_empty(&c));
+        assert_eq!(c.ghost_len(), 0);
+    }
+
+    #[test]
+    fn twoq_capacity_one_degenerates_to_fifo() {
+        let mut c = TwoQCache::new(1); // no ghost room, quota 1
+        c.insert(0, rs(1));
+        assert!(ChunkCache::get(&mut c, 0).is_some());
+        assert_eq!(c.insert(1, rs(1)), 1);
+        assert!(ChunkCache::get(&mut c, 0).is_none());
+        assert!(ChunkCache::get(&mut c, 1).is_some());
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //!   typed tickets with per-operation `OpReport`s, and the shared
 //!   closed-loop load driver. This is the one entry point onto the
 //!   serving path.
+//! - [`workload`] — open-loop workload generation and QoS measurement
+//!   (re-export of [`store::client::workload`]): seedable arrival
+//!   processes (fixed/Poisson/bursty) and access patterns
+//!   (uniform/Zipf/sequential/hotspot) feeding
+//!   `Dataset::drive_open_loop`, whose `QosReport` measures
+//!   latency–throughput curves to saturation.
 //! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
 //!   paper's evaluation figures (GEM and GenStore integration, energy),
 //!   including the store-served preparation scenario routed through a
@@ -67,3 +73,6 @@ pub use sage_store as store;
 
 // The serving front end, surfaced at the crate root: `sage::client`.
 pub use sage_store::client;
+
+// The open-loop workload/QoS subsystem: `sage::workload`.
+pub use sage_store::client::workload;

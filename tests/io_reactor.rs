@@ -101,7 +101,7 @@ fn deeper_closed_loops_trade_latency_for_throughput() {
                 },
             )
             .expect("drive");
-        report.mean_ms()
+        report.latency.mean_ms
     };
     let shallow = mean_latency(1);
     let deep = mean_latency(8);
