@@ -205,16 +205,31 @@ impl DeviceMap {
         let slot = self
             .slot(chunk_id)
             .unwrap_or_else(|| panic!("chunk {chunk_id} not placed on any device"));
-        let mut dev = self.devices[slot.device].lock().expect("device poisoned");
+        self.charge_extent_read(slot.device, slot.local)
+    }
+
+    /// Charges one device-local extent read as a **single** device
+    /// command. This is the coalesced fetch path: an engine that
+    /// merges adjacent same-device chunk extents submits the merged
+    /// run here, paying the per-command fixed cost once and letting
+    /// the longer transfer engage more channels — instead of one
+    /// `SAGe_Read` per chunk. One command, one `reads` count, one
+    /// charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not exist in the fleet.
+    pub fn charge_extent_read(&self, device: usize, local: Extent) -> DeviceCharge {
+        let mut dev = self.devices[device].lock().expect("device poisoned");
         let r = dev.model.execute(SsdCommand::SageReadExtent {
-            offset: slot.local.offset,
-            bytes: slot.local.len,
+            offset: local.offset,
+            bytes: local.len,
             format: ReadFormat::Ascii,
         });
         dev.reads += 1;
         dev.read_seconds += r.seconds;
         DeviceCharge {
-            device: slot.device,
+            device,
             seconds: r.seconds,
         }
     }
@@ -225,15 +240,20 @@ impl DeviceMap {
     /// current partially-filled page charges nothing).
     pub fn append_chunk(&self, len: usize) -> DeviceCharge {
         let slot = self.assign(len);
-        let mut dev = self.devices[slot.device].lock().expect("device poisoned");
-        let cfg = dev.model.config().clone();
-        let old_pages = dev.layout.n_pages();
+        let mut guard = self.devices[slot.device].lock().expect("device poisoned");
+        // Split the borrow so the layout can grow against the model's
+        // config without cloning the whole SsdConfig per append (the
+        // old code paid a name + geometry allocation on every chunk).
+        let DeviceState { model, layout, .. } = &mut *guard;
+        let old_pages = layout.n_pages();
         let new_bytes = slot.local.end();
-        dev.layout.extend_to(&cfg, new_bytes, 0);
-        let grown = dev.layout.n_pages() - old_pages;
-        let r = dev.model.execute(SsdCommand::SageWrite {
-            bytes: grown * cfg.page_bytes,
+        layout.extend_to(model.config(), new_bytes, 0);
+        let grown = layout.n_pages() - old_pages;
+        let page_bytes = model.config().page_bytes;
+        let r = model.execute(SsdCommand::SageWrite {
+            bytes: grown * page_bytes,
         });
+        let dev = &mut *guard;
         dev.placed_bytes = new_bytes;
         dev.chunks += 1;
         dev.writes += 1;

@@ -196,6 +196,29 @@ impl<B: IoBackend> Reactor<B> {
         })
     }
 
+    /// Submits a batch of `(op, user_data, submit_vt)` entries in
+    /// order with one ring-lock acquisition per capacity window
+    /// instead of one per operation — the cheap way to seed a closed
+    /// loop or inject an arrival burst. Blocks (backpressure) while
+    /// the ring is full, exactly like [`Reactor::submit`].
+    ///
+    /// # Errors
+    ///
+    /// `Err((SubmitError::Closed, accepted))` when the reactor shut
+    /// down mid-batch; `accepted` operations were already enqueued
+    /// and will still be served by a graceful close.
+    pub fn submit_batch(
+        &self,
+        ops: impl IntoIterator<Item = (B::Op, u64, f64)>,
+    ) -> Result<usize, (SubmitError, usize)> {
+        self.ring
+            .push_batch(ops.into_iter().map(|(op, user_data, submit_vt)| Sqe {
+                op,
+                user_data,
+                submit_vt,
+            }))
+    }
+
     /// The completion side (shareable: a dispatcher thread can hold
     /// its own handle and outlive the reactor's owner).
     pub fn completions(&self) -> Arc<CompletionQueues<B::Output>> {

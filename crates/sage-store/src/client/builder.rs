@@ -69,6 +69,8 @@ pub struct DatasetBuilder {
     codec: CompressOptions,
     cache_chunks: usize,
     cache_policy: CachePolicy,
+    cache_shards: usize,
+    coalesce_extents: bool,
     ssd: Option<SsdConfig>,
     fleet: Option<Vec<SsdConfig>>,
     placement: Option<Placement>,
@@ -85,6 +87,8 @@ impl Default for DatasetBuilder {
             codec: CompressOptions::default(),
             cache_chunks: 16,
             cache_policy: CachePolicy::default(),
+            cache_shards: 1,
+            coalesce_extents: false,
             ssd: None,
             fleet: None,
             placement: None,
@@ -136,9 +140,30 @@ impl DatasetBuilder {
         self
     }
 
-    /// Cache eviction policy (LRU, segmented LRU, or CLOCK).
+    /// Cache eviction policy (LRU, segmented LRU, CLOCK, or 2Q).
     pub fn cache_policy(mut self, policy: CachePolicy) -> DatasetBuilder {
         self.cache_policy = policy;
+        self
+    }
+
+    /// Stripes the decoded-chunk cache over `n` shards (shard =
+    /// `chunk_id % n`, each shard its own lock + policy instance) so
+    /// concurrent sessions stop serializing on one cache mutex. `1`
+    /// (the default) is the classic single-lock cache; `0` is a typed
+    /// [`ConfigError::ZeroCacheShards`]. The effective count is
+    /// clamped to [`cache_chunks`](DatasetBuilder::cache_chunks) so
+    /// no shard ever has zero slots.
+    pub fn cache_shards(mut self, n: usize) -> DatasetBuilder {
+        self.cache_shards = n;
+        self
+    }
+
+    /// Merges adjacent same-device chunk extents fetched by one
+    /// operation into single device commands (fewer fixed per-command
+    /// costs, longer sequential transfers). Off by default so the
+    /// virtual timeline stays bit-identical to per-chunk charging.
+    pub fn extent_coalescing(mut self, on: bool) -> DatasetBuilder {
+        self.coalesce_extents = on;
         self
     }
 
@@ -198,6 +223,9 @@ impl DatasetBuilder {
         if self.placement.is_some() && self.fleet.is_none() {
             return Err(ConfigError::PlacementWithoutFleet);
         }
+        if self.cache_shards == 0 {
+            return Err(ConfigError::ZeroCacheShards);
+        }
         let store_opts = StoreOptions {
             reads_per_chunk: self.reads_per_chunk,
             workers: self.encode_workers,
@@ -205,7 +233,9 @@ impl DatasetBuilder {
         };
         let mut engine_cfg = EngineConfig::default()
             .with_cache_chunks(self.cache_chunks)
-            .with_cache_policy(self.cache_policy);
+            .with_cache_policy(self.cache_policy)
+            .with_cache_shards(self.cache_shards)
+            .with_extent_coalescing(self.coalesce_extents);
         engine_cfg.codec = self.codec.clone();
         engine_cfg.append_workers = self.append_workers;
         if let Some(ssd) = &self.ssd {

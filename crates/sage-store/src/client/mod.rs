@@ -5,11 +5,14 @@
 //! one validated configuration and produces a [`Dataset`] — an
 //! encoded chunk store with a running completion-queue reactor in
 //! front of it. [`Session`]s opened on the dataset submit operations
-//! and get back **typed tickets**: [`Session::get`] returns a
-//! [`Ticket<ReadSet>`](Ticket), [`Session::append`] a `Ticket<u64>`,
-//! so a variant-mismatch between request and response is
-//! unrepresentable — there is no enum to pattern-match, unlike the
-//! removed `Request`/`Response` pair.
+//! and get back **typed tickets**: [`Session::get`] and
+//! [`Session::scan`] return a [`Ticket<ReadView>`](Ticket) — a
+//! zero-copy view over the engine's cached chunks —
+//! [`Session::append`] a `Ticket<u64>`, so a variant-mismatch between
+//! request and response is unrepresentable — there is no enum to
+//! pattern-match, unlike the removed `Request`/`Response` pair.
+//! Views read records in place; [`ReadView::to_owned`] is the
+//! explicit opt-in to a per-record copy.
 //!
 //! Every ticket resolves to a [`Completion`] carrying an
 //! [`OpReport`]: the device charges the operation incurred, its cache
@@ -65,6 +68,7 @@ pub use session::{Dataset, ServerStats, Session};
 pub use stats::{percentile, LatencyStats};
 
 use crate::engine::OpValue;
+use crate::view::ReadView;
 use crate::{Result, StoreError};
 use sage_io::DeviceCharge;
 use std::sync::mpsc::Receiver;
@@ -135,6 +139,17 @@ impl OpReport {
     pub fn cache_misses(&self) -> u64 {
         self.trace.cache_misses
     }
+
+    /// Device commands the operation issued. On a **timed** engine
+    /// (single SSD or fleet) this equals the cache misses without
+    /// coalescing; with extent coalescing on, runs of adjacent
+    /// same-device chunks collapse into single commands and this
+    /// drops accordingly (`cache_misses / device_ops` is the merge
+    /// factor). On an untimed engine no device is modeled and this is
+    /// always 0, misses included.
+    pub fn device_ops(&self) -> u64 {
+        self.trace.device_ops
+    }
 }
 
 /// A resolved operation: its typed value plus the [`OpReport`].
@@ -195,9 +210,9 @@ impl<T> Ticket<T> {
     }
 }
 
-pub(crate) fn extract_reads(v: OpValue) -> Option<sage_genomics::ReadSet> {
+pub(crate) fn extract_reads(v: OpValue) -> Option<ReadView> {
     match v {
-        OpValue::Reads(rs) => Some(rs),
+        OpValue::Reads(view) => Some(view),
         OpValue::Appended(_) => None,
     }
 }

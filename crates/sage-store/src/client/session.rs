@@ -3,8 +3,9 @@
 
 use super::{extract_appended, extract_reads, OpReport, Payload, SubmitMode, Ticket};
 use crate::engine::{EngineBackend, StoreEngine, StoreOp};
-use crate::lru::CacheSnapshot;
+use crate::lru::{CacheSnapshot, StripeSnapshot};
 use crate::timing::TimingSnapshot;
+use crate::view::ReadView;
 use crate::{Result, StoreError};
 use sage_genomics::{Read, ReadSet};
 use sage_io::{DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SubmitError};
@@ -282,9 +283,14 @@ impl Dataset {
         self.core.stats()
     }
 
-    /// Decoded-chunk cache counters.
+    /// Decoded-chunk cache counters (aggregated across cache shards).
     pub fn cache_stats(&self) -> CacheSnapshot {
         self.core.engine().cache_stats()
+    }
+
+    /// Striped-cache shard occupancy and lock accounting.
+    pub fn stripe_snapshot(&self) -> StripeSnapshot {
+        self.core.engine().stripe_snapshot()
     }
 
     /// Aggregated device accounting.
@@ -320,10 +326,13 @@ impl Dataset {
 ///
 /// Each operation returns a ticket typed by its result —
 /// [`Session::get`] and [`Session::scan`] yield
-/// [`Ticket<ReadSet>`](Ticket), [`Session::append`] a `Ticket<u64>` —
-/// so mismatching a request with the wrong response kind cannot
-/// compile. Tickets resolve to [`Completion`](super::Completion)s
-/// carrying an [`OpReport`].
+/// [`Ticket<ReadView>`](Ticket) (a zero-copy view over the engine's
+/// cached chunks), [`Session::append`] a `Ticket<u64>` — so
+/// mismatching a request with the wrong response kind cannot compile.
+/// Tickets resolve to [`Completion`](super::Completion)s carrying an
+/// [`OpReport`]. Views read records in place;
+/// [`ReadView::to_owned`] is the explicit opt-in to a per-record
+/// copy.
 ///
 /// ```
 /// use sage_store::client::{DatasetBuilder, SubmitMode};
@@ -334,10 +343,10 @@ impl Dataset {
 /// let dataset = DatasetBuilder::new().chunk_reads(16).encode(&ds.reads)?;
 /// let session = dataset.session().with_mode(SubmitMode::Block);
 ///
-/// // Typed tickets: get → ReadSet, append → u64. No enum matching.
-/// let reads = session.get(0..8)?.join()?;
-/// assert_eq!(reads.len(), 8);
-/// let first = session.append(&reads)?.join()?;
+/// // Typed tickets: get → ReadView, append → u64. No enum matching.
+/// let view = session.get(0..8)?.join()?;
+/// assert_eq!(view.len(), 8);
+/// let first = session.append(&view.to_owned())?.join()?;
 /// assert_eq!(first, ds.reads.len() as u64);
 ///
 /// // Every ticket also carries the operation's report.
@@ -372,7 +381,7 @@ impl Session {
     /// [`StoreError::QueueFull`] (in [`SubmitMode::Fail`]) or
     /// [`StoreError::QueueClosed`]. The operation's own errors arrive
     /// through the ticket.
-    pub fn get(&self, range: Range<u64>) -> Result<Ticket<ReadSet>> {
+    pub fn get(&self, range: Range<u64>) -> Result<Ticket<ReadView>> {
         self.get_at(range, 0.0)
     }
 
@@ -383,7 +392,7 @@ impl Session {
     /// # Errors
     ///
     /// Same as [`Session::get`].
-    pub fn get_at(&self, range: Range<u64>, submit_vt: f64) -> Result<Ticket<ReadSet>> {
+    pub fn get_at(&self, range: Range<u64>, submit_vt: f64) -> Result<Ticket<ReadView>> {
         let rx = self
             .core
             .submit(StoreOp::Get(range), submit_vt, self.mode)?;
@@ -396,7 +405,7 @@ impl Session {
     /// # Errors
     ///
     /// Same as [`Session::get`].
-    pub fn scan<F>(&self, predicate: F) -> Result<Ticket<ReadSet>>
+    pub fn scan<F>(&self, predicate: F) -> Result<Ticket<ReadView>>
     where
         F: Fn(&Read) -> bool + Send + 'static,
     {
@@ -408,7 +417,7 @@ impl Session {
     /// # Errors
     ///
     /// Same as [`Session::get`].
-    pub fn scan_at<F>(&self, predicate: F, submit_vt: f64) -> Result<Ticket<ReadSet>>
+    pub fn scan_at<F>(&self, predicate: F, submit_vt: f64) -> Result<Ticket<ReadView>>
     where
         F: Fn(&Read) -> bool + Send + 'static,
     {
@@ -541,7 +550,7 @@ mod tests {
         let session = dataset.session();
         // A deep backlog behind one worker guarantees queued-but-
         // unserved operations at abort time.
-        let tickets: Vec<Ticket<ReadSet>> =
+        let tickets: Vec<Ticket<ReadView>> =
             (0..24).map(|_| session.scan(|_| true).unwrap()).collect();
         dataset.abort();
         let mut answered = 0;
@@ -617,7 +626,7 @@ mod tests {
     fn graceful_shutdown_drains_the_queue() {
         let (dataset, _) = served(16, 8, 1, 16);
         let session = dataset.session();
-        let tickets: Vec<Ticket<ReadSet>> = (0..10).map(|_| session.get(0..4).unwrap()).collect();
+        let tickets: Vec<Ticket<ReadView>> = (0..10).map(|_| session.get(0..4).unwrap()).collect();
         dataset.shutdown();
         for t in tickets {
             assert!(t.wait().is_ok(), "graceful shutdown must serve queued work");

@@ -176,7 +176,7 @@ pub fn encode_sharded(reads: &ReadSet, opts: &StoreOptions) -> Result<ShardedSto
     let mut store = ShardedStore {
         manifest: StoreManifest {
             reads_per_chunk: opts.reads_per_chunk as u64,
-            chunks: Vec::with_capacity(chunks.len()),
+            chunks: std::sync::Arc::new(Vec::with_capacity(chunks.len())),
         },
         blob: Vec::new(),
     };

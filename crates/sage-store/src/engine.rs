@@ -23,17 +23,18 @@
 //! place their charges on the virtual device timeline.
 
 use crate::codec::{order_preserving_compressor, ShardedStore};
-use crate::lru::{CachePolicy, CacheSnapshot, CacheStats, ChunkCache};
+use crate::lru::{CachePolicy, CacheSnapshot, CacheStats, StripeSnapshot, StripedCache};
 use crate::manifest::ChunkMeta;
 use crate::timing::{SsdTiming, TimingSnapshot};
+use crate::view::{ReadView, RecordSlice};
 use crate::{parse_chunk, ConfigError, Result, StoreError};
-use sage_core::{CompressOptions, OutputFormat, SageDecompressor};
+use sage_core::{CompressOptions, Extent, OutputFormat, SageDecompressor};
 use sage_genomics::{Read, ReadSet};
 use sage_io::{DeviceCharge, DeviceMap, DeviceSnapshot, IoBackend, Placement};
 use sage_ssd::SsdConfig;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -42,6 +43,17 @@ pub struct EngineConfig {
     pub cache_chunks: usize,
     /// Which eviction policy the cache uses.
     pub cache_policy: CachePolicy,
+    /// Cache stripes (shard = `chunk_id % n`, each shard its own lock
+    /// and policy instance). 1 — the default — is byte-for-byte the
+    /// old single-lock cache; raise it so concurrent clients stop
+    /// serializing on one mutex for every cache hit.
+    pub cache_shards: usize,
+    /// When `true`, adjacent same-device chunk extents fetched by one
+    /// operation are merged into a single device command (fewer fixed
+    /// per-command costs, longer sequential transfers). Off by
+    /// default: per-chunk charging keeps the virtual timeline
+    /// bit-identical to previous releases.
+    pub coalesce_extents: bool,
     /// When set (and `ssds` is empty), chunk fetches and appends
     /// charge this single device model.
     pub ssd: Option<SsdConfig>,
@@ -65,6 +77,8 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_chunks: 16,
             cache_policy: CachePolicy::default(),
+            cache_shards: 1,
+            coalesce_extents: false,
             ssd: None,
             ssds: Vec::new(),
             placement: Placement::default(),
@@ -84,6 +98,24 @@ impl EngineConfig {
     /// Selects the cache eviction policy.
     pub fn with_cache_policy(mut self, policy: CachePolicy) -> EngineConfig {
         self.cache_policy = policy;
+        self
+    }
+
+    /// Stripes the decoded-chunk cache over `n` shards (shard =
+    /// `chunk_id % n`, each with its own lock and policy instance).
+    /// `1` keeps the classic single-lock cache; must be ≥ 1. The
+    /// effective count is clamped to `cache_chunks` so no shard ever
+    /// has zero slots (see [`crate::lru::StripedCache::new`]).
+    pub fn with_cache_shards(mut self, n: usize) -> EngineConfig {
+        self.cache_shards = n;
+        self
+    }
+
+    /// Enables (or disables) extent coalescing: adjacent same-device
+    /// chunk extents fetched by one operation merge into a single
+    /// device command.
+    pub fn with_extent_coalescing(mut self, on: bool) -> EngineConfig {
+        self.coalesce_extents = on;
         self
     }
 
@@ -114,22 +146,27 @@ impl EngineConfig {
     /// # Errors
     ///
     /// [`ConfigError::DeviceConflict`] when both a single SSD and a
-    /// fleet are configured.
+    /// fleet are configured; [`ConfigError::ZeroCacheShards`] when the
+    /// cache was striped over zero shards.
     pub fn validate(&self) -> std::result::Result<(), ConfigError> {
         if self.ssd.is_some() && !self.ssds.is_empty() {
             return Err(ConfigError::DeviceConflict);
+        }
+        if self.cache_shards == 0 {
+            return Err(ConfigError::ZeroCacheShards);
         }
         Ok(())
     }
 }
 
 /// The device side of an engine: nothing, one timed device, or a
-/// striped fleet. (Boxed: one `Devices` exists per engine, and the
-/// timing state dwarfs the other variants.)
+/// striped fleet. (The single device sits behind an `Arc` so the
+/// timing state is built once per open and shared, not boxed fresh
+/// with an `SsdConfig` clone per construction site.)
 #[derive(Debug)]
 enum Devices {
     Untimed,
-    Single(Box<SsdTiming>),
+    Single(Arc<SsdTiming>),
     Fleet(DeviceMap),
 }
 
@@ -140,20 +177,91 @@ impl Devices {
             return Devices::Fleet(DeviceMap::place(&cfg.ssds, cfg.placement, &lens));
         }
         match &cfg.ssd {
-            Some(ssd) => Devices::Single(Box::new(SsdTiming::new(ssd.clone(), store.blob.len()))),
+            Some(ssd) => Devices::Single(Arc::new(SsdTiming::new(ssd.clone(), store.blob.len()))),
             None => Devices::Untimed,
         }
     }
 
-    /// Charges one chunk fetch to its owning device.
-    fn charge_read(&self, meta: &ChunkMeta) -> Option<DeviceCharge> {
+    /// Charges the device commands for one operation's cache-missed
+    /// chunk fetches (`metas`, ascending chunk order). Per-chunk by
+    /// default — one `SAGe_Read` per missed chunk, byte-identical to
+    /// the historical timeline. With `coalesce`, **adjacent
+    /// same-device extents merge into single commands**: a sequential
+    /// scan that misses a run of chunks pays the fixed per-command
+    /// cost once per run and streams one long transfer instead of N
+    /// short ones. Returns one [`DeviceCharge`] per command actually
+    /// issued.
+    fn charge_reads(&self, metas: &[&ChunkMeta], coalesce: bool) -> Vec<DeviceCharge> {
         match self {
-            Devices::Untimed => None,
-            Devices::Single(t) => Some(DeviceCharge {
-                device: 0,
-                seconds: t.charge_chunk_read(meta.extent),
-            }),
-            Devices::Fleet(m) => Some(m.charge_chunk_read(meta.id)),
+            Devices::Untimed => Vec::new(),
+            Devices::Single(t) => {
+                if !coalesce {
+                    return metas
+                        .iter()
+                        .map(|m| DeviceCharge {
+                            device: 0,
+                            seconds: t.charge_chunk_read(m.extent),
+                        })
+                        .collect();
+                }
+                let mut out = Vec::new();
+                let mut run: Option<Extent> = None;
+                let flush = |run: &mut Option<Extent>, out: &mut Vec<DeviceCharge>| {
+                    if let Some(r) = run.take() {
+                        out.push(DeviceCharge {
+                            device: 0,
+                            seconds: t.charge_chunk_read(r),
+                        });
+                    }
+                };
+                for m in metas {
+                    match &mut run {
+                        // Chunks are laid back-to-back in the blob, so
+                        // a miss-run of consecutive chunks is one
+                        // contiguous extent; a cached chunk in between
+                        // breaks the run.
+                        Some(r) if r.end() == m.extent.offset => r.len += m.extent.len,
+                        _ => {
+                            flush(&mut run, &mut out);
+                            run = Some(m.extent);
+                        }
+                    }
+                }
+                flush(&mut run, &mut out);
+                out
+            }
+            Devices::Fleet(map) => {
+                if !coalesce {
+                    return metas.iter().map(|m| map.charge_chunk_read(m.id)).collect();
+                }
+                // One open run per device: round-robin placement lays
+                // a scan's same-device chunks contiguously in each
+                // device's local space, so runs survive interleaving
+                // across devices and only break at a cache hit (or a
+                // placement seam).
+                let mut open: Vec<Option<Extent>> = vec![None; map.n_devices()];
+                let mut out = Vec::new();
+                for m in metas {
+                    let slot = map
+                        .slot(m.id)
+                        .unwrap_or_else(|| panic!("chunk {} not placed on any device", m.id));
+                    match &mut open[slot.device] {
+                        Some(r) if r.end() == slot.local.offset => r.len += slot.local.len,
+                        o => {
+                            if let Some(r) = o.take() {
+                                out.push(map.charge_extent_read(slot.device, r));
+                            }
+                            *o = Some(slot.local);
+                        }
+                    }
+                }
+                for (device, run) in open.into_iter().enumerate() {
+                    if let Some(r) = run {
+                        out.push(map.charge_extent_read(device, r));
+                    }
+                }
+                out
+            }
         }
     }
 
@@ -195,8 +303,10 @@ impl std::fmt::Debug for StoreOp {
 /// The value a [`StoreOp`] produces.
 #[derive(Debug)]
 pub enum OpValue {
-    /// Reads for a `Get` or `Scan`.
-    Reads(ReadSet),
+    /// A zero-copy view over the cached chunks a `Get` or `Scan`
+    /// touched. Resolving the view moves no payload bytes;
+    /// [`ReadView::to_owned`] is the explicit opt-in to a copy.
+    Reads(ReadView),
     /// First read id assigned by an `Append`.
     Appended(u64),
 }
@@ -206,9 +316,15 @@ pub enum OpValue {
 /// virtual-time instants the reactor assigns).
 #[derive(Debug, Clone, Default)]
 pub struct OpTrace {
-    /// Per-device charges the operation incurred (empty when every
-    /// touched chunk was cached or timing is off).
+    /// Per-device charges the operation incurred — one entry per
+    /// device command actually issued (empty when every touched chunk
+    /// was cached or timing is off). With extent coalescing on, one
+    /// charge may cover a whole run of adjacent chunks.
     pub charges: Vec<DeviceCharge>,
+    /// Device commands the operation issued (`== charges.len()`;
+    /// kept explicit so reports surface the coalescing win directly:
+    /// `chunks_touched / device_ops` is the merge factor).
+    pub device_ops: u64,
     /// Chunks the operation touched (decoded or served from cache;
     /// for appends: chunks written).
     pub chunks_touched: u64,
@@ -225,10 +341,10 @@ impl OpTrace {
     }
 }
 
-/// One chunk fetched through the cache.
+/// One chunk fetched through the cache. Charging happens at the
+/// operation level (so runs of misses can coalesce), not here.
 struct Fetched {
     reads: Arc<ReadSet>,
-    charge: Option<DeviceCharge>,
     /// `true` when the chunk was served from the cache.
     hit: bool,
 }
@@ -243,12 +359,18 @@ struct StoreState {
 #[derive(Debug)]
 pub struct StoreEngine {
     state: RwLock<StoreState>,
-    cache: Mutex<Box<dyn ChunkCache>>,
+    cache: StripedCache,
     stats: CacheStats,
     devices: Devices,
     codec: CompressOptions,
     append_workers: usize,
+    coalesce_extents: bool,
     requests_served: AtomicU64,
+    /// Payload bytes memcpy'd on the serving read path (the extent
+    /// copy a cache miss takes under the read guard). Cache-hit reads
+    /// resolve as [`ReadView`]s and add **zero** here — the metric the
+    /// zero-copy refactor is accountable to.
+    bytes_copied: AtomicU64,
 }
 
 impl StoreEngine {
@@ -262,12 +384,14 @@ impl StoreEngine {
     pub fn try_open(store: ShardedStore, cfg: EngineConfig) -> Result<StoreEngine> {
         cfg.validate()?;
         Ok(StoreEngine {
-            cache: Mutex::new(cfg.cache_policy.build(cfg.cache_chunks)),
+            cache: StripedCache::new(cfg.cache_policy, cfg.cache_chunks, cfg.cache_shards),
             stats: CacheStats::default(),
             devices: Devices::open(&cfg, &store),
             codec: cfg.codec,
             append_workers: cfg.append_workers,
+            coalesce_extents: cfg.coalesce_extents,
             requests_served: AtomicU64::new(0),
+            bytes_copied: AtomicU64::new(0),
             state: RwLock::new(StoreState { store }),
         })
     }
@@ -308,9 +432,35 @@ impl StoreEngine {
         }
     }
 
-    /// Cache counters.
+    /// Cache counters (hits/misses/evictions aggregated across cache
+    /// shards).
     pub fn cache_stats(&self) -> CacheSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Shard occupancy and lock accounting of the striped cache.
+    pub fn stripe_snapshot(&self) -> StripeSnapshot {
+        self.cache.stripe_snapshot()
+    }
+
+    /// Cache shard count.
+    pub fn cache_shards(&self) -> usize {
+        self.cache.n_shards()
+    }
+
+    /// Whether adjacent same-device extents coalesce into single
+    /// device commands.
+    pub fn coalesces_extents(&self) -> bool {
+        self.coalesce_extents
+    }
+
+    /// Payload bytes memcpy'd on the serving read path so far. A
+    /// cache miss copies its chunk's extent out of the blob (under a
+    /// short read guard, before decoding); cache-hit gets and scans
+    /// copy **nothing** — results are [`ReadView`]s over the cached
+    /// chunks.
+    pub fn payload_bytes_copied(&self) -> u64 {
+        self.bytes_copied.load(Ordering::Relaxed)
     }
 
     /// Accumulated device accounting, aggregated across the fleet
@@ -360,27 +510,27 @@ impl StoreEngine {
         }
     }
 
-    /// Fetches one decoded chunk through the cache, reporting the
-    /// device charge when the fetch missed (hits cost no device time).
+    /// Fetches one decoded chunk through the striped cache.
     ///
-    /// The decode runs *outside* both the cache lock and the state
-    /// lock: concurrent misses on different chunks overlap, and a
-    /// pending `append` only waits for the brief extent-bytes copy,
+    /// The decode runs *outside* both the cache-shard lock and the
+    /// state lock: concurrent misses on different chunks overlap, and
+    /// a pending `append` only waits for the brief extent-bytes copy,
     /// not for mapper-scale decode work. Two racing misses on the
     /// same chunk may both decode, with the last insert winning —
     /// wasted work, never wrong answers.
     ///
-    /// The device is charged only for fetches that *succeed*: a chunk
-    /// that fails validation charges nothing, so device counters, the
-    /// traced charges, and the reactor's virtual timeline all agree on
-    /// exactly the successful fetch set.
+    /// Charging happens at the operation level (over the op's whole
+    /// missed set, so adjacent extents can coalesce), and only for
+    /// fetches that *succeed*: a chunk that fails validation charges
+    /// nothing, so device counters, the traced charges, and the
+    /// reactor's virtual timeline all agree on exactly the successful
+    /// fetch set.
     fn fetch_chunk(&self, meta: ChunkMeta) -> Result<Fetched> {
         let chunk_id = meta.id;
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(chunk_id) {
+        if let Some(hit) = self.cache.get(chunk_id) {
             self.stats.hit();
             return Ok(Fetched {
                 reads: hit,
-                charge: None,
                 hit: true,
             });
         }
@@ -398,6 +548,8 @@ impl StoreEngine {
             }
             state.store.blob[meta.extent.offset..meta.extent.end()].to_vec()
         };
+        self.bytes_copied
+            .fetch_add(chunk_bytes.len() as u64, Ordering::Relaxed);
         let archive = parse_chunk(
             &chunk_bytes,
             sage_core::Extent {
@@ -422,45 +574,38 @@ impl StoreEngine {
                 )),
             });
         }
-        let charge = self.devices.charge_read(&meta);
         let reads = Arc::new(reads);
-        let evicted = self
-            .cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(chunk_id, Arc::clone(&reads));
+        let evicted = self.cache.insert(chunk_id, Arc::clone(&reads));
         self.stats.evicted(evicted);
-        Ok(Fetched {
-            reads,
-            charge,
-            hit: false,
-        })
+        Ok(Fetched { reads, hit: false })
     }
 
     /// Fetches several chunks, fanning cold misses out over the codec
     /// worker pool so a wide cold `get`/`scan` does not decode
     /// one-chunk-at-a-time on the request thread. Cache hits are
-    /// served inline first — a warm request never pays thread-spawn
-    /// overhead.
+    /// served first through the striped batch probe — one shard-lock
+    /// acquisition per touched shard, not one per chunk — so a warm
+    /// request never pays thread-spawn overhead.
     fn fetch_chunks(&self, metas: &[ChunkMeta]) -> Vec<Result<Fetched>> {
+        // Single-chunk operations — the dominant warm-get shape —
+        // skip the batch-probe machinery (and its allocations):
+        // fetch_chunk probes the cache itself.
+        if let [meta] = metas {
+            return vec![self.fetch_chunk(*meta)];
+        }
+        let ids: Vec<u32> = metas.iter().map(|m| m.id).collect();
+        let probed = self.cache.get_batch(&ids);
         let mut out: Vec<Option<Result<Fetched>>> = Vec::with_capacity(metas.len());
         let mut missing: Vec<usize> = Vec::new();
-        {
-            let mut cache = self.cache.lock().expect("cache poisoned");
-            for (i, meta) in metas.iter().enumerate() {
-                match cache.get(meta.id) {
-                    Some(hit) => {
-                        self.stats.hit();
-                        out.push(Some(Ok(Fetched {
-                            reads: hit,
-                            charge: None,
-                            hit: true,
-                        })));
-                    }
-                    None => {
-                        out.push(None);
-                        missing.push(i);
-                    }
+        for (i, hit) in probed.into_iter().enumerate() {
+            match hit {
+                Some(reads) => {
+                    self.stats.hit();
+                    out.push(Some(Ok(Fetched { reads, hit: true })));
+                }
+                None => {
+                    out.push(None);
+                    missing.push(i);
                 }
             }
         }
@@ -481,6 +626,28 @@ impl StoreEngine {
         out.into_iter().map(|o| o.expect("slot filled")).collect()
     }
 
+    /// Resolves the charges and cache outcome of one read operation:
+    /// records hits/misses per touched chunk and issues the device
+    /// commands for the successfully fetched misses (coalesced when
+    /// enabled), in chunk order.
+    fn trace_reads(&self, metas: &[ChunkMeta], fetched: &[Result<Fetched>]) -> OpTrace {
+        let mut trace = OpTrace::default();
+        let mut missed: Vec<&ChunkMeta> = Vec::new();
+        for (meta, f) in metas.iter().zip(fetched) {
+            let Ok(f) = f else { continue };
+            trace.chunks_touched += 1;
+            if f.hit {
+                trace.cache_hits += 1;
+            } else {
+                trace.cache_misses += 1;
+                missed.push(meta);
+            }
+        }
+        trace.charges = self.devices.charge_reads(&missed, self.coalesce_extents);
+        trace.device_ops = trace.charges.len() as u64;
+        trace
+    }
+
     /// Runs one typed operation — the single serving path behind
     /// every public accessor, the reactor backend, and the session
     /// API.
@@ -494,36 +661,58 @@ impl StoreEngine {
         match op {
             StoreOp::Get(range) => self
                 .op_get(range)
-                .map(|(reads, trace)| (OpValue::Reads(reads), trace)),
+                .map(|(view, trace)| (OpValue::Reads(view), trace)),
             StoreOp::Scan(pred) => self
                 .op_scan(&*pred)
-                .map(|(reads, trace)| (OpValue::Reads(reads), trace)),
+                .map(|(view, trace)| (OpValue::Reads(view), trace)),
             StoreOp::Append(reads) => self
                 .op_append(&reads)
                 .map(|(first, trace)| (OpValue::Appended(first), trace)),
         }
     }
 
-    /// Returns reads `range` (dataset-global ids, half-open), decoding
-    /// only the chunks the range touches.
+    /// Returns reads `range` (dataset-global ids, half-open) as a
+    /// zero-copy [`ReadView`] over the cached chunks, decoding only
+    /// the chunks the range touches.
     ///
     /// # Errors
     ///
     /// [`StoreError::RangeOutOfBounds`] when the range reaches past
     /// the stored dataset; [`StoreError::CorruptChunk`] when a chunk
     /// fails validation.
-    pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
-        self.op_get(range).map(|(reads, _)| reads)
+    pub fn get_view(&self, range: Range<u64>) -> Result<ReadView> {
+        self.op_get(range).map(|(view, _)| view)
     }
 
-    /// Returns every stored read matching `predicate`, walking all
-    /// chunks through the cache.
+    /// Returns reads `range` as an **owned** [`ReadSet`] — the
+    /// compatibility wrapper over [`StoreEngine::get_view`], paying
+    /// one copy per record. Prefer the view on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreEngine::get_view`].
+    pub fn get(&self, range: Range<u64>) -> Result<ReadSet> {
+        self.get_view(range).map(|view| view.to_owned())
+    }
+
+    /// Returns every stored read matching `predicate` as a zero-copy
+    /// [`ReadView`], walking all chunks through the cache.
     ///
     /// # Errors
     ///
     /// [`StoreError::CorruptChunk`] when a chunk fails validation.
+    pub fn scan_view<F: Fn(&Read) -> bool>(&self, predicate: F) -> Result<ReadView> {
+        self.op_scan(&predicate).map(|(view, _)| view)
+    }
+
+    /// Returns every matching read as an **owned** [`ReadSet`] — the
+    /// compatibility wrapper over [`StoreEngine::scan_view`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreEngine::scan_view`].
     pub fn scan<F: Fn(&Read) -> bool>(&self, predicate: F) -> Result<ReadSet> {
-        self.op_scan(&predicate).map(|(reads, _)| reads)
+        self.scan_view(predicate).map(|view| view.to_owned())
     }
 
     /// Appends reads as new chunk(s) at the end of the dataset,
@@ -541,12 +730,12 @@ impl StoreEngine {
         self.op_append(reads).map(|(first, _)| first)
     }
 
-    /// The `Get` path.
-    fn op_get(&self, range: Range<u64>) -> Result<(ReadSet, OpTrace)> {
+    /// The `Get` path: an O(1) snapshot of the `Arc`'d chunk table
+    /// under a short guard (no [`ChunkMeta`] is copied), then
+    /// unlocked fetches resolving into a zero-copy [`ReadView`].
+    fn op_get(&self, range: Range<u64>) -> Result<(ReadView, OpTrace)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
-        // Snapshot the touched chunk metas under a short guard; decode
-        // happens unlocked (chunks are immutable once written).
-        let metas: Vec<ChunkMeta> = {
+        let (chunks, lo_ix, hi_ix) = {
             let state = self.state.read().expect("state poisoned");
             let total = state.store.total_reads();
             if range.end > total {
@@ -556,45 +745,103 @@ impl StoreEngine {
                     total,
                 });
             }
-            state
-                .store
-                .manifest
-                .chunks_for_range(range.start, range.end)
-                .to_vec()
+            let (lo_ix, hi_ix) = state.store.manifest.range_bounds(range.start, range.end);
+            (Arc::clone(&state.store.manifest.chunks), lo_ix, hi_ix)
         };
-        let mut out = ReadSet::new();
-        let mut trace = OpTrace::default();
-        for (meta, fetched) in metas.iter().zip(self.fetch_chunks(&metas)) {
-            let fetched = fetched?;
-            trace.record(&fetched);
+        // The Arc snapshot stays valid unlocked: appends mutate the
+        // table copy-on-write, never in place under readers.
+        let metas = &chunks[lo_ix..hi_ix];
+        let fetched = self.fetch_chunks(metas);
+        let trace = self.trace_reads(metas, &fetched);
+        let mut view = ReadView::new();
+        for (meta, f) in metas.iter().zip(fetched) {
+            let f = f?;
             let lo = range.start.saturating_sub(meta.first_read) as usize;
             let hi = (range.end.min(meta.end_read()) - meta.first_read) as usize;
-            for r in &fetched.reads.reads()[lo..hi] {
-                out.push(r.clone());
-            }
+            view.push(RecordSlice::range(f.reads, lo, hi));
         }
-        Ok((out, trace))
+        Ok((view, trace))
     }
 
-    /// The `Scan` path.
-    fn op_scan(&self, predicate: &dyn Fn(&Read) -> bool) -> Result<(ReadSet, OpTrace)> {
+    /// Sparse scan matches are *compacted*: a slice keeping fewer
+    /// than one record in this many alive would otherwise pin the
+    /// whole decoded chunk for the view's lifetime.
+    const SCAN_COMPACT_FACTOR: usize = 8;
+
+    /// The `Scan` path: snapshots the `Arc`'d chunk table in O(1)
+    /// (reads appended mid-scan are not part of this scan's view —
+    /// and the per-scan clone of the whole chunk table is gone), then
+    /// resolves matches as zero-copy slices.
+    ///
+    /// Per-chunk match representation, cheapest first: a contiguous
+    /// match run (including the full-chunk `scan(|_| true)` shape)
+    /// becomes an O(1) index *range* — no per-record index vector; a
+    /// scattered match set becomes an index list. Either way the
+    /// slice pins its decoded chunk, so **sparse** matches (fewer
+    /// than 1 in [`Self::SCAN_COMPACT_FACTOR`] records) are compacted
+    /// into a private copy instead — a long-lived scan result holds
+    /// at most ~8× its matched records of decoded data, not the whole
+    /// dataset the scan walked (the compaction copy is counted in
+    /// [`StoreEngine::payload_bytes_copied`]).
+    fn op_scan(&self, predicate: &dyn Fn(&Read) -> bool) -> Result<(ReadView, OpTrace)> {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
-        // Snapshot the chunk table; reads appended mid-scan are not
-        // part of this scan's view.
-        let metas: Vec<ChunkMeta> = {
+        let chunks = {
             let state = self.state.read().expect("state poisoned");
-            state.store.manifest.chunks.clone()
+            Arc::clone(&state.store.manifest.chunks)
         };
-        let mut out = ReadSet::new();
-        let mut trace = OpTrace::default();
-        for fetched in self.fetch_chunks(&metas) {
-            let fetched = fetched?;
-            trace.record(&fetched);
-            for r in fetched.reads.iter().filter(|r| predicate(r)) {
-                out.push(r.clone());
+        let fetched = self.fetch_chunks(&chunks);
+        let trace = self.trace_reads(&chunks, &fetched);
+        let mut view = ReadView::new();
+        for f in fetched {
+            let f = f?;
+            let chunk_len = f.reads.len();
+            // Track the leading contiguous run; spill to an explicit
+            // index list only once contiguity breaks, so dense scans
+            // never allocate per-record indices.
+            let mut run_start = 0u32;
+            let mut run_len = 0u32;
+            let mut spilled: Vec<u32> = Vec::new();
+            for (i, r) in f.reads.iter().enumerate() {
+                if !predicate(r) {
+                    continue;
+                }
+                let i = i as u32;
+                if spilled.is_empty() {
+                    if run_len == 0 {
+                        run_start = i;
+                        run_len = 1;
+                    } else if i == run_start + run_len {
+                        run_len += 1;
+                    } else {
+                        spilled.reserve(run_len as usize + 8);
+                        spilled.extend(run_start..run_start + run_len);
+                        spilled.push(i);
+                    }
+                } else {
+                    spilled.push(i);
+                }
+            }
+            let slice = if spilled.is_empty() {
+                if run_len == 0 {
+                    continue;
+                }
+                RecordSlice::range(f.reads, run_start as usize, (run_start + run_len) as usize)
+            } else {
+                RecordSlice::indices(f.reads, spilled)
+            };
+            if slice.len() * Self::SCAN_COMPACT_FACTOR <= chunk_len {
+                let owned: ReadSet = slice.iter().cloned().collect();
+                self.bytes_copied.fetch_add(
+                    (owned.total_bases() + owned.total_quality_bytes()) as u64,
+                    Ordering::Relaxed,
+                );
+                let n = owned.len();
+                view.push(RecordSlice::range(Arc::new(owned), 0, n));
+            } else {
+                view.push(slice);
             }
         }
-        Ok((out, trace))
+        Ok((view, trace))
     }
 
     /// The `Append` path.
@@ -640,20 +887,8 @@ impl StoreEngine {
                     .charge_append(state.store.blob.len(), bytes.len()),
             );
         }
+        trace.device_ops = trace.charges.len() as u64;
         Ok((first_id, trace))
-    }
-}
-
-impl OpTrace {
-    /// Accounts one fetched chunk.
-    fn record(&mut self, fetched: &Fetched) {
-        self.chunks_touched += 1;
-        if fetched.hit {
-            self.cache_hits += 1;
-        } else {
-            self.cache_misses += 1;
-        }
-        self.charges.extend(fetched.charge);
     }
 }
 
@@ -911,6 +1146,181 @@ mod tests {
         assert_eq!(agg.reads as usize, n_chunks);
         let sum: f64 = snaps.iter().map(|s| s.read_seconds).sum();
         assert!((agg.read_seconds - sum).abs() < 1e-15);
+    }
+
+    #[test]
+    fn striped_cache_answers_identically_and_aggregates_stats() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let reference =
+            StoreEngine::open(store.clone(), EngineConfig::default().with_cache_chunks(6));
+        let striped = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(6)
+                .with_cache_shards(4),
+        );
+        assert_eq!(striped.cache_shards(), 4);
+        for range in [0..16u64, 8..40, 3..29, 0..reads.len() as u64] {
+            let a = reference.get(range.clone()).unwrap();
+            let b = striped.get(range).unwrap();
+            assert_eq!(a, b);
+        }
+        // The aggregate counters still reconcile: every touched chunk
+        // is either a hit or a miss, summed across shards.
+        let stats = striped.cache_stats();
+        assert!(stats.hits > 0);
+        assert!(stats.misses > 0);
+        let stripe = striped.stripe_snapshot();
+        assert_eq!(stripe.shards, 4);
+        assert_eq!(stripe.capacity, 6);
+        assert!(stripe.len <= 6);
+        assert!(stripe.lock_acquisitions > 0);
+        assert!(stripe.lock_busy_seconds >= stripe.max_shard_busy_seconds);
+    }
+
+    #[test]
+    fn zero_shard_cache_is_a_typed_error() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 5).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(16)).unwrap();
+        let cfg = EngineConfig::default().with_cache_shards(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroCacheShards));
+        assert!(matches!(
+            StoreEngine::try_open(store, cfg),
+            Err(StoreError::Config(ConfigError::ZeroCacheShards))
+        ));
+    }
+
+    #[test]
+    fn coalesced_scan_issues_one_command_per_device_run() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 6).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let n_chunks = store.n_chunks() as u64;
+        assert!(n_chunks >= 4);
+        let per_chunk = StoreEngine::open(
+            store.clone(),
+            EngineConfig::default()
+                .with_cache_chunks(0)
+                .with_ssd(SsdConfig::pcie()),
+        );
+        let coalesced = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(0)
+                .with_ssd(SsdConfig::pcie())
+                .with_extent_coalescing(true),
+        );
+        assert!(coalesced.coalesces_extents());
+        let (_, split) = per_chunk.run_op(StoreOp::Scan(Box::new(|_| true))).unwrap();
+        let (value, merged) = coalesced.run_op(StoreOp::Scan(Box::new(|_| true))).unwrap();
+        // Same chunks touched, same payload; but the whole-blob scan
+        // is one contiguous extent ⇒ exactly one device command.
+        assert_eq!(split.chunks_touched, n_chunks);
+        assert_eq!(merged.chunks_touched, n_chunks);
+        assert_eq!(split.device_ops, n_chunks);
+        assert_eq!(merged.device_ops, 1);
+        assert_eq!(merged.charges.len(), 1);
+        let OpValue::Reads(view) = value else {
+            panic!("scan answers reads");
+        };
+        assert_eq!(view.len(), reads.len());
+        // The device counters agree with the command counts, and the
+        // merged run pays the fixed per-command cost once — it can
+        // never be slower than N short commands.
+        assert_eq!(per_chunk.timing_snapshot().reads, n_chunks);
+        assert_eq!(coalesced.timing_snapshot().reads, 1);
+        assert!(merged.device_seconds() <= split.device_seconds());
+        assert!(merged.device_seconds() > 0.0);
+    }
+
+    #[test]
+    fn coalesced_fleet_scan_merges_per_device_runs() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 6).reads;
+        let store = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let n_chunks = store.n_chunks() as u64;
+        let engine = StoreEngine::open(
+            store,
+            EngineConfig::default()
+                .with_cache_chunks(0)
+                .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+                .with_extent_coalescing(true),
+        );
+        let (_, trace) = engine.run_op(StoreOp::Scan(Box::new(|_| true))).unwrap();
+        // Round-robin striping keeps each device's chunks contiguous
+        // in its local space: a full scan is one run per device.
+        assert_eq!(trace.chunks_touched, n_chunks);
+        assert_eq!(trace.device_ops, 2);
+        let devices: Vec<usize> = trace.charges.iter().map(|c| c.device).collect();
+        assert!(devices.contains(&0) && devices.contains(&1));
+        let snaps = engine.device_snapshots();
+        assert_eq!(snaps[0].reads, 1);
+        assert_eq!(snaps[1].reads, 1);
+        // A cached chunk breaks the run: warm chunk 0, rescan.
+        let warm = StoreEngine::open(
+            encode_sharded(&reads, &StoreOptions::new(8)).unwrap(),
+            EngineConfig::default()
+                .with_cache_chunks(1)
+                .with_ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+                .with_extent_coalescing(true),
+        );
+        warm.get(0..1).unwrap(); // pins chunk 0 (device 0)
+        let (_, trace) = warm.run_op(StoreOp::Scan(Box::new(|_| true))).unwrap();
+        assert_eq!(trace.cache_hits, 1);
+        // Device 0's run starts after the cached chunk but stays one
+        // run (its remaining chunks are still locally adjacent);
+        // device 1 is untouched by the hit.
+        assert_eq!(trace.device_ops, 2);
+    }
+
+    #[test]
+    fn cache_hit_reads_copy_no_payload_bytes() {
+        let (engine, reads) = engine(16, 8);
+        assert_eq!(engine.payload_bytes_copied(), 0);
+        engine.get(0..16).unwrap(); // cold: one chunk's extent copied
+        let after_cold = engine.payload_bytes_copied();
+        assert!(after_cold > 0);
+        // Warm traffic — gets and scans — moves zero payload bytes.
+        engine.get(0..16).unwrap();
+        engine.get(4..12).unwrap();
+        let (value, _) = engine.run_op(StoreOp::Get(0..16)).unwrap();
+        assert_eq!(engine.payload_bytes_copied(), after_cold);
+        // And the answer is a genuine view over the cached chunk.
+        let OpValue::Reads(view) = value else {
+            panic!("get answers reads");
+        };
+        assert_eq!(view.len(), 16);
+        assert_eq!(view.n_slices(), 1);
+        for (i, r) in view.iter().enumerate() {
+            assert_eq!(r.seq, reads.reads()[i].seq);
+        }
+    }
+
+    #[test]
+    fn scan_matches_stay_zero_copy_when_dense_and_compact_when_sparse() {
+        let (engine, reads) = engine(16, 64); // cache holds everything
+        engine.scan(|_| false).unwrap(); // warm every chunk
+        let warm = engine.payload_bytes_copied();
+        // Dense matches — the full-match scan — resolve as views over
+        // the cached chunks: zero payload bytes move.
+        let all = engine.scan_view(|_| true).unwrap();
+        assert_eq!(all.len(), reads.len());
+        assert_eq!(engine.payload_bytes_copied(), warm);
+        // Sparse matches compact into private slices instead of
+        // pinning every decoded chunk for the view's lifetime: the
+        // copy is real (counted), but bounded by the matched records.
+        let needle = reads.reads()[3].seq.clone();
+        let sparse = engine.scan_view(move |r| r.seq == needle).unwrap();
+        assert!(!sparse.is_empty());
+        assert!(sparse.len() * StoreEngine::SCAN_COMPACT_FACTOR <= reads.len());
+        let copied = engine.payload_bytes_copied() - warm;
+        assert!(copied > 0, "sparse matches must compact (a counted copy)");
+        assert!(
+            copied <= (sparse.len() * 2 * reads.reads()[3].len()) as u64 + 64,
+            "compaction copies only the matched records, got {copied} bytes"
+        );
+        for r in sparse.iter() {
+            assert_eq!(r.seq, reads.reads()[3].seq);
+        }
     }
 
     #[test]

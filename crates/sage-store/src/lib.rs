@@ -17,11 +17,16 @@
 //!   chunk → byte [`Extent`], so any read range can be answered by
 //!   decoding only the chunks it touches;
 //! - [`engine`] — [`StoreEngine`] answers concurrent operations
-//!   behind a pluggable cache of decoded chunks ([`lru`]: LRU,
-//!   segmented LRU, or CLOCK; hit/miss statistics exported). All
-//!   three operation kinds run through one typed path
+//!   behind an N-shard **striped cache** of decoded chunks
+//!   ([`StripedCache`]; policies in [`lru`]: LRU, segmented LRU,
+//!   CLOCK, or 2Q; hit/miss statistics and per-shard lock accounting
+//!   exported). All three operation kinds run through one typed path
 //!   ([`engine::StoreOp`] → [`StoreEngine::run_op`] →
-//!   [`engine::OpValue`] + [`engine::OpTrace`]);
+//!   [`engine::OpValue`] + [`engine::OpTrace`]); gets and scans
+//!   resolve to **zero-copy** [`ReadView`]s ([`view`]) over the
+//!   cached chunks, and adjacent same-device extents of one
+//!   operation's misses can **coalesce** into single device commands
+//!   ([`EngineConfig::with_extent_coalescing`]);
 //! - [`client`] — **the serving front end**: a [`DatasetBuilder`]
 //!   folds codec, engine, and server knobs into one validated
 //!   configuration and produces a [`Dataset`]; [`Session`]s on it
@@ -51,9 +56,9 @@
 //! let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
 //! let dataset = DatasetBuilder::new().chunk_reads(64).encode(&ds.reads)?;
 //! let session = dataset.session();
-//! let some = session.get(10..20)?.join()?;   // Ticket<ReadSet>
+//! let some = session.get(10..20)?.join()?;   // Ticket<ReadView>: zero-copy
 //! assert_eq!(some.len(), 10);
-//! assert_eq!(some.reads()[0].seq, ds.reads.reads()[10].seq);
+//! assert_eq!(some.get(0).unwrap().seq, ds.reads.reads()[10].seq);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,6 +69,7 @@ pub mod engine;
 pub mod lru;
 pub mod manifest;
 pub mod timing;
+pub mod view;
 
 pub use client::workload::{OpenLoopSpec, QosReport};
 pub use client::{
@@ -74,10 +80,11 @@ pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
 pub use engine::{EngineBackend, EngineConfig, OpTrace, OpValue, StoreEngine, StoreOp};
 pub use lru::{
     CachePolicy, CacheSnapshot, CacheStats, ChunkCache, ClockCache, LruCache, SegmentedLruCache,
-    TwoQCache,
+    StripeSnapshot, StripedCache, TwoQCache,
 };
 pub use manifest::{ChunkMeta, StoreManifest};
 pub use timing::{SsdTiming, TimingSnapshot};
+pub use view::{ReadView, RecordSlice};
 
 // The store's multi-device and queueing vocabulary comes from the I/O
 // substrate; re-exported so store users need not name sage-io.
@@ -106,6 +113,8 @@ pub enum ConfigError {
     ZeroQueueDepth,
     /// Chunks were sized to hold zero reads.
     ZeroChunkReads,
+    /// The decoded-chunk cache was striped over zero shards.
+    ZeroCacheShards,
     /// A workload rate, duration, or shape parameter is not a
     /// positive finite number.
     NonPositiveRate,
@@ -132,6 +141,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroServerWorkers => write!(f, "the server needs at least one worker"),
             ConfigError::ZeroQueueDepth => write!(f, "the submission ring needs capacity ≥ 1"),
             ConfigError::ZeroChunkReads => write!(f, "chunks must hold at least one read"),
+            ConfigError::ZeroCacheShards => {
+                write!(f, "the striped cache needs at least one shard")
+            }
             ConfigError::NonPositiveRate => write!(
                 f,
                 "workload rates, durations, and shape parameters must be positive and finite"

@@ -7,6 +7,7 @@
 
 use crate::{Result, StoreError};
 use sage_core::Extent;
+use std::sync::Arc;
 
 /// Magic bytes at the start of every serialized manifest.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"SGMF";
@@ -44,8 +45,13 @@ pub struct StoreManifest {
     /// than dividing read ids. (Compacting undersized interior chunks
     /// is a ROADMAP item.)
     pub reads_per_chunk: u64,
-    /// Chunk placements in read order.
-    pub chunks: Vec<ChunkMeta>,
+    /// Chunk placements in read order, behind an [`Arc`] so readers
+    /// can snapshot the whole table in O(1) — a scan used to clone
+    /// every [`ChunkMeta`] per request just to release the store lock
+    /// before decoding. Appends mutate through
+    /// [`Arc::make_mut`], which copies only while a snapshot is
+    /// actually outstanding.
+    pub chunks: Arc<Vec<ChunkMeta>>,
 }
 
 impl StoreManifest {
@@ -59,15 +65,24 @@ impl StoreManifest {
         self.chunks.last().map_or(0, |c| c.extent.end())
     }
 
-    /// The chunks overlapping read range `start..end`, in read order.
-    pub fn chunks_for_range(&self, start: u64, end: u64) -> &[ChunkMeta] {
+    /// The index bounds `[lo, hi)` of the chunks overlapping read
+    /// range `start..end` — resolved by binary search so callers can
+    /// snapshot the [`Arc`]'d table and slice it without copying a
+    /// single [`ChunkMeta`].
+    pub fn range_bounds(&self, start: u64, end: u64) -> (usize, usize) {
         if start >= end {
-            return &[];
+            return (0, 0);
         }
         // First chunk whose reads are not entirely before `start`.
         let lo = self.chunks.partition_point(|c| c.end_read() <= start);
         // First chunk at or after `lo` starting at or past `end`.
         let hi = lo + self.chunks[lo..].partition_point(|c| c.first_read < end);
+        (lo, hi)
+    }
+
+    /// The chunks overlapping read range `start..end`, in read order.
+    pub fn chunks_for_range(&self, start: u64, end: u64) -> &[ChunkMeta] {
+        let (lo, hi) = self.range_bounds(start, end);
         &self.chunks[lo..hi]
     }
 
@@ -80,7 +95,7 @@ impl StoreManifest {
             n_reads,
             extent,
         };
-        self.chunks.push(meta);
+        Arc::make_mut(&mut self.chunks).push(meta);
         meta
     }
 
@@ -91,7 +106,7 @@ impl StoreManifest {
         out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
         out.extend_from_slice(&self.reads_per_chunk.to_le_bytes());
         out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
-        for c in &self.chunks {
+        for c in self.chunks.iter() {
             out.extend_from_slice(&c.first_read.to_le_bytes());
             out.extend_from_slice(&c.n_reads.to_le_bytes());
             out.extend_from_slice(&(c.extent.offset as u64).to_le_bytes());
@@ -183,7 +198,7 @@ impl StoreManifest {
         }
         Ok(StoreManifest {
             reads_per_chunk,
-            chunks,
+            chunks: Arc::new(chunks),
         })
     }
 }
@@ -195,7 +210,7 @@ mod tests {
     fn manifest(sizes: &[u64]) -> StoreManifest {
         let mut m = StoreManifest {
             reads_per_chunk: sizes.first().copied().unwrap_or(0),
-            chunks: Vec::new(),
+            chunks: Arc::new(Vec::new()),
         };
         let mut offset = 0usize;
         for (i, &n) in sizes.iter().enumerate() {
@@ -255,7 +270,7 @@ mod tests {
     #[test]
     fn rejects_gapped_read_ids() {
         let mut m = manifest(&[4, 4]);
-        m.chunks[1].first_read = 5;
+        Arc::make_mut(&mut m.chunks)[1].first_read = 5;
         let e = StoreManifest::from_bytes(&m.to_bytes());
         assert!(matches!(e, Err(StoreError::Manifest(_))), "{e:?}");
     }
@@ -263,7 +278,7 @@ mod tests {
     #[test]
     fn rejects_overflowing_extents() {
         let mut m = manifest(&[4]);
-        m.chunks[0].extent = Extent {
+        Arc::make_mut(&mut m.chunks)[0].extent = Extent {
             offset: usize::MAX - 1,
             len: 2,
         };
@@ -273,9 +288,10 @@ mod tests {
         ));
         // Read ids that stay contiguous but wrap past u64::MAX.
         let mut m = manifest(&[4, 4]);
-        m.chunks[0].n_reads = u64::MAX;
-        m.chunks[1].first_read = u64::MAX;
-        m.chunks[1].n_reads = 1;
+        let chunks = Arc::make_mut(&mut m.chunks);
+        chunks[0].n_reads = u64::MAX;
+        chunks[1].first_read = u64::MAX;
+        chunks[1].n_reads = 1;
         assert!(matches!(
             StoreManifest::from_bytes(&m.to_bytes()),
             Err(StoreError::Manifest(_))

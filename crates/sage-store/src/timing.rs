@@ -96,16 +96,24 @@ impl SsdTiming {
     /// (the page was already written) instead of a whole page per
     /// chunk.
     pub fn charge_append(&self, new_blob_bytes: usize) -> f64 {
-        let mut inner = self.inner.lock().expect("timing poisoned");
-        let cfg = inner.model.config().clone();
-        let old_pages = inner.layout.n_pages();
-        inner.layout.extend_to(&cfg, new_blob_bytes, 0);
-        let grown = inner.layout.n_pages() - old_pages;
-        let r = inner.model.execute(SsdCommand::SageWrite {
-            bytes: grown * cfg.page_bytes,
+        let mut guard = self.inner.lock().expect("timing poisoned");
+        // Disjoint field borrows: the layout grows against the
+        // model's config in place — the old code cloned the whole
+        // SsdConfig (name, geometry) on every single append.
+        let TimingInner {
+            model,
+            layout,
+            snapshot,
+        } = &mut *guard;
+        let old_pages = layout.n_pages();
+        layout.extend_to(model.config(), new_blob_bytes, 0);
+        let grown = layout.n_pages() - old_pages;
+        let page_bytes = model.config().page_bytes;
+        let r = model.execute(SsdCommand::SageWrite {
+            bytes: grown * page_bytes,
         });
-        inner.snapshot.writes += 1;
-        inner.snapshot.write_seconds += r.seconds;
+        snapshot.writes += 1;
+        snapshot.write_seconds += r.seconds;
         r.seconds
     }
 

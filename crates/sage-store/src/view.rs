@@ -1,0 +1,289 @@
+//! Zero-copy read results: [`ReadView`] and [`RecordSlice`].
+//!
+//! The engine caches decoded chunks as `Arc<ReadSet>`s. Before this
+//! module existed, every `get`/`scan` answered by *cloning* each
+//! record out of the cached chunk into a fresh owned `ReadSet` — one
+//! payload copy per record per request, on the hottest path in the
+//! codebase. A [`ReadView`] instead pins the cached chunks (cheap
+//! `Arc` clones) and describes which records of each chunk belong to
+//! the answer, so resolving a request moves **no payload bytes** at
+//! all. Callers that really need an owned collection opt into the
+//! copy explicitly with [`ReadView::to_owned`].
+//!
+//! A view is a sequence of [`RecordSlice`]s, one per touched chunk:
+//! a contiguous index range for `get` (ranges map to runs of records
+//! inside each chunk) or a sparse index list for `scan` (whatever the
+//! predicate matched). Either way the record data stays inside the
+//! shared chunk; the view holds it alive for as long as the caller
+//! keeps the view.
+
+use sage_genomics::{Read, ReadSet};
+use std::sync::Arc;
+
+/// Which records of one chunk a [`RecordSlice`] selects.
+#[derive(Debug, Clone)]
+enum Selection {
+    /// A contiguous run `[lo, hi)` of in-chunk record indices (the
+    /// `get` shape).
+    Range { lo: u32, hi: u32 },
+    /// An explicit ascending index list (the `scan` shape — whatever
+    /// the predicate matched).
+    Indices(Vec<u32>),
+}
+
+/// A borrowed run of records inside one cached chunk.
+///
+/// The slice shares ownership of the decoded chunk (`Arc<ReadSet>`):
+/// cloning a slice clones a pointer, never record payloads.
+#[derive(Debug, Clone)]
+pub struct RecordSlice {
+    chunk: Arc<ReadSet>,
+    sel: Selection,
+}
+
+impl RecordSlice {
+    /// A contiguous selection `[lo, hi)` of `chunk`'s records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or `hi` reaches past the chunk.
+    pub fn range(chunk: Arc<ReadSet>, lo: usize, hi: usize) -> RecordSlice {
+        assert!(lo <= hi && hi <= chunk.len(), "slice out of chunk bounds");
+        RecordSlice {
+            chunk,
+            sel: Selection::Range {
+                lo: lo as u32,
+                hi: hi as u32,
+            },
+        }
+    }
+
+    /// A sparse selection of `chunk`'s records by ascending index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index reaches past the chunk.
+    pub fn indices(chunk: Arc<ReadSet>, indices: Vec<u32>) -> RecordSlice {
+        assert!(
+            indices.iter().all(|&i| (i as usize) < chunk.len()),
+            "index out of chunk bounds"
+        );
+        RecordSlice {
+            chunk,
+            sel: Selection::Indices(indices),
+        }
+    }
+
+    /// Selected record count.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Selection::Range { lo, hi } => (hi - lo) as usize,
+            Selection::Indices(ix) => ix.len(),
+        }
+    }
+
+    /// `true` when the slice selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th selected record.
+    pub fn get(&self, i: usize) -> Option<&Read> {
+        match &self.sel {
+            Selection::Range { lo, hi } => {
+                let at = *lo as usize + i;
+                if at < *hi as usize {
+                    self.chunk.reads().get(at)
+                } else {
+                    None
+                }
+            }
+            Selection::Indices(ix) => ix.get(i).map(|&j| &self.chunk.reads()[j as usize]),
+        }
+    }
+
+    /// Iterates the selected records in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Read> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("index within selection"))
+    }
+}
+
+/// A zero-copy result of a `get` or `scan`: borrowed record slices
+/// over the engine's cached chunks, in dataset order.
+///
+/// Resolving a request into a view copies **no record payloads** —
+/// the view pins the decoded chunks it touches via `Arc` and walks
+/// them in place. [`ReadView::to_owned`] is the explicit opt-in to
+/// the old copying behavior for callers that need an owned
+/// [`ReadSet`] (e.g. to re-append or mutate).
+///
+/// ```
+/// use sage_store::client::DatasetBuilder;
+/// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+///
+/// # fn main() -> Result<(), sage_store::StoreError> {
+/// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
+/// let dataset = DatasetBuilder::new().chunk_reads(16).encode(&ds.reads)?;
+/// let view = dataset.session().get(4..12)?.join()?;   // ReadView
+/// assert_eq!(view.len(), 8);
+/// // Records are read in place, straight out of the cached chunk:
+/// assert_eq!(view.get(0).unwrap().seq, ds.reads.reads()[4].seq);
+/// // Owning the records is an explicit copy:
+/// let owned = view.to_owned();
+/// assert_eq!(owned.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReadView {
+    slices: Vec<RecordSlice>,
+    len: usize,
+}
+
+impl ReadView {
+    /// An empty view.
+    pub fn new() -> ReadView {
+        ReadView::default()
+    }
+
+    /// Appends a slice (empty slices are dropped, not stored).
+    pub fn push(&mut self, slice: RecordSlice) {
+        if slice.is_empty() {
+            return;
+        }
+        self.len += slice.len();
+        self.slices.push(slice);
+    }
+
+    /// Selected record count across all slices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the view selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Chunks the view borrows from.
+    pub fn n_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The `i`-th selected record, in dataset order across slices.
+    pub fn get(&self, mut i: usize) -> Option<&Read> {
+        for s in &self.slices {
+            if i < s.len() {
+                return s.get(i);
+            }
+            i -= s.len();
+        }
+        None
+    }
+
+    /// Iterates every selected record in dataset order.
+    pub fn iter(&self) -> impl Iterator<Item = &Read> + '_ {
+        self.slices.iter().flat_map(RecordSlice::iter)
+    }
+
+    /// Total bases across the selected records.
+    pub fn total_bases(&self) -> usize {
+        self.iter().map(Read::len).sum()
+    }
+
+    /// Copies the selected records into an owned [`ReadSet`] — the
+    /// one place the zero-copy path pays the per-record copy, and
+    /// only when a caller asks for ownership.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_owned(&self) -> ReadSet {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ReadView {
+    type Item = &'a Read;
+    type IntoIter = Box<dyn Iterator<Item = &'a Read> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n: usize, tag: u8) -> Arc<ReadSet> {
+        let mut rs = ReadSet::new();
+        for i in 0..n {
+            let mut r = Read::from_seq("ACGT".parse().unwrap());
+            r.qual = Some(vec![b'!' + tag, b'!' + i as u8]);
+            rs.push(r);
+        }
+        Arc::new(rs)
+    }
+
+    #[test]
+    fn range_slices_select_contiguous_runs() {
+        let c = chunk(8, 0);
+        let s = RecordSlice::range(Arc::clone(&c), 2, 6);
+        assert_eq!(s.len(), 4);
+        for (i, r) in s.iter().enumerate() {
+            assert_eq!(r.qual, c.reads()[2 + i].qual);
+        }
+        assert!(s.get(4).is_none());
+    }
+
+    #[test]
+    fn index_slices_select_sparse_records() {
+        let c = chunk(8, 1);
+        let s = RecordSlice::indices(Arc::clone(&c), vec![0, 3, 7]);
+        assert_eq!(s.len(), 3);
+        let got: Vec<_> = s.iter().map(|r| r.qual.clone()).collect();
+        assert_eq!(got[0], c.reads()[0].qual);
+        assert_eq!(got[1], c.reads()[3].qual);
+        assert_eq!(got[2], c.reads()[7].qual);
+    }
+
+    #[test]
+    fn views_chain_slices_in_order() {
+        let a = chunk(4, 0);
+        let b = chunk(4, 1);
+        let mut v = ReadView::new();
+        v.push(RecordSlice::range(Arc::clone(&a), 2, 4));
+        v.push(RecordSlice::range(Arc::clone(&b), 0, 0)); // dropped
+        v.push(RecordSlice::indices(Arc::clone(&b), vec![1, 2]));
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.n_slices(), 2);
+        assert_eq!(v.get(0).unwrap().qual, a.reads()[2].qual);
+        assert_eq!(v.get(3).unwrap().qual, b.reads()[2].qual);
+        assert!(v.get(4).is_none());
+        let owned = v.to_owned();
+        assert_eq!(owned.len(), 4);
+        for (x, y) in v.iter().zip(owned.iter()) {
+            assert_eq!(x.qual, y.qual);
+        }
+        assert_eq!(v.total_bases(), 16);
+    }
+
+    #[test]
+    fn views_share_not_copy_the_chunk() {
+        let c = chunk(4, 0);
+        let v = {
+            let mut v = ReadView::new();
+            v.push(RecordSlice::range(Arc::clone(&c), 0, 4));
+            v
+        };
+        // Two owners: the test's Arc and the view's slice.
+        assert_eq!(Arc::strong_count(&c), 2);
+        drop(v);
+        assert_eq!(Arc::strong_count(&c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of chunk bounds")]
+    fn out_of_bounds_ranges_panic() {
+        let c = chunk(2, 0);
+        let _ = RecordSlice::range(c, 0, 3);
+    }
+}

@@ -1,17 +1,20 @@
 //! Property tests: the serving layer must be an access-path detail,
 //! never a data-path difference — a [`Session`]'s `get`/`scan`/
 //! `append` must return bit-identical results to direct
-//! [`StoreEngine`] calls across chunk sizes, cache policies, and
-//! fleet shapes; and the ticket lifecycle (drop, queue-full, cancel)
-//! must never corrupt subsequent answers.
+//! [`StoreEngine`] calls across chunk sizes, cache policies, cache
+//! shard counts, extent coalescing, and fleet shapes; the zero-copy
+//! [`ReadView`] path must equal the owned path record for record; and
+//! the ticket lifecycle (drop, queue-full, cancel) must never corrupt
+//! subsequent answers.
 
 use proptest::prelude::*;
 use sage_genomics::sim::{simulate_dataset, DatasetProfile};
-use sage_genomics::ReadSet;
+use sage_genomics::{Read, ReadSet};
 use sage_ssd::SsdConfig;
 use sage_store::client::{DatasetBuilder, SubmitMode};
 use sage_store::{
-    encode_sharded, CachePolicy, EngineConfig, Placement, StoreEngine, StoreError, StoreOptions,
+    encode_sharded, CachePolicy, EngineConfig, Placement, ReadView, StoreEngine, StoreError,
+    StoreOp, StoreOptions,
 };
 
 /// The device shapes under test: untimed, one SSD, a homogeneous
@@ -50,12 +53,27 @@ fn policy_for(ix: u8) -> CachePolicy {
     CachePolicy::all()[ix as usize % CachePolicy::all().len()]
 }
 
-fn assert_same_reads(a: &ReadSet, b: &ReadSet, what: &str) {
+/// Bit-identical record comparison between any two read sequences.
+fn assert_same_reads<'a, 'b>(
+    a: impl ExactSizeIterator<Item = &'a Read>,
+    b: impl ExactSizeIterator<Item = &'b Read>,
+    what: &str,
+) {
     assert_eq!(a.len(), b.len(), "{what}: length mismatch");
-    for (x, y) in a.iter().zip(b.iter()) {
+    for (x, y) in a.zip(b) {
         assert_eq!(x.seq, y.seq, "{what}: base mismatch");
         assert_eq!(x.qual, y.qual, "{what}: quality mismatch");
     }
+}
+
+fn view_equals_owned(view: &ReadView, owned: &ReadSet, what: &str) {
+    assert_same_reads(
+        view.iter().collect::<Vec<_>>().into_iter(),
+        owned.iter(),
+        what,
+    );
+    // And the explicit copy is the same ReadSet, field for field.
+    assert_eq!(&view.to_owned(), owned, "{what}: to_owned mismatch");
 }
 
 proptest! {
@@ -71,6 +89,7 @@ proptest! {
         policy_ix in 0u8..3,
         shape in 0u8..4,
         cache_chunks in 0usize..6,
+        cache_shards in 1usize..4,
     ) {
         let reads = simulate_dataset(&DatasetProfile::tiny_short(), seed).reads;
         let n = reads.len() as u64;
@@ -94,6 +113,7 @@ proptest! {
             DatasetBuilder::new()
                 .cache_chunks(cache_chunks)
                 .cache_policy(policy)
+                .cache_shards(cache_shards)
                 .server_workers(2)
                 .queue_depth(4),
         )
@@ -108,7 +128,7 @@ proptest! {
             let range = start..(start + span).min(n);
             let direct = engine.get(range.clone()).unwrap();
             let served = session.get(range.clone()).unwrap().join().unwrap();
-            assert_same_reads(&direct, &served, "get");
+            view_equals_owned(&served, &direct, "get");
             // Both equal the source, read for read.
             for (i, r) in direct.iter().enumerate() {
                 prop_assert_eq!(&r.seq, &reads.reads()[range.start as usize + i].seq);
@@ -119,7 +139,7 @@ proptest! {
         let cut = 1 + (seed % 50) as usize;
         let direct = engine.scan(move |r| r.len() > cut).unwrap();
         let served = session.scan(move |r| r.len() > cut).unwrap().join().unwrap();
-        assert_same_reads(&direct, &served, "scan");
+        view_equals_owned(&served, &direct, "scan");
 
         // Append: both stores extend identically (ids and content).
         let extra = ReadSet::from_reads(reads.reads()[..(seed % 9 + 1) as usize].to_vec());
@@ -128,12 +148,113 @@ proptest! {
         prop_assert_eq!(direct_first, served_first);
         prop_assert_eq!(direct_first, n);
         let tail = direct_first..direct_first + extra.len() as u64;
-        assert_same_reads(
-            &engine.get(tail.clone()).unwrap(),
-            &session.get(tail).unwrap().join().unwrap(),
+        view_equals_owned(
+            &session.get(tail.clone()).unwrap().join().unwrap(),
+            &engine.get(tail).unwrap(),
             "post-append get",
         );
         dataset.shutdown();
+    }
+
+    /// The zero-copy hot path is a representation change, never a
+    /// semantics change: for any cache policy × shard count ×
+    /// coalescing setting × fleet shape, `run_op`'s [`ReadView`]s are
+    /// bit-identical to the reference owned path (shards = 1,
+    /// coalescing off), the per-op cache outcome is preserved at equal
+    /// capacity, and coalescing only merges device commands — it never
+    /// changes which chunks an operation touches.
+    #[test]
+    fn view_path_equals_owned_path(
+        seed in 0u64..1000,
+        policy_ix in 0u8..4,
+        shape in 0u8..4,
+        cache_shards in 1usize..9,
+        coalesce_ix in 0u8..2,
+    ) {
+        let coalesce = coalesce_ix == 1;
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), seed).reads;
+        let n = reads.len() as u64;
+        let policy = policy_for(policy_ix);
+        let sharded = encode_sharded(&reads, &StoreOptions::new(8)).unwrap();
+        let n_chunks = sharded.n_chunks() as u64;
+
+        // Reference: the pre-refactor shape — one cache lock, one
+        // device command per missed chunk, owned results.
+        let reference = StoreEngine::open(
+            sharded.clone(),
+            apply_devices(
+                shape,
+                EngineConfig::default()
+                    .with_cache_chunks(4)
+                    .with_cache_policy(policy),
+            ),
+        );
+        let hot = StoreEngine::open(
+            sharded,
+            apply_devices(
+                shape,
+                EngineConfig::default()
+                    .with_cache_chunks(4)
+                    .with_cache_policy(policy)
+                    .with_cache_shards(cache_shards)
+                    .with_extent_coalescing(coalesce),
+            ),
+        );
+        // Shard count clamps to capacity (4) so no shard is ever
+        // zero-slot.
+        prop_assert_eq!(hot.cache_shards(), cache_shards.min(4));
+
+        for k in 0..6u64 {
+            let start = (seed.wrapping_mul(13).wrapping_add(k * 29)) % n;
+            let range = start..(start + 1 + (seed + k) % 30).min(n);
+            let owned = reference.get(range.clone()).unwrap();
+            let (value, trace) = hot.run_op(StoreOp::Get(range)).unwrap();
+            let sage_store::OpValue::Reads(view) = value else {
+                panic!("get must answer reads");
+            };
+            view_equals_owned(&view, &owned, "hot get");
+            prop_assert_eq!(trace.device_ops, trace.charges.len() as u64);
+            // Coalescing can only merge commands, never add them.
+            prop_assert!(trace.device_ops <= trace.cache_misses);
+        }
+
+        // A full sequential scan: the coalescing showcase.
+        let owned = reference.scan(|r| !r.len().is_multiple_of(3)).unwrap();
+        let (value, trace) = hot
+            .run_op(StoreOp::Scan(Box::new(|r: &Read| !r.len().is_multiple_of(3))))
+            .unwrap();
+        let sage_store::OpValue::Reads(view) = value else {
+            panic!("scan must answer reads");
+        };
+        view_equals_owned(&view, &owned, "hot scan");
+        prop_assert_eq!(trace.chunks_touched, n_chunks);
+        if shape != 0 && coalesce {
+            // Scan misses on a timed engine: runs break only at
+            // cached chunks (≤ 4 of them) and device seams, so once
+            // misses exceed devices + capacity, at least one run of
+            // adjacent extents must have merged.
+            let run_ceiling = hot.n_devices() as u64 + 4;
+            if trace.cache_misses > run_ceiling {
+                prop_assert!(
+                    trace.device_ops < trace.cache_misses,
+                    "no merge happened: {} ops for {} misses",
+                    trace.device_ops,
+                    trace.cache_misses
+                );
+            }
+        }
+        // Same capacity, same policy ⇒ at shard count 1 the cache
+        // outcome sequence is exactly the reference's.
+        if cache_shards == 1 {
+            let a = reference.cache_stats();
+            let b = hot.cache_stats();
+            prop_assert_eq!(a.hits, b.hits);
+            prop_assert_eq!(a.misses, b.misses);
+            prop_assert_eq!(a.evictions, b.evictions);
+        }
+        // Payload equality regardless of sharding: total bytes served
+        // match the reference.
+        prop_assert_eq!(view.total_bases(), owned.total_bases());
     }
 }
 

@@ -17,10 +17,24 @@ use sage_store::CachePolicy;
 /// cold cache, fresh reactor. Two of these are indistinguishable to
 /// the driver, which is what makes replays bit-exact.
 fn fresh_dataset(seed: u64, devices: usize, cache_chunks: usize) -> Dataset {
+    fresh_hotpath_dataset(seed, devices, cache_chunks, 1, false)
+}
+
+/// Like [`fresh_dataset`] with the hot-path knobs exposed: cache
+/// shard count and extent coalescing.
+fn fresh_hotpath_dataset(
+    seed: u64,
+    devices: usize,
+    cache_chunks: usize,
+    cache_shards: usize,
+    coalesce: bool,
+) -> Dataset {
     let reads = simulate_dataset(&DatasetProfile::tiny_short(), seed).reads;
     let builder = DatasetBuilder::new()
         .chunk_reads(16)
         .cache_chunks(cache_chunks)
+        .cache_shards(cache_shards)
+        .extent_coalescing(coalesce)
         .cache_policy(CachePolicy::SegmentedLru);
     if devices == 1 {
         builder.ssd(SsdConfig::pcie())
@@ -109,6 +123,55 @@ proptest! {
             c.latencies != a.latencies || c.shed != a.shed || a.completed == 0,
             "different seeds should not replay the same drive"
         );
+    }
+
+    /// The hot-path knobs keep the QoS machinery deterministic and
+    /// payload-invariant: for any cache shard count × coalescing
+    /// setting, a fixed `(seed, spec)` still replays its `QosReport`
+    /// bit-for-bit, and the *payload* served (reads, bases) is
+    /// identical to the reference configuration — sharding only moves
+    /// lock boundaries and coalescing only merges device commands.
+    #[test]
+    fn hot_path_knobs_replay_and_preserve_payload(
+        seed in 0u64..500,
+        pattern_ix in 0u8..4,
+        devices in 1usize..3,
+        cache_shards in 1usize..9,
+        coalesce_ix in 0u8..2,
+    ) {
+        let coalesce = coalesce_ix == 1;
+        // Far below capacity: nothing sheds, so every configuration
+        // executes the *same* 64-op stream and payload comparisons
+        // are meaningful. (Shed decisions depend on completion
+        // timing, which sharding/coalescing legitimately change.)
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: 50.0 });
+        spec.pattern = pattern_for(pattern_ix);
+        spec.mix = OpMix { get: 0.95, scan: 0.05, append: 0.0 };
+        spec.requests = 64;
+        spec.queue_depth = 12;
+        spec.seed = seed ^ 0x33aa;
+
+        let a = fresh_hotpath_dataset(seed, devices, 4, cache_shards, coalesce)
+            .drive_open_loop(&spec)
+            .expect("first drive");
+        let b = fresh_hotpath_dataset(seed, devices, 4, cache_shards, coalesce)
+            .drive_open_loop(&spec)
+            .expect("second drive");
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.shed, 0u64);
+
+        let reference = fresh_dataset(seed, devices, 4)
+            .drive_open_loop(&spec)
+            .expect("reference drive");
+        prop_assert_eq!(a.completed, reference.completed);
+        prop_assert_eq!(a.reads_served, reference.reads_served);
+        prop_assert_eq!(a.bases_served, reference.bases_served);
+        // At shard count 1 with coalescing off the whole report —
+        // cache outcomes, latencies, device accounting — is the
+        // reference, bit for bit.
+        if cache_shards == 1 && !coalesce {
+            prop_assert_eq!(&a, &reference);
+        }
     }
 }
 

@@ -5,7 +5,8 @@
 //! against its owning device model.
 //!
 //! One builder folds every knob (codec, cache, fleet, serving);
-//! sessions return typed tickets (`get → Ticket<ReadSet>`, `append →
+//! sessions return typed tickets (`get → Ticket<ReadView>` — a
+//! zero-copy view over the cached chunks — `append →
 //! Ticket<u64>`), and every completion carries an `OpReport` with the
 //! operation's device charges, cache outcome, and virtual latency.
 //!

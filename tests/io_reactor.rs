@@ -10,7 +10,7 @@ use sage::client::{ClosedLoopSpec, Dataset, DatasetBuilder, SubmitMode, Ticket};
 use sage::genomics::sim::{simulate_dataset, DatasetProfile};
 use sage::genomics::ReadSet;
 use sage::pipeline::SystemConfig;
-use sage::store::{StoreError, StoreOp};
+use sage::store::{ReadView, StoreError, StoreOp};
 
 fn striped_dataset(devices: usize, cache_chunks: usize) -> (Dataset, ReadSet) {
     let reads = simulate_dataset(&DatasetProfile::tiny_short(), 33).reads;
@@ -33,7 +33,7 @@ fn sessions_serve_striped_gets_bit_identically() {
     let session = dataset.session();
     // 40 interleaved ranges; typed tickets are checkable in order
     // while the reactor completes them out of order underneath.
-    let tickets: Vec<(u64, Ticket<ReadSet>)> = (0..40u64)
+    let tickets: Vec<(u64, Ticket<ReadView>)> = (0..40u64)
         .map(|i| {
             let start = (i * 7) % n;
             let end = (start + 5).min(n);
@@ -150,7 +150,7 @@ fn abort_resolves_queued_tickets_with_cancelled() {
         .encode(&reads)
         .expect("build");
     let session = dataset.session();
-    let tickets: Vec<Ticket<ReadSet>> = (0..16).map(|_| session.scan(|_| true).unwrap()).collect();
+    let tickets: Vec<Ticket<ReadView>> = (0..16).map(|_| session.scan(|_| true).unwrap()).collect();
     dataset.abort();
     let mut cancelled = 0;
     let mut answered = 0;
