@@ -63,8 +63,9 @@ impl Cell {
             .map(|u| format!("{u:.4}"))
             .collect::<Vec<_>>()
             .join(",");
+        let (shed_gets, shed_scans, shed_appends) = self.report.shed_by_kind();
         format!(
-            "{{\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"completed\":{},\"shed\":{},\"shed_fraction\":{:.4},\"latency\":{},\"utilization\":[{util}]}}",
+            "{{\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"completed\":{},\"shed\":{},\"shed_fraction\":{:.4},\"shed_by_kind\":{{\"get\":{shed_gets},\"scan\":{shed_scans},\"append\":{shed_appends}}},\"latency\":{},\"utilization\":[{util}]}}",
             self.offered_rate,
             self.report.achieved_rate,
             self.report.completed,

@@ -1,0 +1,301 @@
+//! trace_explorer: replays a qos-sweep scenario with the span tracer
+//! on and proves the observability layer's two hard claims on the
+//! deterministic virtual timeline.
+//!
+//! Two open-loop cells per fleet shape — one below the calibrated
+//! capacity, one at 2× (overloaded, shedding) — each driven **twice**
+//! on identically-prepared datasets: once untraced, once with
+//! [`DatasetBuilder::tracing`] on. Asserted, per cell:
+//!
+//! - **zero perturbation**: the traced drive's `QosReport` equals the
+//!   untraced one bit-for-bit (tracing observes the timeline, never
+//!   moves it);
+//! - **exact reconstruction**: re-dispatching the recorded spans
+//!   through a fresh scheduler ([`obs::replay`]) reproduces every
+//!   op's submit → start → complete instants and finishing device
+//!   bitwise, and summing each span's service intervals per device
+//!   recovers the drive's `device_busy` exactly;
+//! - **windowed integration**: slicing the spans into fixed windows
+//!   ([`MetricsRecorder::sample_every`]) and integrating the windowed
+//!   busy seconds recovers the scheduler's per-device busy totals to
+//!   1e-9 relative;
+//! - **shed attribution**: every shed arrival carries its would-be op
+//!   kind and arrival instant (`shed_events`), and the per-kind
+//!   counts sum back to the shed total.
+//!
+//! Artifacts: `BENCH_trace.json` (cells, replay verdicts, windowed
+//! curves, shed attribution) and `BENCH_trace_perfetto.json` — the
+//! overloaded 2-SSD cell's Chrome trace-event stream, loadable
+//! directly in Perfetto (<https://ui.perfetto.dev>).
+//!
+//! Run with: `cargo run --release --bin trace_explorer`
+//! (`SAGE_SCALE` scales the dataset like every other harness).
+
+use sage_bench::{banner, dataset, row};
+use sage_genomics::sim::DatasetProfile;
+use sage_pipeline::SystemConfig;
+use sage_store::client::workload::{Arrivals, OpenLoopSpec, Pattern, QosReport};
+use sage_store::client::{Dataset, DatasetBuilder};
+use sage_store::obs::{self, MetricsRecorder};
+use sage_store::{encode_sharded, ShardedStore, StoreOptions};
+
+/// Arrivals generated per cell (sheds included).
+const REQUESTS_PER_CELL: u64 = 400;
+
+/// Reads per chunk (and per request range: span-aligned slots).
+const READS_PER_CHUNK: usize = 48;
+
+/// Virtual queue bound: arrivals finding this many operations
+/// incomplete are shed.
+const QUEUE_DEPTH: usize = 32;
+
+/// Offered-load fractions of the calibrated capacity: one
+/// under-loaded cell, one overloaded (shedding) cell.
+const LOAD_FRACTIONS: [f64; 2] = [0.5, 2.0];
+
+/// Windows per makespan for the sampled curves.
+const WINDOWS: f64 = 24.0;
+
+/// Opens the store over an `n`-device PCIe fleet with caching off and
+/// the span tracer on or off.
+fn open_fleet(sharded: &ShardedStore, devices: usize, tracing: bool) -> Dataset {
+    let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
+    DatasetBuilder::new()
+        .cache_chunks(0)
+        .ssd_fleet(fleet)
+        .tracing(tracing)
+        .open(sharded.clone())
+        .expect("valid explorer configuration")
+}
+
+fn spec_at(rate: f64) -> OpenLoopSpec {
+    let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate });
+    spec.pattern = Pattern::Uniform {
+        span: READS_PER_CHUNK as u64,
+    };
+    spec.requests = REQUESTS_PER_CELL;
+    spec.queue_depth = QUEUE_DEPTH;
+    spec
+}
+
+/// Measures the fleet's service capacity at a trickle rate.
+fn calibrate_capacity(sharded: &ShardedStore, devices: usize) -> f64 {
+    let dataset = open_fleet(sharded, devices, false);
+    let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate: 1.0 });
+    spec.pattern = Pattern::Uniform {
+        span: READS_PER_CHUNK as u64,
+    };
+    spec.requests = 64;
+    dataset
+        .drive_open_loop(&spec)
+        .expect("calibration drive")
+        .capacity_estimate(devices)
+}
+
+/// One verified cell: the traced report plus everything the span
+/// stream proved about it.
+struct Cell {
+    devices: usize,
+    offered_rate: f64,
+    report: QosReport,
+    spans: usize,
+    replay_mismatches: usize,
+    /// max over devices of |windowed busy − scheduler busy| / busy.
+    integration_err: f64,
+    windows_json: String,
+    perfetto: String,
+}
+
+fn run_cell(sharded: &ShardedStore, devices: usize, rate: f64) -> Cell {
+    // Identically-prepared datasets, the only difference the tracer.
+    let plain = open_fleet(sharded, devices, false)
+        .drive_open_loop(&spec_at(rate))
+        .expect("untraced drive");
+    let traced_ds = open_fleet(sharded, devices, true);
+    let report = traced_ds
+        .drive_open_loop(&spec_at(rate))
+        .expect("traced drive");
+
+    // Zero perturbation: the whole report, bit for bit.
+    assert_eq!(
+        plain, report,
+        "{devices} SSDs @ {rate:.0}/s: tracing must not perturb the drive"
+    );
+
+    let buf = traced_ds.trace().expect("tracing dataset has a buffer");
+    let spans = buf.spans();
+    assert_eq!(spans.len() as u64, report.completed);
+
+    // Exact reconstruction: replay reproduces every instant bitwise…
+    let replay = obs::replay(&spans, devices);
+    assert!(
+        replay.exact(),
+        "{devices} SSDs @ {rate:.0}/s: {} of {} spans replayed differently",
+        replay.mismatches,
+        replay.ops
+    );
+    // …and the spans' per-device service seconds are the drive's
+    // busy accounting, exactly.
+    let mut busy = vec![0.0f64; devices];
+    for s in &spans {
+        for iv in &s.intervals {
+            busy[iv.device] += iv.seconds;
+        }
+    }
+    assert_eq!(
+        busy, report.device_busy,
+        "{devices} SSDs @ {rate:.0}/s: span intervals must recover device busy seconds"
+    );
+
+    // Windowed integration: the sampled busy curves integrate back to
+    // the scheduler's totals.
+    let recorder = MetricsRecorder::sample_every((report.makespan / WINDOWS).max(1e-9));
+    let series = recorder.sample(&spans, devices);
+    let total = series.total_busy();
+    let integration_err = report
+        .device_busy
+        .iter()
+        .zip(&total)
+        .map(|(a, b)| (a - b).abs() / a.max(1e-12))
+        .fold(0.0f64, f64::max);
+    assert!(
+        integration_err < 1e-9,
+        "{devices} SSDs @ {rate:.0}/s: windowed busy must integrate to scheduler busy \
+         (max relative error {integration_err:e})"
+    );
+
+    // Shed attribution: every shed arrival is accounted, by kind.
+    assert_eq!(report.shed_events.len() as u64, report.shed);
+    let (sg, ss, sa) = report.shed_by_kind();
+    assert_eq!(sg + ss + sa, report.shed);
+
+    Cell {
+        devices,
+        offered_rate: rate,
+        spans: spans.len(),
+        replay_mismatches: replay.mismatches,
+        integration_err,
+        windows_json: series.to_json(),
+        perfetto: buf.to_chrome_trace(),
+        report,
+    }
+}
+
+impl Cell {
+    fn json(&self) -> String {
+        let (sg, ss, sa) = self.report.shed_by_kind();
+        format!(
+            "{{\"devices\":{},\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"completed\":{},\
+             \"shed\":{},\"shed_by_kind\":{{\"get\":{sg},\"scan\":{ss},\"append\":{sa}}},\
+             \"spans\":{},\"replay_mismatches\":{},\"integration_err\":{:e},\
+             \"latency\":{},\"windows\":{}}}",
+            self.devices,
+            self.offered_rate,
+            self.report.achieved_rate,
+            self.report.completed,
+            self.report.shed,
+            self.spans,
+            self.replay_mismatches,
+            self.integration_err,
+            self.report.latency.json(),
+            self.windows_json,
+        )
+    }
+}
+
+fn main() {
+    banner("trace_explorer: span tracing replay of the qos-sweep scenario");
+    let ds = dataset(&DatasetProfile::rs1().scaled(0.04));
+    let sharded =
+        encode_sharded(&ds.reads, &StoreOptions::new(READS_PER_CHUNK)).expect("encode store");
+    println!(
+        "dataset: {} reads in {} chunks of ≤{} reads; {} Poisson arrivals per cell, \
+         virtual queue depth {}",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        READS_PER_CHUNK,
+        REQUESTS_PER_CELL,
+        QUEUE_DEPTH,
+    );
+
+    let widths = [5, 10, 11, 6, 6, 7, 9, 11];
+    println!(
+        "{}",
+        row(
+            &[
+                "ssds".into(),
+                "offered/s".into(),
+                "achieved/s".into(),
+                "shed".into(),
+                "spans".into(),
+                "replay".into(),
+                "integ".into(),
+                "p99 ms".into(),
+            ],
+            &widths
+        )
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for devices in [1usize, 2] {
+        let capacity = calibrate_capacity(&sharded, devices);
+        for f in LOAD_FRACTIONS {
+            let cell = run_cell(&sharded, devices, f * capacity);
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{}", cell.devices),
+                        format!("{:.0}", cell.offered_rate),
+                        format!("{:.0}", cell.report.achieved_rate),
+                        format!("{}", cell.report.shed),
+                        format!("{}", cell.spans),
+                        if cell.replay_mismatches == 0 {
+                            "exact".into()
+                        } else {
+                            format!("{} off", cell.replay_mismatches)
+                        },
+                        format!("{:.1e}", cell.integration_err),
+                        format!("{:.3}", cell.report.latency.p99_ms),
+                    ],
+                    &widths
+                )
+            );
+            cells.push(cell);
+        }
+    }
+
+    // The overloaded cells must actually shed, or the attribution
+    // invariants above ran vacuously.
+    assert!(
+        cells.iter().any(|c| c.report.shed > 0),
+        "the 2x-capacity cells must shed load"
+    );
+
+    // The Perfetto export: the overloaded widest-fleet cell (the most
+    // interesting picture — queue waits stretch, both device lanes
+    // stay busy).
+    let showcase = cells.last().expect("cells");
+    std::fs::write("BENCH_trace_perfetto.json", &showcase.perfetto)
+        .expect("write BENCH_trace_perfetto.json");
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_explorer\",\n  \"reads\": {},\n  \"chunks\": {},\
+         \n  \"requests_per_cell\": {},\n  \"queue_depth\": {},\n  \"load_fractions\": [{}],\
+         \n  \"cells\": [{}]\n}}\n",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        REQUESTS_PER_CELL,
+        QUEUE_DEPTH,
+        LOAD_FRACTIONS
+            .iter()
+            .map(|f| format!("{f}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        cells.iter().map(Cell::json).collect::<Vec<_>>().join(","),
+    );
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!(
+        "\nwrote BENCH_trace.json and BENCH_trace_perfetto.json ({} spans in the showcase trace)",
+        showcase.spans
+    );
+}

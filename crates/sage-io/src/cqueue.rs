@@ -8,8 +8,18 @@
 //! mutex — completion entries are tiny and the reactor's worker count
 //! bounds the posting rate, so a finer-grained design would buy
 //! nothing but subtlety.
+//!
+//! `poll_any`/`wait_any` drain completions in **post order**, not
+//! device-index order. With one reactor worker, post order equals
+//! dispatch order equals submission order, so a consumer that reacts
+//! to completions (e.g. a closed-loop driver resubmitting at the
+//! completion instant) sees the same order on every run — the virtual
+//! timeline stays reproducible no matter how the host schedules the
+//! consumer against the posting worker. A device-priority scan would
+//! instead let the *number* of entries pending at wake-up (a host-time
+//! race) reorder the harvest.
 
-use crate::sched::Dispatch;
+use crate::sched::{ChargeInterval, Dispatch};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -28,6 +38,13 @@ pub struct Cqe<T> {
     pub completed_vt: f64,
     /// Total device seconds the operation charged.
     pub device_seconds: f64,
+    /// Per-charge service windows, in charge order. Empty unless the
+    /// reactor was started with [`IoConfig::record_intervals`]
+    /// (tracing) — recording them is observation-only and never moves
+    /// the instants above.
+    ///
+    /// [`IoConfig::record_intervals`]: crate::reactor::IoConfig::record_intervals
+    pub intervals: Vec<ChargeInterval>,
     /// The operation's result.
     pub output: T,
 }
@@ -47,6 +64,7 @@ impl<T> Cqe<T> {
         user_data: u64,
         submitted_vt: f64,
         d: Dispatch,
+        intervals: Vec<ChargeInterval>,
         output: T,
     ) -> Cqe<T> {
         Cqe {
@@ -56,6 +74,7 @@ impl<T> Cqe<T> {
             started_vt: d.started_vt,
             completed_vt: d.completed_vt,
             device_seconds: d.device_seconds,
+            intervals,
             output,
         }
     }
@@ -64,10 +83,41 @@ impl<T> Cqe<T> {
 #[derive(Debug)]
 struct CqState<T> {
     queues: Vec<VecDeque<Cqe<T>>>,
+    /// Queue index of every still-queued post, oldest first — the
+    /// global post order `poll_any`/`wait_any` drain in. A targeted
+    /// [`poll`] removes its device's oldest marker so the invariant
+    /// (marker count per device == queue length) survives out-of-band
+    /// consumption.
+    ///
+    /// [`poll`]: CompletionQueues::poll
+    order: VecDeque<usize>,
     /// Reactor workers still alive; 0 means no further completions can
     /// ever arrive.
     live_posters: usize,
     completed: u64,
+}
+
+impl<T> CqState<T> {
+    /// Pops the oldest completion anywhere, in post order.
+    fn pop_posted(&mut self) -> Option<Cqe<T>> {
+        while let Some(q) = self.order.pop_front() {
+            if let Some(cqe) = self.queues[q].pop_front() {
+                return Some(cqe);
+            }
+        }
+        // Every post pushes one marker and every pop removes exactly
+        // one, so an empty order means empty queues; scan anyway so a
+        // completion can never strand.
+        self.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Drops the oldest order marker for queue `q` (called when a
+    /// targeted poll consumed that queue's front out of band).
+    fn drop_marker(&mut self, q: usize) {
+        if let Some(ix) = self.order.iter().position(|&d| d == q) {
+            self.order.remove(ix);
+        }
+    }
 }
 
 /// The completion side of a reactor: one queue per device.
@@ -83,6 +133,7 @@ impl<T> CompletionQueues<T> {
         CompletionQueues {
             state: Mutex::new(CqState {
                 queues: (0..n_devices.max(1)).map(|_| VecDeque::new()).collect(),
+                order: VecDeque::new(),
                 live_posters: posters,
                 completed: 0,
             }),
@@ -104,6 +155,7 @@ impl<T> CompletionQueues<T> {
         let mut state = self.state.lock().expect("cq poisoned");
         let q = cqe.device.min(state.queues.len() - 1);
         state.queues[q].push_back(cqe);
+        state.order.push_back(q);
         state.completed += 1;
         drop(state);
         self.cv.notify_all();
@@ -123,23 +175,27 @@ impl<T> CompletionQueues<T> {
     /// Pops the oldest completion on one device's queue, if any.
     pub fn poll(&self, device: usize) -> Option<Cqe<T>> {
         let mut state = self.state.lock().expect("cq poisoned");
-        let n = state.queues.len();
-        state.queues.get_mut(device.min(n - 1))?.pop_front()
+        let q = device.min(state.queues.len() - 1);
+        let cqe = state.queues[q].pop_front()?;
+        state.drop_marker(q);
+        Some(cqe)
     }
 
-    /// Pops the oldest completion from any non-empty queue, scanning
-    /// devices in index order.
+    /// Pops the oldest completion anywhere, in post order (see the
+    /// module docs: post order keeps completion-driven loops
+    /// reproducible).
     pub fn poll_any(&self) -> Option<Cqe<T>> {
         let mut state = self.state.lock().expect("cq poisoned");
-        state.queues.iter_mut().find_map(VecDeque::pop_front)
+        state.pop_posted()
     }
 
-    /// Blocks until a completion is available anywhere; `None` when the
-    /// reactor shut down and every queue is drained.
+    /// Blocks until a completion is available anywhere and pops the
+    /// oldest-posted one; `None` when the reactor shut down and every
+    /// queue is drained.
     pub fn wait_any(&self) -> Option<Cqe<T>> {
         let mut state = self.state.lock().expect("cq poisoned");
         loop {
-            if let Some(cqe) = state.queues.iter_mut().find_map(VecDeque::pop_front) {
+            if let Some(cqe) = state.pop_posted() {
                 return Some(cqe);
             }
             if state.live_posters == 0 {
@@ -171,6 +227,7 @@ mod tests {
                 device_seconds: 1.5,
                 device,
             },
+            Vec::new(),
             42,
         )
     }
@@ -203,6 +260,34 @@ mod tests {
         cq.poster_done();
         assert_eq!(cq.wait_any().unwrap().user_data, 5);
         assert!(cq.wait_any().is_none());
+    }
+
+    #[test]
+    fn any_pops_follow_post_order_across_devices() {
+        // Device-index priority would return 2 (device 0) first; post
+        // order must return 1 (device 1).
+        let cq: CompletionQueues<u32> = CompletionQueues::new(2, 1);
+        cq.post(cqe(1, 1));
+        cq.post(cqe(2, 0));
+        cq.post(cqe(3, 1));
+        assert_eq!(cq.wait_any().unwrap().user_data, 1);
+        assert_eq!(cq.poll_any().unwrap().user_data, 2);
+        assert_eq!(cq.wait_any().unwrap().user_data, 3);
+    }
+
+    #[test]
+    fn targeted_polls_leave_post_order_intact() {
+        let cq: CompletionQueues<u32> = CompletionQueues::new(2, 1);
+        cq.post(cqe(1, 0));
+        cq.post(cqe(2, 1));
+        cq.post(cqe(3, 0));
+        // An out-of-band poll consumes device 0's oldest entry and its
+        // order marker with it; the remaining entries still drain in
+        // post order (2 before 3).
+        assert_eq!(cq.poll(0).unwrap().user_data, 1);
+        assert_eq!(cq.poll_any().unwrap().user_data, 2);
+        assert_eq!(cq.wait_any().unwrap().user_data, 3);
+        assert!(cq.poll_any().is_none());
     }
 
     #[test]

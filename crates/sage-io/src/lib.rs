@@ -49,4 +49,4 @@ pub use cqueue::{CompletionQueues, Cqe};
 pub use device::{ChunkSlot, DeviceMap, DeviceSnapshot, Placement};
 pub use reactor::{IoBackend, IoConfig, Reactor, ReactorSnapshot, Sqe};
 pub use ring::{RingCounters, SubmissionRing, SubmitError};
-pub use sched::{DeviceCharge, Dispatch, VirtualScheduler};
+pub use sched::{ChargeInterval, DeviceCharge, Dispatch, VirtualScheduler};

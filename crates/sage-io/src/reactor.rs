@@ -59,6 +59,12 @@ pub struct IoConfig {
     pub queue_depth: usize,
     /// Device count: one completion queue and one virtual clock each.
     pub devices: usize,
+    /// Record per-charge service windows into [`Cqe::intervals`]
+    /// (span tracing). Off by default: the untraced hot path neither
+    /// allocates nor computes anything extra, and turning it on never
+    /// moves a single virtual instant — both paths run the same
+    /// scheduler arithmetic.
+    pub record_intervals: bool,
 }
 
 impl Default for IoConfig {
@@ -67,6 +73,7 @@ impl Default for IoConfig {
             workers: 4,
             queue_depth: 32,
             devices: 1,
+            record_intervals: false,
         }
     }
 }
@@ -124,6 +131,7 @@ impl<B: IoBackend> Reactor<B> {
         let ring: Arc<SubmissionRing<Sqe<B::Op>>> = Arc::new(SubmissionRing::new(cfg.queue_depth));
         let cq = Arc::new(CompletionQueues::new(cfg.devices, cfg.workers));
         let sched = Arc::new(Mutex::new(VirtualScheduler::new(cfg.devices)));
+        let record_intervals = cfg.record_intervals;
         let workers = (0..cfg.workers)
             .map(|_| {
                 let ring = Arc::clone(&ring);
@@ -146,14 +154,19 @@ impl<B: IoBackend> Reactor<B> {
                     let _guard = PosterGuard(&cq);
                     while let Some(sqe) = ring.pop() {
                         let (output, charges) = backend.execute(sqe.op);
-                        let dispatch = sched
-                            .lock()
-                            .expect("scheduler poisoned")
-                            .dispatch(sqe.submit_vt, &charges);
+                        let (dispatch, intervals) = {
+                            let mut sched = sched.lock().expect("scheduler poisoned");
+                            if record_intervals {
+                                sched.dispatch_traced(sqe.submit_vt, &charges)
+                            } else {
+                                (sched.dispatch(sqe.submit_vt, &charges), Vec::new())
+                            }
+                        };
                         cq.post(Cqe::from_dispatch(
                             sqe.user_data,
                             sqe.submit_vt,
                             dispatch,
+                            intervals,
                             output,
                         ));
                     }
@@ -330,6 +343,7 @@ mod tests {
                 workers: 2,
                 queue_depth: 8,
                 devices: 2,
+                record_intervals: false,
             },
         );
         for i in 0..6u64 {
@@ -355,6 +369,35 @@ mod tests {
     }
 
     #[test]
+    fn record_intervals_decomposes_completions() {
+        let r = Reactor::start(
+            Arc::new(Doubler { devices: 2 }),
+            IoConfig {
+                workers: 1,
+                queue_depth: 8,
+                devices: 2,
+                record_intervals: true,
+            },
+        );
+        for i in 0..4u64 {
+            r.submit(i, i, 0.0).unwrap();
+        }
+        let cq = r.completions();
+        for _ in 0..4 {
+            let cqe = cq.wait_any().expect("live reactor");
+            // Doubler charges exactly one device per op; the interval
+            // reconstructs the completion's instants and demand.
+            assert_eq!(cqe.intervals.len(), 1);
+            let iv = cqe.intervals[0];
+            assert_eq!(iv.device, cqe.device);
+            assert_eq!(iv.start_vt, cqe.started_vt);
+            assert_eq!(iv.end_vt, cqe.completed_vt);
+            assert_eq!(iv.seconds, cqe.device_seconds);
+        }
+        r.shutdown();
+    }
+
+    #[test]
     fn graceful_shutdown_serves_queued_work() {
         let r = Reactor::start(
             Arc::new(Doubler { devices: 1 }),
@@ -362,6 +405,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 16,
                 devices: 1,
+                record_intervals: false,
             },
         );
         for i in 0..10u64 {
@@ -385,6 +429,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 64,
                 devices: 1,
+                record_intervals: false,
             },
         );
         for i in 0..50u64 {
@@ -418,6 +463,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 2,
                 devices: 1,
+                record_intervals: false,
             },
         );
         // First submit may begin executing immediately; fill the ring
@@ -453,6 +499,7 @@ mod tests {
                 workers: 2,
                 queue_depth: 8,
                 devices: 1,
+                record_intervals: false,
             },
         );
         let cq = r.completions();
@@ -481,6 +528,7 @@ mod tests {
                     workers: 2,
                     queue_depth: depth as usize,
                     devices: 1,
+                    record_intervals: false,
                 },
             );
             let cq = r.completions();

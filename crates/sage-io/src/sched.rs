@@ -24,6 +24,28 @@ pub struct DeviceCharge {
     pub seconds: f64,
 }
 
+/// One charge's service window on the virtual timeline — the
+/// per-device decomposition of a [`Dispatch`].
+///
+/// Intervals are produced by [`VirtualScheduler::dispatch_traced`]
+/// through the *same* arithmetic as the untraced path, so a traced
+/// run's instants are bit-identical to an untraced one. `seconds` is
+/// the charge's service demand as dispatched (`end_vt` equals
+/// `start_vt + seconds` as computed by the scheduler; recomputing the
+/// difference in floating point may differ in the last ulp, which is
+/// why the demand is carried explicitly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeInterval {
+    /// Device that served the charge.
+    pub device: usize,
+    /// Service start instant (virtual seconds).
+    pub start_vt: f64,
+    /// Service completion instant (virtual seconds).
+    pub end_vt: f64,
+    /// Service seconds charged (the original demand).
+    pub seconds: f64,
+}
+
 /// Where one request landed on the virtual timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Dispatch {
@@ -71,6 +93,32 @@ impl VirtualScheduler {
     /// distinct devices overlap. A request with no charges completes
     /// instantly at `submit_vt`.
     pub fn dispatch(&mut self, submit_vt: f64, charges: &[DeviceCharge]) -> Dispatch {
+        self.dispatch_core(submit_vt, charges, None)
+    }
+
+    /// Like [`dispatch`](VirtualScheduler::dispatch), additionally
+    /// returning the per-charge service windows.
+    ///
+    /// Both entry points run the *same* loop (`dispatch_core`
+    /// internally), so the returned [`Dispatch`] — and every clock
+    /// mutation — is bit-identical whether or not intervals are
+    /// recorded: tracing never perturbs the timeline.
+    pub fn dispatch_traced(
+        &mut self,
+        submit_vt: f64,
+        charges: &[DeviceCharge],
+    ) -> (Dispatch, Vec<ChargeInterval>) {
+        let mut intervals = Vec::with_capacity(charges.len());
+        let dispatch = self.dispatch_core(submit_vt, charges, Some(&mut intervals));
+        (dispatch, intervals)
+    }
+
+    fn dispatch_core(
+        &mut self,
+        submit_vt: f64,
+        charges: &[DeviceCharge],
+        mut intervals: Option<&mut Vec<ChargeInterval>>,
+    ) -> Dispatch {
         self.dispatched += 1;
         let mut started = f64::INFINITY;
         let mut completed = submit_vt;
@@ -88,6 +136,14 @@ impl VirtualScheduler {
                 device = d;
             }
             total += c.seconds;
+            if let Some(out) = intervals.as_deref_mut() {
+                out.push(ChargeInterval {
+                    device: d,
+                    start_vt: start,
+                    end_vt: done,
+                    seconds: c.seconds,
+                });
+            }
         }
         Dispatch {
             started_vt: if started.is_finite() {
@@ -181,6 +237,35 @@ mod tests {
         // Utilization reflects the gap: 2 busy seconds over 11.
         let u = s.utilization();
         assert!((u[0] - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_dispatch_is_bit_identical_and_decomposes() {
+        let charges = [charge(0, 0.5), charge(1, 0.25), charge(0, 0.125)];
+        let mut plain = VirtualScheduler::new(2);
+        let mut traced = VirtualScheduler::new(2);
+        let a = plain.dispatch(1.0, &charges);
+        let (b, intervals) = traced.dispatch_traced(1.0, &charges);
+        assert_eq!(a, b);
+        assert_eq!(plain.busy_seconds(), traced.busy_seconds());
+        assert_eq!(plain.horizon(), traced.horizon());
+        // One interval per charge, carrying the exact demand, with
+        // end = start + seconds as the scheduler computed it.
+        assert_eq!(intervals.len(), charges.len());
+        for (iv, c) in intervals.iter().zip(&charges) {
+            assert_eq!(iv.seconds, c.seconds);
+            assert_eq!(iv.end_vt, iv.start_vt + iv.seconds);
+        }
+        // Same-device charges serialize within the request.
+        assert_eq!(intervals[2].start_vt, intervals[0].end_vt);
+        // Min start / max end reconstruct the dispatch.
+        let started = intervals
+            .iter()
+            .map(|i| i.start_vt)
+            .fold(f64::INFINITY, f64::min);
+        let done = intervals.iter().map(|i| i.end_vt).fold(0.0, f64::max);
+        assert_eq!(started, b.started_vt);
+        assert_eq!(done, b.completed_vt);
     }
 
     #[test]

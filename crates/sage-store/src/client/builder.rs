@@ -76,6 +76,7 @@ pub struct DatasetBuilder {
     placement: Option<Placement>,
     server_workers: usize,
     queue_depth: usize,
+    tracing: bool,
 }
 
 impl Default for DatasetBuilder {
@@ -94,6 +95,7 @@ impl Default for DatasetBuilder {
             placement: None,
             server_workers: 4,
             queue_depth: 32,
+            tracing: false,
         }
     }
 }
@@ -200,6 +202,19 @@ impl DatasetBuilder {
         self
     }
 
+    /// Enables span tracing: every completed operation is recorded as
+    /// an [`OpSpan`](crate::obs::OpSpan) — its virtual-time instants,
+    /// per-device service intervals, and engine events — into the
+    /// dataset's [`TraceBuffer`](crate::obs::TraceBuffer), readable
+    /// via [`Dataset::trace`](super::Dataset::trace) and exportable
+    /// as a Perfetto-loadable Chrome trace. Off by default. Tracing
+    /// is observation-only: a traced run's virtual timeline is
+    /// **bit-identical** to an untraced one (property-tested).
+    pub fn tracing(mut self, on: bool) -> DatasetBuilder {
+        self.tracing = on;
+        self
+    }
+
     /// Validates the folded configuration and splits it back into the
     /// layer configs.
     fn validate(&self) -> std::result::Result<(StoreOptions, EngineConfig), ConfigError> {
@@ -235,7 +250,8 @@ impl DatasetBuilder {
             .with_cache_chunks(self.cache_chunks)
             .with_cache_policy(self.cache_policy)
             .with_cache_shards(self.cache_shards)
-            .with_extent_coalescing(self.coalesce_extents);
+            .with_extent_coalescing(self.coalesce_extents)
+            .with_tracing(self.tracing);
         engine_cfg.codec = self.codec.clone();
         engine_cfg.append_workers = self.append_workers;
         if let Some(ssd) = &self.ssd {
@@ -277,7 +293,7 @@ impl DatasetBuilder {
 
     fn serve_engine(&self, sharded: ShardedStore, engine_cfg: EngineConfig) -> Result<Dataset> {
         let engine = Arc::new(StoreEngine::try_open(sharded, engine_cfg)?);
-        Dataset::serve(engine, self.server_workers, self.queue_depth)
+        Dataset::serve_traced(engine, self.server_workers, self.queue_depth, self.tracing)
     }
 }
 
@@ -374,6 +390,46 @@ mod tests {
         for (a, b) in got.iter().zip(rs.iter()) {
             assert_eq!(a.seq, b.seq);
         }
+    }
+
+    #[test]
+    fn tracing_records_a_span_per_op_with_events() {
+        let rs = reads();
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .ssd(SsdConfig::pcie())
+            .tracing(true)
+            .encode(&rs)
+            .expect("traced build");
+        assert!(dataset.trace().is_some());
+        let c = dataset.session().get(0..8).unwrap().wait().unwrap();
+        // The span is recorded before the ticket resolves.
+        let spans = dataset.trace().unwrap().spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.kind, "get");
+        assert_eq!(s.submitted_vt, c.report.submitted_vt);
+        assert_eq!(s.completed_vt, c.report.completed_vt);
+        assert_eq!(s.intervals.len(), c.report.charges().len());
+        assert!(
+            !s.events.is_empty(),
+            "engine tracing must emit cache/device events"
+        );
+        assert_eq!(dataset.metrics().trace_spans, 1);
+    }
+
+    #[test]
+    fn untraced_dataset_has_no_buffer_and_empty_intervals() {
+        let rs = reads();
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .ssd(SsdConfig::pcie())
+            .encode(&rs)
+            .unwrap();
+        assert!(dataset.trace().is_none());
+        let c = dataset.session().get(0..4).unwrap().wait().unwrap();
+        assert!(c.report.intervals().is_empty());
+        assert!(c.report.trace.events.is_empty());
     }
 
     #[test]

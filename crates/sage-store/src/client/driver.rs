@@ -15,8 +15,10 @@
 //! store-served preparation scenario all drive this one loop.
 
 use super::stats::LatencyStats;
+use super::workload::{OpKind, OpKindStats};
 use super::Dataset;
 use crate::engine::{EngineBackend, OpValue, StoreOp};
+use crate::obs::OpSpan;
 use crate::Result;
 use sage_io::{IoConfig, Reactor};
 use std::sync::Arc;
@@ -68,6 +70,13 @@ pub struct LoadReport {
     pub reads_served: u64,
     /// Bases returned across all get/scan results.
     pub bases_served: u64,
+    /// Ranged-read outcomes — the same per-kind accounting
+    /// ([`OpKindStats`]) the open-loop report carries.
+    pub gets: OpKindStats,
+    /// Full-walk scan outcomes.
+    pub scans: OpKindStats,
+    /// Append outcomes.
+    pub appends: OpKindStats,
 }
 
 impl LoadReport {
@@ -87,6 +96,14 @@ impl LoadReport {
 /// consumer — `io_sweep`, `fig15_multissd`, the pipeline's
 /// store-served scenario — draws from this one stream, so their
 /// measurements stay comparable by construction.
+fn kind_of(op: &StoreOp) -> OpKind {
+    match op {
+        StoreOp::Get(_) => OpKind::Get,
+        StoreOp::Scan(_) => OpKind::Scan,
+        StoreOp::Append(_) => OpKind::Append,
+    }
+}
+
 pub fn range_for(client: u64, seq: u64, total: u64, span_max: u64) -> std::ops::Range<u64> {
     let mut z = (client << 32 | seq).wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -117,22 +134,34 @@ impl Dataset {
     ) -> Result<LoadReport> {
         let engine = Arc::clone(self.engine());
         let devices = engine.n_devices().max(1);
+        // On a tracing dataset each completed op also lands in the
+        // dataset's span buffer (observation-only: the timeline and
+        // report are bit-identical either way).
+        let trace_buf = self.trace();
         let reactor = Reactor::start(
             Arc::new(EngineBackend::new(engine)),
             IoConfig {
                 workers: spec.workers.max(1),
                 queue_depth: spec.clients.max(1),
                 devices,
+                record_intervals: trace_buf.is_some(),
             },
         );
         let cq = reactor.completions();
 
         let clients = spec.clients.max(1) as u64;
         let mut next_seq = vec![1u64; clients as usize];
+        // Each client's in-flight op kind, indexed by `user_data`, so
+        // harvested completions attribute to the right OpKindStats.
+        let mut in_flight_kind = vec![OpKind::Get; clients as usize];
         // Seed every client's first operation through one batched
         // ring-lock acquisition instead of one lock round per client.
         let seeds: Vec<_> = (0..clients.min(spec.requests))
-            .map(|c| (workload(c, 0), c, 0.0))
+            .map(|c| {
+                let op = workload(c, 0);
+                in_flight_kind[c as usize] = kind_of(&op);
+                (op, c, 0.0)
+            })
             .collect();
         let mut issued = seeds.len() as u64;
         reactor.submit_batch(seeds).expect("live reactor");
@@ -140,27 +169,59 @@ impl Dataset {
         let mut makespan = 0.0f64;
         let mut reads_served = 0u64;
         let mut bases_served = 0u64;
+        let mut gets = OpKindStats::default();
+        let mut scans = OpKindStats::default();
+        let mut appends = OpKindStats::default();
+        let mut token = 0u64;
         while (latencies.len() as u64) < spec.requests {
             let Some(cqe) = cq.wait_any() else {
                 break;
             };
             let latency = cqe.latency();
-            let (value, _) = cqe.output?;
+            let c = cqe.user_data;
+            let kind = in_flight_kind[c as usize];
+            let (submitted_vt, started_vt, completed_vt) =
+                (cqe.submitted_vt, cqe.started_vt, cqe.completed_vt);
+            let (device, device_seconds, intervals) =
+                (cqe.device, cqe.device_seconds, cqe.intervals);
+            let (value, trace) = cqe.output?;
+            if let Some(buf) = &trace_buf {
+                buf.record(OpSpan {
+                    token,
+                    kind: kind.label(),
+                    submitted_vt,
+                    started_vt,
+                    completed_vt,
+                    device,
+                    device_seconds,
+                    intervals,
+                    chunks_touched: trace.chunks_touched,
+                    cache_hits: trace.cache_hits,
+                    cache_misses: trace.cache_misses,
+                    device_ops: trace.device_ops,
+                    events: trace.events.clone(),
+                });
+            }
+            token += 1;
+            match kind {
+                OpKind::Get => gets.record(&trace),
+                OpKind::Scan => scans.record(&trace),
+                OpKind::Append => appends.record(&trace),
+            }
             if let OpValue::Reads(rs) = &value {
                 reads_served += rs.len() as u64;
                 bases_served += rs.total_bases() as u64;
             }
             latencies.push(latency);
-            makespan = makespan.max(cqe.completed_vt);
+            makespan = makespan.max(completed_vt);
             if issued < spec.requests {
-                let c = cqe.user_data;
                 let i = next_seq[c as usize];
                 next_seq[c as usize] += 1;
+                let op = workload(c, i);
+                in_flight_kind[c as usize] = kind_of(&op);
                 // Closed loop: the client's next operation departs at
                 // the virtual instant its previous one completed.
-                reactor
-                    .submit(workload(c, i), c, cqe.completed_vt)
-                    .expect("live reactor");
+                reactor.submit(op, c, completed_vt).expect("live reactor");
                 issued += 1;
             }
         }
@@ -182,6 +243,9 @@ impl Dataset {
             latencies,
             reads_served,
             bases_served,
+            gets,
+            scans,
+            appends,
         })
     }
 }
@@ -229,6 +293,10 @@ mod tests {
         assert!(report.bases_per_sec() > 0.0);
         assert_eq!(report.utilization.len(), 2);
         assert!(report.device_busy.iter().any(|b| *b > 0.0));
+        assert_eq!(report.gets.ops, 64);
+        assert_eq!(report.scans.ops, 0);
+        assert_eq!(report.appends.ops, 0);
+        assert!(report.gets.chunk_hits + report.gets.chunk_misses > 0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use stats::{percentile, LatencyStats};
 use crate::engine::OpValue;
 use crate::view::ReadView;
 use crate::{Result, StoreError};
-use sage_io::DeviceCharge;
+use sage_io::{ChargeInterval, DeviceCharge};
 use std::sync::mpsc::Receiver;
 
 /// What a session does when the submission ring is full.
@@ -106,6 +106,11 @@ pub struct OpReport {
     pub device_seconds: f64,
     /// Completion queue (device) the operation finished on.
     pub device: usize,
+    /// Per-charge service windows on the virtual timeline, in charge
+    /// order. Empty unless the dataset was built with
+    /// [`DatasetBuilder::tracing`] — recording them is
+    /// observation-only and never moves the instants above.
+    pub intervals: Vec<ChargeInterval>,
 }
 
 impl OpReport {
@@ -149,6 +154,32 @@ impl OpReport {
     /// always 0, misses included.
     pub fn device_ops(&self) -> u64 {
         self.trace.device_ops
+    }
+
+    /// Per-charge service windows (empty unless the dataset traces —
+    /// see [`DatasetBuilder::tracing`]).
+    pub fn intervals(&self) -> &[ChargeInterval] {
+        &self.intervals
+    }
+
+    /// The operation as an [`OpSpan`](crate::obs::OpSpan) for trace
+    /// recording, tagged with its submission `token` and kind label.
+    pub fn to_span(&self, token: u64, kind: &'static str) -> crate::obs::OpSpan {
+        crate::obs::OpSpan {
+            token,
+            kind,
+            submitted_vt: self.submitted_vt,
+            started_vt: self.started_vt,
+            completed_vt: self.completed_vt,
+            device: self.device,
+            device_seconds: self.device_seconds,
+            intervals: self.intervals.clone(),
+            chunks_touched: self.trace.chunks_touched,
+            cache_hits: self.trace.cache_hits,
+            cache_misses: self.trace.cache_misses,
+            device_ops: self.trace.device_ops,
+            events: self.trace.events.clone(),
+        }
     }
 }
 

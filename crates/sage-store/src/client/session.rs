@@ -4,11 +4,12 @@
 use super::{extract_appended, extract_reads, OpReport, Payload, SubmitMode, Ticket};
 use crate::engine::{EngineBackend, StoreEngine, StoreOp};
 use crate::lru::{CacheSnapshot, StripeSnapshot};
+use crate::obs::{MetricsSnapshot, TraceBuffer};
 use crate::timing::TimingSnapshot;
 use crate::view::ReadView;
 use crate::{Result, StoreError};
 use sage_genomics::{Read, ReadSet};
-use sage_io::{DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SubmitError};
+use sage_io::{Cqe, DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SubmitError};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +33,10 @@ pub struct ServerStats {
     pub queued: usize,
 }
 
+/// In-flight submissions by token: each op's ticket channel plus its
+/// kind label (for span recording).
+type PendingMap = Mutex<HashMap<u64, (SyncSender<Payload>, &'static str)>>;
+
 /// The shared serving state behind [`Dataset`] and every [`Session`].
 #[derive(Debug)]
 pub(crate) struct ServeCore {
@@ -41,51 +46,74 @@ pub(crate) struct ServeCore {
     /// reactor itself is `&self`-concurrent), write-locked once to
     /// take it down.
     reactor: RwLock<Option<Reactor<EngineBackend>>>,
-    pending: Arc<Mutex<HashMap<u64, SyncSender<Payload>>>>,
+    pending: Arc<PendingMap>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
     next_token: AtomicU64,
     cancelled: Arc<AtomicU64>,
+    /// The dataset's span sink; `None` when tracing is off.
+    trace: Option<Arc<TraceBuffer>>,
 }
 
 impl ServeCore {
-    fn start(engine: Arc<StoreEngine>, workers: usize, queue_depth: usize) -> ServeCore {
+    fn start(
+        engine: Arc<StoreEngine>,
+        workers: usize,
+        queue_depth: usize,
+        trace: Option<Arc<TraceBuffer>>,
+    ) -> ServeCore {
         let reactor = Reactor::start(
             Arc::new(EngineBackend::new(Arc::clone(&engine))),
             IoConfig {
                 workers,
                 queue_depth,
                 devices: engine.n_devices().max(1),
+                record_intervals: trace.is_some(),
             },
         );
-        let pending: Arc<Mutex<HashMap<u64, SyncSender<Payload>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let pending: Arc<PendingMap> = Arc::new(Mutex::new(HashMap::new()));
         let cancelled = Arc::new(AtomicU64::new(0));
         let cq = reactor.completions();
         let dispatcher = {
             let pending = Arc::clone(&pending);
             let cancelled = Arc::clone(&cancelled);
+            let trace_buf = trace.clone();
             std::thread::spawn(move || {
                 while let Some(cqe) = cq.wait_any() {
-                    let payload: Payload = cqe.output.map(|(value, trace)| {
+                    let Cqe {
+                        user_data,
+                        device,
+                        submitted_vt,
+                        started_vt,
+                        completed_vt,
+                        device_seconds,
+                        intervals,
+                        output,
+                    } = cqe;
+                    let entry = pending.lock().expect("pending poisoned").remove(&user_data);
+                    let payload: Payload = output.map(|(value, trace)| {
                         (
                             value,
                             OpReport {
                                 trace,
-                                submitted_vt: cqe.submitted_vt,
-                                started_vt: cqe.started_vt,
-                                completed_vt: cqe.completed_vt,
-                                device_seconds: cqe.device_seconds,
-                                device: cqe.device,
+                                submitted_vt,
+                                started_vt,
+                                completed_vt,
+                                device_seconds,
+                                device,
+                                intervals,
                             },
                         )
                     });
+                    // Recording happens after the completion already
+                    // carries its final instants — observation only,
+                    // never on the virtual timeline.
+                    if let (Some(buf), Ok((_, report))) = (trace_buf.as_ref(), payload.as_ref()) {
+                        let kind = entry.as_ref().map_or("op", |(_, k)| *k);
+                        buf.record(report.to_span(user_data, kind));
+                    }
                     // A client that dropped its ticket is not an
                     // error; its send just goes nowhere.
-                    if let Some(tx) = pending
-                        .lock()
-                        .expect("pending poisoned")
-                        .remove(&cqe.user_data)
-                    {
+                    if let Some((tx, _)) = entry {
                         let _ = tx.send(payload);
                     }
                 }
@@ -93,7 +121,7 @@ impl ServeCore {
                 // when serving stopped and will never execute.
                 // Resolve those tickets with a typed error instead of
                 // letting their owners hang.
-                for (_, tx) in pending.lock().expect("pending poisoned").drain() {
+                for (_, (tx, _)) in pending.lock().expect("pending poisoned").drain() {
                     cancelled.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(Err(StoreError::Cancelled));
                 }
@@ -106,6 +134,7 @@ impl ServeCore {
             dispatcher: Mutex::new(Some(dispatcher)),
             next_token: AtomicU64::new(0),
             cancelled,
+            trace,
         }
     }
 
@@ -117,11 +146,16 @@ impl ServeCore {
         mode: SubmitMode,
     ) -> Result<std::sync::mpsc::Receiver<Payload>> {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let kind = match &op {
+            StoreOp::Get(_) => "get",
+            StoreOp::Scan(_) => "scan",
+            StoreOp::Append(_) => "append",
+        };
         let (tx, rx) = sync_channel(1);
         self.pending
             .lock()
             .expect("pending poisoned")
-            .insert(token, tx);
+            .insert(token, (tx, kind));
         let unregister = || {
             self.pending
                 .lock()
@@ -152,6 +186,10 @@ impl ServeCore {
 
     pub(crate) fn engine(&self) -> &Arc<StoreEngine> {
         &self.engine
+    }
+
+    pub(crate) fn trace(&self) -> Option<&Arc<TraceBuffer>> {
+        self.trace.as_ref()
     }
 
     pub(crate) fn stats(&self) -> ServerStats {
@@ -249,14 +287,34 @@ impl Dataset {
     ///
     /// [`StoreError::Config`] when `workers` or `queue_depth` is 0.
     pub fn serve(engine: Arc<StoreEngine>, workers: usize, queue_depth: usize) -> Result<Dataset> {
+        Dataset::serve_traced(engine, workers, queue_depth, false)
+    }
+
+    /// [`Dataset::serve`] with span tracing optionally on: every
+    /// completed operation is recorded as an
+    /// [`OpSpan`](crate::obs::OpSpan) into the dataset's
+    /// [`TraceBuffer`] (see [`Dataset::trace`]). Tracing never
+    /// perturbs the virtual timeline — a traced run's instants are
+    /// bit-identical to an untraced one.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] when `workers` or `queue_depth` is 0.
+    pub fn serve_traced(
+        engine: Arc<StoreEngine>,
+        workers: usize,
+        queue_depth: usize,
+        tracing: bool,
+    ) -> Result<Dataset> {
         if workers == 0 {
             return Err(crate::ConfigError::ZeroServerWorkers.into());
         }
         if queue_depth == 0 {
             return Err(crate::ConfigError::ZeroQueueDepth.into());
         }
+        let trace = tracing.then(|| Arc::new(TraceBuffer::new()));
         Ok(Dataset {
-            core: Arc::new(ServeCore::start(engine, workers, queue_depth)),
+            core: Arc::new(ServeCore::start(engine, workers, queue_depth, trace)),
         })
     }
 
@@ -307,6 +365,70 @@ impl Dataset {
     /// utilization, horizon).
     pub fn reactor_snapshot(&self) -> ReactorSnapshot {
         self.core.reactor_snapshot()
+    }
+
+    /// The dataset's span buffer — `None` unless it was built with
+    /// [`DatasetBuilder::tracing`](super::DatasetBuilder::tracing)
+    /// (or served via [`Dataset::serve_traced`]).
+    pub fn trace(&self) -> Option<Arc<TraceBuffer>> {
+        self.core.trace().cloned()
+    }
+
+    /// One unified snapshot of everything the serving stack counts:
+    /// server counters, engine totals, cache outcome and lock
+    /// accounting, per-device busy seconds and utilization, and the
+    /// trace buffer's size. This subsumes the scattered per-layer
+    /// snapshots — each metric is also available as a typed
+    /// counter/gauge via
+    /// [`MetricsSnapshot::metrics`](crate::obs::MetricsSnapshot::metrics).
+    ///
+    /// ```
+    /// use sage_store::client::DatasetBuilder;
+    /// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    ///
+    /// # fn main() -> Result<(), sage_store::StoreError> {
+    /// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 3);
+    /// let dataset = DatasetBuilder::new().chunk_reads(32).encode(&ds.reads)?;
+    /// dataset.session().get(0..8)?.join()?;
+    /// let m = dataset.metrics();
+    /// assert_eq!(m.requests_served, 1);
+    /// assert_eq!(m.cache_misses, 1);  // cold get decoded one chunk
+    /// assert!(m.metrics().iter().any(|(name, _)| name == "cache.hit_rate"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let server = self.stats();
+        let cache = self.cache_stats();
+        let stripes = self.stripe_snapshot();
+        let reactor = self.reactor_snapshot();
+        let timing = self.timing_snapshot();
+        let engine = self.engine();
+        MetricsSnapshot {
+            submitted: server.submitted,
+            completed: server.completed,
+            rejected: server.rejected,
+            cancelled: server.cancelled,
+            queued: server.queued,
+            requests_served: engine.requests_served(),
+            bytes_copied: engine.payload_bytes_copied(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_shards: stripes.shards,
+            cache_len: stripes.len,
+            cache_capacity: stripes.capacity,
+            lock_acquisitions: stripes.lock_acquisitions,
+            lock_busy_seconds: stripes.lock_busy_seconds,
+            device_busy: reactor.device_busy,
+            utilization: reactor.utilization,
+            horizon: reactor.horizon,
+            device_reads: timing.reads,
+            device_writes: timing.writes,
+            device_read_seconds: timing.read_seconds,
+            device_write_seconds: timing.write_seconds,
+            trace_spans: self.trace().map_or(0, |t| t.len()),
+        }
     }
 
     /// Stops serving after the queue drains. Outstanding sessions

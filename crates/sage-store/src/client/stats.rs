@@ -4,11 +4,19 @@
 //! Both drive reports — the closed loop's
 //! [`LoadReport`](super::LoadReport) and the open loop's
 //! [`QosReport`](super::workload::QosReport) — aggregate per-operation
-//! virtual latencies into the same [`LatencyStats`], so bench bins
-//! print and assert on identical percentile math instead of each
-//! re-deriving its own.
+//! virtual latencies into the same [`LatencyStats`], a thin view over
+//! the observability layer's log-bucketed
+//! [`LogHistogram`](crate::obs::LogHistogram): count, mean, and max
+//! are exact, percentiles are answered from the histogram's buckets
+//! (≈0.78% relative quantization, monotone), and every bench bin
+//! prints and asserts on this one implementation.
 
-/// `p` in `[0, 1]` over an ascending-sorted slice (nearest-rank).
+use crate::obs::LogHistogram;
+
+/// `p` in `[0, 1]` over an ascending-sorted slice (nearest-rank,
+/// exact). Kept for call sites that need exact order statistics of a
+/// materialized sample; [`LatencyStats`] itself aggregates through
+/// the histogram.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -19,9 +27,12 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// Aggregated latency distribution of one drive (all milliseconds).
 ///
-/// Built once from the sorted per-operation virtual latencies by
-/// [`LatencyStats::from_sorted_secs`]; every percentile any bench
-/// prints comes out of this one extraction.
+/// Built once from the per-operation virtual latencies by
+/// [`LatencyStats::from_sorted_secs`] (or from any
+/// [`LogHistogram`] via [`LatencyStats::from_histogram`]); every
+/// percentile any bench prints comes out of this one extraction.
+/// `count`, `mean_ms`, and `max_ms` are exact; the percentile fields
+/// carry the histogram's ≈0.78% bucket quantization.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
     /// Operations aggregated.
@@ -42,20 +53,32 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Aggregates an ascending-sorted slice of per-operation latencies
-    /// in **seconds** into millisecond statistics.
+    /// in **seconds** into millisecond statistics, by recording the
+    /// slice into a [`LogHistogram`] in order (so the mean's addition
+    /// order — and hence its value — matches summing the slice
+    /// directly) and reading the stats back out.
     pub fn from_sorted_secs(sorted: &[f64]) -> LatencyStats {
-        if sorted.is_empty() {
+        let mut hist = LogHistogram::new();
+        for &v in sorted {
+            hist.record(v);
+        }
+        LatencyStats::from_histogram(&hist)
+    }
+
+    /// The millisecond view over a latency histogram in seconds —
+    /// the shared implementation both drive reports resolve through.
+    pub fn from_histogram(hist: &LogHistogram) -> LatencyStats {
+        if hist.count() == 0 {
             return LatencyStats::default();
         }
-        let sum: f64 = sorted.iter().sum();
         LatencyStats {
-            count: sorted.len() as u64,
-            mean_ms: sum / sorted.len() as f64 * 1e3,
-            p50_ms: percentile(sorted, 0.50) * 1e3,
-            p95_ms: percentile(sorted, 0.95) * 1e3,
-            p99_ms: percentile(sorted, 0.99) * 1e3,
-            p999_ms: percentile(sorted, 0.999) * 1e3,
-            max_ms: sorted[sorted.len() - 1] * 1e3,
+            count: hist.count(),
+            mean_ms: hist.mean() * 1e3,
+            p50_ms: hist.quantile(0.50) * 1e3,
+            p95_ms: hist.quantile(0.95) * 1e3,
+            p99_ms: hist.quantile(0.99) * 1e3,
+            p999_ms: hist.quantile(0.999) * 1e3,
+            max_ms: hist.max() * 1e3,
         }
     }
 
@@ -88,12 +111,27 @@ mod tests {
         let secs: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
         let s = LatencyStats::from_sorted_secs(&secs);
         assert_eq!(s.count, 1000);
+        // Mean and max are exact; percentiles carry the histogram's
+        // ≈0.78% bucket quantization.
         assert!((s.mean_ms - 500.5).abs() < 1e-9);
-        assert!((s.p50_ms - 500.5).abs() < 1.5);
-        assert!((s.p99_ms - 990.0).abs() < 1.5);
-        assert!((s.p999_ms - 999.0).abs() < 1.5);
+        assert!((s.p50_ms - 500.5).abs() < 500.5 * 0.01);
+        assert!((s.p99_ms - 990.0).abs() < 990.0 * 0.01);
+        assert!((s.p999_ms - 999.0).abs() < 999.0 * 0.01);
         assert_eq!(s.max_ms, 1000.0);
         assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms && s.p99_ms <= s.p999_ms);
+    }
+
+    #[test]
+    fn histogram_and_sorted_paths_agree() {
+        let secs: Vec<f64> = (1..=257).map(|i| i as f64 * 7e-4).collect();
+        let mut hist = LogHistogram::new();
+        for &v in &secs {
+            hist.record(v);
+        }
+        assert_eq!(
+            LatencyStats::from_sorted_secs(&secs),
+            LatencyStats::from_histogram(&hist)
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 use super::stats::LatencyStats;
 use super::Dataset;
 use crate::engine::{EngineBackend, OpTrace, OpValue, StoreOp};
+use crate::obs::OpSpan;
 use crate::{ConfigError, Result};
 use sage_genomics::ReadSet;
 use sage_io::{IoConfig, Reactor};
@@ -53,6 +54,12 @@ use std::sync::Arc;
 /// derive from the one spec seed without sharing draws.
 const ARRIVAL_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
 const OP_STREAM: u64 = 0xbf58_476d_1ce4_e5b9;
+/// Dedicated stream for attributing *shed* arrivals an op kind: shed
+/// arrivals must not consume draws from the admitted op stream (that
+/// would change every admitted op after the first shed and break
+/// bit-compatibility with earlier releases), so their kinds come from
+/// this separate, identically-weighted stream.
+const SHED_STREAM: u64 = 0x94d0_49bb_1331_11eb;
 
 /// The workload generators' deterministic random source (SplitMix64).
 ///
@@ -544,6 +551,17 @@ pub enum OpKind {
     Append,
 }
 
+impl OpKind {
+    /// Display label (the span kind in trace exports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Get => "get",
+            OpKind::Scan => "scan",
+            OpKind::Append => "append",
+        }
+    }
+}
+
 /// Relative operation-kind weights of a generated stream (they need
 /// not sum to 1; only the ratios matter).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -741,11 +759,27 @@ impl OpKindStats {
         self.chunk_hits as f64 / total as f64
     }
 
-    fn record(&mut self, trace: &OpTrace) {
+    pub(crate) fn record(&mut self, trace: &OpTrace) {
         self.ops += 1;
         self.chunk_hits += trace.cache_hits;
         self.chunk_misses += trace.cache_misses;
     }
+}
+
+/// One shed arrival, attributable per op mix: the kind the arrival
+/// would have submitted and the virtual instant it arrived.
+///
+/// The kind is drawn from a dedicated rng stream (`SHED_STREAM`) with
+/// the spec's own [`OpMix`] weights, so attribution is statistically
+/// faithful to the mix while the *admitted* op stream consumes
+/// exactly the draws it always did — shed accounting never changes
+/// which operations run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedEvent {
+    /// Op kind the shed arrival would have submitted.
+    pub kind: OpKind,
+    /// Virtual arrival instant at which it was shed.
+    pub arrival_vt: f64,
 }
 
 /// What an open-loop drive measured (virtual-time metrics).
@@ -757,6 +791,10 @@ pub struct QosReport {
     pub completed: u64,
     /// Arrivals shed because the virtual queue was at capacity.
     pub shed: u64,
+    /// One [`ShedEvent`] per shed arrival, in arrival order (always
+    /// `shed` entries): the kind the arrival would have carried and
+    /// the instant it was turned away.
+    pub shed_events: Vec<ShedEvent>,
     /// Measured offered rate: arrivals per virtual second over the
     /// arrival span.
     pub offered_rate: f64,
@@ -813,6 +851,19 @@ impl QosReport {
             return 0.0;
         }
         devices as f64 / mean
+    }
+
+    /// Shed arrivals per op kind: `(gets, scans, appends)`.
+    pub fn shed_by_kind(&self) -> (u64, u64, u64) {
+        let mut n = (0u64, 0u64, 0u64);
+        for e in &self.shed_events {
+            match e.kind {
+                OpKind::Get => n.0 += 1,
+                OpKind::Scan => n.1 += 1,
+                OpKind::Append => n.2 += 1,
+            }
+        }
+        n
     }
 
     /// Chunk-touch hit rate across all op kinds.
@@ -884,12 +935,19 @@ impl Dataset {
             ReadSet::new()
         };
         let devices = engine.n_devices().max(1);
+        // On a tracing dataset each completed op also lands in the
+        // dataset's span buffer with its per-charge service windows
+        // (call `TraceBuffer::clear` between drives to keep runs
+        // separable). Interval recording is observation-only: the
+        // drive's timeline and report are bit-identical either way.
+        let trace_buf = self.trace();
         let reactor = Reactor::start(
             Arc::new(EngineBackend::new(engine)),
             IoConfig {
                 workers: spec.workers,
                 queue_depth: spec.queue_depth,
                 devices,
+                record_intervals: trace_buf.is_some(),
             },
         );
         let cq = reactor.completions();
@@ -909,6 +967,8 @@ impl Dataset {
         // arrival instant have drained from the virtual queue.
         let mut inflight: Vec<f64> = Vec::with_capacity(spec.queue_depth);
         let mut shed = 0u64;
+        let mut shed_rng = WorkloadRng::new(spec.seed ^ SHED_STREAM);
+        let mut shed_events: Vec<ShedEvent> = Vec::new();
         let mut makespan = 0.0f64;
         let mut latencies = Vec::with_capacity(spec.requests as usize);
         let mut gets = OpKindStats::default();
@@ -921,6 +981,10 @@ impl Dataset {
             inflight.retain(|done| *done > clock);
             if inflight.len() >= spec.queue_depth {
                 shed += 1;
+                shed_events.push(ShedEvent {
+                    kind: spec.mix.pick(&mut shed_rng),
+                    arrival_vt: clock,
+                });
                 continue;
             }
             let (op, kind) = ops.next_op();
@@ -930,7 +994,28 @@ impl Dataset {
             // any worker count.
             let cqe = cq.wait_any().expect("submitted op completes");
             let latency = cqe.latency();
+            let (submitted_vt, started_vt, completed_vt) =
+                (cqe.submitted_vt, cqe.started_vt, cqe.completed_vt);
+            let (device, device_seconds, intervals) =
+                (cqe.device, cqe.device_seconds, cqe.intervals);
             let (value, trace) = cqe.output?;
+            if let Some(buf) = &trace_buf {
+                buf.record(OpSpan {
+                    token: i,
+                    kind: kind.label(),
+                    submitted_vt,
+                    started_vt,
+                    completed_vt,
+                    device,
+                    device_seconds,
+                    intervals,
+                    chunks_touched: trace.chunks_touched,
+                    cache_hits: trace.cache_hits,
+                    cache_misses: trace.cache_misses,
+                    device_ops: trace.device_ops,
+                    events: trace.events.clone(),
+                });
+            }
             match kind {
                 OpKind::Get => gets.record(&trace),
                 OpKind::Scan => scans.record(&trace),
@@ -941,8 +1026,8 @@ impl Dataset {
                 bases_served += rs.total_bases() as u64;
             }
             latencies.push(latency);
-            makespan = makespan.max(cqe.completed_vt);
-            inflight.push(cqe.completed_vt);
+            makespan = makespan.max(completed_vt);
+            inflight.push(completed_vt);
         }
         let snap = reactor.snapshot();
         reactor.shutdown();
@@ -952,6 +1037,7 @@ impl Dataset {
             offered: spec.requests,
             completed,
             shed,
+            shed_events,
             offered_rate: if clock > 0.0 {
                 spec.requests as f64 / clock
             } else {
@@ -1194,6 +1280,20 @@ mod tests {
         assert!(overloaded.shed > 0, "overload must shed");
         assert!(overloaded.shed_fraction() > 0.5);
         assert!(overloaded.achieved_rate < overloaded.offered_rate);
+        // Every shed arrival carries its context: would-be kind and
+        // arrival instant, in nondecreasing arrival order.
+        assert_eq!(overloaded.shed_events.len() as u64, overloaded.shed);
+        let (sg, ss, sa) = overloaded.shed_by_kind();
+        assert_eq!(sg + ss + sa, overloaded.shed);
+        assert_eq!(sg, overloaded.shed, "a pure-get mix sheds only gets");
+        assert!(overloaded
+            .shed_events
+            .windows(2)
+            .all(|w| w[0].arrival_vt <= w[1].arrival_vt));
+        assert!(overloaded
+            .shed_events
+            .iter()
+            .all(|e| e.arrival_vt.is_finite() && e.arrival_vt >= 0.0));
         // A gentle rate through the same machinery sheds nothing.
         let calm = run(10.0, 8);
         assert_eq!(calm.shed, 0);
@@ -1253,5 +1353,61 @@ mod tests {
         // Scans walk chunks; with a warm cache some touches hit.
         assert!(report.scans.chunk_hits + report.scans.chunk_misses > 0);
         assert!(report.overall_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn shed_attribution_follows_the_mix() {
+        // Overload a mixed stream: shed kinds come from a dedicated
+        // stream with the mix's own weights, so a weight-0 kind never
+        // appears and the dominant kind dominates.
+        let dataset = fleet_dataset(1);
+        let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate: 1e7 });
+        spec.mix = OpMix {
+            get: 0.9,
+            scan: 0.1,
+            append: 0.0,
+        };
+        spec.requests = 256;
+        spec.queue_depth = 4;
+        let report = dataset.drive_open_loop(&spec).expect("drive");
+        assert!(report.shed > 100, "deep overload expected");
+        let (sg, ss, sa) = report.shed_by_kind();
+        assert_eq!(sa, 0, "weight-0 appends must never be attributed");
+        assert_eq!(sg + ss, report.shed);
+        assert!(
+            sg > ss,
+            "gets dominate the mix so they dominate sheds: {sg} vs {ss}"
+        );
+        for e in &report.shed_events {
+            assert!(matches!(e.kind, OpKind::Get | OpKind::Scan));
+            assert_eq!(e.kind.label() == "get", e.kind == OpKind::Get);
+        }
+    }
+
+    #[test]
+    fn traced_open_loop_records_replayable_spans() {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 77).reads;
+        let traced_ds = DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(0)
+            .ssd_fleet(vec![SsdConfig::pcie(), SsdConfig::pcie()])
+            .tracing(true)
+            .encode(&reads)
+            .expect("build");
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate: 100.0 });
+        spec.requests = 64;
+        let traced = traced_ds.drive_open_loop(&spec).expect("traced drive");
+        // Bit-identical to the untraced fixture dataset (same reads,
+        // same encode, same spec): tracing observes, never perturbs.
+        let plain = fleet_dataset(2).drive_open_loop(&spec).expect("drive");
+        assert_eq!(plain, traced);
+
+        let buf = traced_ds.trace().expect("tracing dataset has a buffer");
+        let spans = buf.spans();
+        assert_eq!(spans.len() as u64, traced.completed);
+        assert!(spans.iter().all(|s| !s.intervals.is_empty()));
+        let replay = crate::obs::replay(&spans, 2);
+        assert!(replay.exact(), "{} mismatches", replay.mismatches);
+        assert_eq!(replay.device_busy, traced.device_busy);
     }
 }

@@ -25,6 +25,7 @@
 use crate::codec::{order_preserving_compressor, ShardedStore};
 use crate::lru::{CachePolicy, CacheSnapshot, CacheStats, StripeSnapshot, StripedCache};
 use crate::manifest::ChunkMeta;
+use crate::obs::EngineEvent;
 use crate::timing::{SsdTiming, TimingSnapshot};
 use crate::view::{ReadView, RecordSlice};
 use crate::{parse_chunk, ConfigError, Result, StoreError};
@@ -70,6 +71,12 @@ pub struct EngineConfig {
     /// Worker threads compressing appended chunks (0 ⇒ available
     /// parallelism).
     pub append_workers: usize,
+    /// When `true`, every operation's [`OpTrace`] additionally carries
+    /// the engine-side [`EngineEvent`] stream (cache probes, decodes,
+    /// device commands) for span tracing. Off by default — the
+    /// untraced path allocates nothing for events, and tracing never
+    /// changes what an operation computes or charges.
+    pub tracing: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +91,7 @@ impl Default for EngineConfig {
             placement: Placement::default(),
             codec: CompressOptions::default(),
             append_workers: 0,
+            tracing: false,
         }
     }
 }
@@ -134,6 +142,13 @@ impl EngineConfig {
     /// Sets the fleet placement policy.
     pub fn with_placement(mut self, placement: Placement) -> EngineConfig {
         self.placement = placement;
+        self
+    }
+
+    /// Enables (or disables) engine-side event tracing: operations
+    /// record their [`EngineEvent`] stream into [`OpTrace::events`].
+    pub fn with_tracing(mut self, on: bool) -> EngineConfig {
+        self.tracing = on;
         self
     }
 
@@ -332,6 +347,12 @@ pub struct OpTrace {
     pub cache_hits: u64,
     /// Touched chunks that had to be fetched and decoded.
     pub cache_misses: u64,
+    /// The engine-side event stream (cache probes, decodes, device
+    /// commands, in deterministic chunk order). Empty unless the
+    /// engine was opened with [`EngineConfig::with_tracing`] —
+    /// recording events is observation-only and never changes what
+    /// the operation computes or charges.
+    pub events: Vec<EngineEvent>,
 }
 
 impl OpTrace {
@@ -365,6 +386,7 @@ pub struct StoreEngine {
     codec: CompressOptions,
     append_workers: usize,
     coalesce_extents: bool,
+    tracing: bool,
     requests_served: AtomicU64,
     /// Payload bytes memcpy'd on the serving read path (the extent
     /// copy a cache miss takes under the read guard). Cache-hit reads
@@ -390,6 +412,7 @@ impl StoreEngine {
             codec: cfg.codec,
             append_workers: cfg.append_workers,
             coalesce_extents: cfg.coalesce_extents,
+            tracing: cfg.tracing,
             requests_served: AtomicU64::new(0),
             bytes_copied: AtomicU64::new(0),
             state: RwLock::new(StoreState { store }),
@@ -452,6 +475,12 @@ impl StoreEngine {
     /// device commands.
     pub fn coalesces_extents(&self) -> bool {
         self.coalesce_extents
+    }
+
+    /// Whether engine-side event tracing is on (see
+    /// [`EngineConfig::with_tracing`]).
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Payload bytes memcpy'd on the serving read path so far. A
@@ -636,15 +665,32 @@ impl StoreEngine {
         for (meta, f) in metas.iter().zip(fetched) {
             let Ok(f) = f else { continue };
             trace.chunks_touched += 1;
+            if self.tracing {
+                trace.events.push(EngineEvent::CacheProbe {
+                    chunk: meta.id,
+                    hit: f.hit,
+                });
+            }
             if f.hit {
                 trace.cache_hits += 1;
             } else {
                 trace.cache_misses += 1;
+                if self.tracing {
+                    trace.events.push(EngineEvent::Decode { chunk: meta.id });
+                }
                 missed.push(meta);
             }
         }
         trace.charges = self.devices.charge_reads(&missed, self.coalesce_extents);
         trace.device_ops = trace.charges.len() as u64;
+        if self.tracing {
+            trace
+                .events
+                .extend(trace.charges.iter().map(|c| EngineEvent::DeviceCommand {
+                    device: c.device,
+                    seconds: c.seconds,
+                }));
+        }
         trace
     }
 
@@ -888,6 +934,14 @@ impl StoreEngine {
             );
         }
         trace.device_ops = trace.charges.len() as u64;
+        if self.tracing {
+            trace
+                .events
+                .extend(trace.charges.iter().map(|c| EngineEvent::DeviceCommand {
+                    device: c.device,
+                    seconds: c.seconds,
+                }));
+        }
         Ok((first_id, trace))
     }
 }

@@ -39,6 +39,12 @@
 //!   and access patterns (uniform/Zipf/sequential/hotspot) feeding
 //!   [`Dataset::drive_open_loop`], whose [`QosReport`] carries
 //!   latency–throughput curves to saturation;
+//! - [`obs`] — virtual-time observability: per-operation span tracing
+//!   into a [`TraceBuffer`] (Chrome/Perfetto-exportable, with the
+//!   hard invariant that tracing never perturbs the timeline), the
+//!   unified [`MetricsSnapshot`] registry behind
+//!   [`Dataset::metrics`], and windowed [`MetricsRecorder`] sampling
+//!   for utilization / queue-depth / hit-rate curves;
 //! - [`timing`] — SSD-backed timing: a single device maps the blob
 //!   onto [`sage_ssd::SageLayout`] pages and charges
 //!   [`sage_ssd::SsdModel`] latencies per chunk fetch, or a fleet
@@ -68,10 +74,11 @@ pub mod codec;
 pub mod engine;
 pub mod lru;
 pub mod manifest;
+pub mod obs;
 pub mod timing;
 pub mod view;
 
-pub use client::workload::{OpenLoopSpec, QosReport};
+pub use client::workload::{OpenLoopSpec, QosReport, ShedEvent};
 pub use client::{
     ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LatencyStats, LoadReport, OpReport,
     ServerStats, Session, SubmitMode, Ticket,
@@ -83,12 +90,16 @@ pub use lru::{
     StripeSnapshot, StripedCache, TwoQCache,
 };
 pub use manifest::{ChunkMeta, StoreManifest};
+pub use obs::{
+    EngineEvent, LogHistogram, MetricValue, MetricsRecorder, MetricsSnapshot, OpSpan, Replay,
+    TraceBuffer, WindowSeries,
+};
 pub use timing::{SsdTiming, TimingSnapshot};
 pub use view::{ReadView, RecordSlice};
 
 // The store's multi-device and queueing vocabulary comes from the I/O
 // substrate; re-exported so store users need not name sage-io.
-pub use sage_io::{DeviceCharge, DeviceSnapshot, Placement};
+pub use sage_io::{ChargeInterval, DeviceCharge, DeviceSnapshot, Placement};
 
 use sage_core::error::SageError;
 use sage_core::{Extent, SageArchive};

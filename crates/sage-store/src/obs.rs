@@ -1,0 +1,1170 @@
+//! # Virtual-time observability: span tracing, unified metrics, and
+//! Perfetto export
+//!
+//! The serving stack explains itself through this one substrate
+//! instead of a scatter of one-off structs:
+//!
+//! - **Span tracing** — every completed operation becomes an
+//!   [`OpSpan`] on the *virtual* timeline: its submit / service-start
+//!   / completion instants, the per-device [`ChargeInterval`]s the
+//!   scheduler actually booked, and the engine-side [`EngineEvent`]s
+//!   (cache probes, decodes, device commands). Spans are recorded
+//!   into a lock-cheap [`TraceBuffer`] behind the
+//!   [`DatasetBuilder::tracing`](crate::client::DatasetBuilder::tracing)
+//!   knob, with the hard invariant that **tracing never perturbs the
+//!   timeline**: a traced run is bit-identical to an untraced one
+//!   (the traced and untraced scheduler paths share one arithmetic —
+//!   see [`sage_io::VirtualScheduler::dispatch_traced`] — and the
+//!   property test `tracing_is_zero_perturbation` holds it).
+//! - **Unified metrics** — [`MetricsSnapshot`] gathers the serving
+//!   counters, cache outcomes, lock accounting, and device busy
+//!   seconds behind one
+//!   [`Dataset::metrics()`](crate::client::Dataset::metrics) call,
+//!   each exposed as a typed [`MetricValue`] (counter or gauge);
+//!   [`LogHistogram`] is the shared log-bucketed latency
+//!   distribution every drive report aggregates through.
+//! - **Windowed sampling** — [`MetricsRecorder::sample_every`] slices
+//!   a span stream into fixed virtual-time windows and produces the
+//!   queue-depth / utilization / hit-rate curves ([`WindowSeries`])
+//!   the paper's figure-level evidence is built from. Window busy
+//!   seconds integrate back to the scheduler's per-device busy
+//!   totals by construction.
+//! - **Export** — [`TraceBuffer::to_chrome_trace`] renders any run's
+//!   span buffer as Chrome trace-event JSON loadable in Perfetto
+//!   (<https://ui.perfetto.dev>), and [`replay`] re-dispatches a span
+//!   stream through a fresh [`VirtualScheduler`] to prove the trace
+//!   reconstructs every operation's instants exactly.
+
+use sage_io::{ChargeInterval, DeviceCharge, VirtualScheduler};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------
+// Log-bucketed histogram
+// ---------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per octave,
+/// bounding the relative quantization error of any representative
+/// value to `1/(2·64)` ≈ 0.78%.
+const SUB_BITS: u32 = 6;
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest tracked octave: `2^-40` s ≈ 0.9 ps — far below any
+/// virtual latency the device models produce.
+const MIN_EXP: i32 = -40;
+/// Largest tracked octave: values up to `2^21` s ≈ 24 virtual days.
+const MAX_EXP: i32 = 20;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+
+/// A log-bucketed histogram of non-negative samples (seconds).
+///
+/// Buckets are base-2 octaves split into 64 linear
+/// sub-buckets, so any quantile is answered within ≈0.78% relative
+/// error at O(1) memory regardless of sample count. `count`, `sum`,
+/// `min`, and `max` are tracked **exactly** (the mean never
+/// quantizes, and quantiles clamp into `[min, max]`). Quantization is
+/// monotone: if `a ≤ b` then every quantile of a stream recording `a`
+/// sorts no higher than one recording `b`.
+///
+/// This is the one latency distribution behind
+/// [`LatencyStats`](crate::client::LatencyStats) — both drive
+/// reports aggregate through it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Box<[u64]>,
+    /// Samples in `[0, 2^MIN_EXP)` — effectively the zero bucket.
+    underflow: u64,
+    /// Samples at or above `2^(MAX_EXP+1)`.
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0u64; OCTAVES * SUBS].into_boxed_slice(),
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+
+    /// Bucket index of a positive finite sample, or `None` when it
+    /// falls outside the tracked octave range.
+    fn bucket_of(v: f64) -> Option<usize> {
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if !(MIN_EXP..=MAX_EXP).contains(&exp) {
+            return None;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        Some((exp - MIN_EXP) as usize * SUBS + sub)
+    }
+
+    /// The midpoint value bucket `i` stands for.
+    fn representative(i: usize) -> f64 {
+        let exp = MIN_EXP + (i / SUBS) as i32;
+        let sub = (i % SUBS) as f64;
+        2f64.powi(exp) * (1.0 + (sub + 0.5) / SUBS as f64)
+    }
+
+    /// Records one sample. Non-finite samples are dropped; negative
+    /// ones land in the underflow (zero) bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        match Self::bucket_of(v) {
+            Some(i) if v > 0.0 => self.counts[i] += 1,
+            _ if v > 0.0 && v >= 2f64.powi(MAX_EXP + 1) => self.overflow += 1,
+            _ => self.underflow += 1,
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (recording order).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile `p ∈ [0, 1]`, answered from the bucket
+    /// representatives (≈0.78% relative error), clamped into the
+    /// exact `[min, max]` envelope. 0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let mut cum = self.underflow;
+        if rank < cum {
+            return self.min();
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if rank < cum {
+                return Self::representative(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(representative_value, count)` pairs
+    /// in ascending value order (underflow and overflow excluded).
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::representative(i), c))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// One engine-side event serving an operation — the child events of
+/// an [`OpSpan`]. Emitted by the engine only when tracing is on
+/// ([`EngineConfig::with_tracing`](crate::engine::EngineConfig::with_tracing)),
+/// in deterministic chunk order, so the tracing-off path allocates
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// The decoded-chunk cache was probed for `chunk`.
+    CacheProbe {
+        /// Chunk id probed.
+        chunk: u32,
+        /// Whether the probe hit.
+        hit: bool,
+    },
+    /// `chunk` missed and was fetched + decoded.
+    Decode {
+        /// Chunk id decoded.
+        chunk: u32,
+    },
+    /// One device command was issued (with extent coalescing, a
+    /// single command may cover a whole run of adjacent chunks —
+    /// compare the span's `cache_misses` to its `device_ops`).
+    DeviceCommand {
+        /// Device the command went to.
+        device: usize,
+        /// Service seconds charged.
+        seconds: f64,
+    },
+}
+
+impl EngineEvent {
+    /// Display label (the Chrome-trace event name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineEvent::CacheProbe { hit: true, .. } => "cache_hit",
+            EngineEvent::CacheProbe { hit: false, .. } => "cache_miss",
+            EngineEvent::Decode { .. } => "decode",
+            EngineEvent::DeviceCommand { .. } => "device_command",
+        }
+    }
+}
+
+/// One served operation on the virtual timeline: the structured span
+/// the tracing tentpole records per completed op.
+///
+/// The span carries everything needed to reconstruct the operation's
+/// [`OpReport`](crate::client::OpReport) exactly — the three
+/// instants, the per-charge service windows as the scheduler booked
+/// them, and the engine's cache outcome — which is what [`replay`]
+/// and the `trace_explorer` bench assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpan {
+    /// Submission token (drive sequence number or session token).
+    pub token: u64,
+    /// Operation kind label (`"get"`, `"scan"`, `"append"`).
+    pub kind: &'static str,
+    /// Virtual instant the operation was submitted.
+    pub submitted_vt: f64,
+    /// Virtual instant device service began.
+    pub started_vt: f64,
+    /// Virtual instant the operation completed.
+    pub completed_vt: f64,
+    /// Completion queue (device) the operation finished on.
+    pub device: usize,
+    /// Total device seconds charged.
+    pub device_seconds: f64,
+    /// Per-charge service windows in charge order — the per-device
+    /// decomposition of the op's place on the timeline.
+    pub intervals: Vec<ChargeInterval>,
+    /// Chunks the operation touched.
+    pub chunks_touched: u64,
+    /// Touched chunks served from the cache.
+    pub cache_hits: u64,
+    /// Touched chunks fetched and decoded.
+    pub cache_misses: u64,
+    /// Device commands issued.
+    pub device_ops: u64,
+    /// Engine-side child events (empty unless engine tracing is on).
+    pub events: Vec<EngineEvent>,
+}
+
+impl OpSpan {
+    /// Submit-to-completion virtual latency.
+    pub fn latency(&self) -> f64 {
+        self.completed_vt - self.submitted_vt
+    }
+
+    /// Virtual seconds spent queued before service began.
+    pub fn queue_wait(&self) -> f64 {
+        self.started_vt - self.submitted_vt
+    }
+
+    /// The operation's device charges, recovered from its service
+    /// intervals — feed these back through a fresh scheduler (see
+    /// [`replay`]) to reproduce the span's instants bit-for-bit.
+    pub fn charges(&self) -> Vec<DeviceCharge> {
+        self.intervals
+            .iter()
+            .map(|iv| DeviceCharge {
+                device: iv.device,
+                seconds: iv.seconds,
+            })
+            .collect()
+    }
+}
+
+/// The per-dataset span sink: a mutex over an append-only vector.
+///
+/// Recording is one short lock hold per completed op — observation
+/// only, never on the virtual timeline (the scheduler's clocks are
+/// advanced before anything is recorded, through arithmetic shared
+/// with the untraced path).
+///
+/// ```
+/// use sage_store::obs::{OpSpan, TraceBuffer};
+///
+/// let buf = TraceBuffer::new();
+/// buf.record(OpSpan {
+///     token: 0,
+///     kind: "get",
+///     submitted_vt: 0.0,
+///     started_vt: 0.001,
+///     completed_vt: 0.003,
+///     device: 0,
+///     device_seconds: 0.002,
+///     intervals: Vec::new(),
+///     chunks_touched: 1,
+///     cache_hits: 0,
+///     cache_misses: 1,
+///     device_ops: 1,
+///     events: Vec::new(),
+/// });
+/// let json = buf.to_chrome_trace();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ph\":\"X\"") && json.contains("\"dur\":"));
+/// // Load the written file in https://ui.perfetto.dev ("Open trace").
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    spans: Mutex<Vec<OpSpan>>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// Appends one span.
+    pub fn record(&self, span: OpSpan) {
+        self.spans.lock().expect("trace buffer poisoned").push(span);
+    }
+
+    /// Spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every recorded span.
+    pub fn clear(&self) {
+        self.spans.lock().expect("trace buffer poisoned").clear();
+    }
+
+    /// A copy of the recorded spans, in recording order. For drives
+    /// that serialize execution (the open-loop driver, and the
+    /// closed-loop driver at `workers == 1`) recording order equals
+    /// dispatch order, which is what [`replay`] requires.
+    pub fn spans(&self) -> Vec<OpSpan> {
+        self.spans.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Renders the buffer as Chrome trace-event JSON — load the
+    /// string (written to a `.json` file) in Perfetto
+    /// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    ///
+    /// See [`chrome_trace`] for the track layout.
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace(&self.spans())
+    }
+}
+
+/// Renders a span slice as Chrome trace-event JSON.
+///
+/// Track layout: pid 1 ("ops") holds one `"X"` complete event per
+/// operation, packed onto overlap-free lanes (tids) greedily by
+/// submit instant, with the engine's child events as `"i"` instants
+/// on the op's lane; pid 2 ("devices") holds one `"X"` event per
+/// [`ChargeInterval`] on the owning device's tid — per-device service
+/// is non-overlapping by scheduler construction, so every track is
+/// well-nested. Timestamps are virtual microseconds.
+pub fn chrome_trace(spans: &[OpSpan]) -> String {
+    let us = |vt: f64| vt * 1e6;
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .submitted_vt
+            .partial_cmp(&spans[b].submitted_vt)
+            .expect("finite instants")
+            .then(spans[a].token.cmp(&spans[b].token))
+    });
+    // Greedy lane packing: an op takes the first lane free at its
+    // submit instant, so events on one lane never overlap.
+    let mut lane_free: Vec<f64> = Vec::new();
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() * 2 + 2);
+    events.push(
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"ops\"}}".into(),
+    );
+    events.push(
+        "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"devices\"}}".into(),
+    );
+    for &ix in &order {
+        let s = &spans[ix];
+        let lane = match lane_free.iter().position(|&f| f <= s.submitted_vt) {
+            Some(l) => l,
+            None => {
+                lane_free.push(0.0);
+                lane_free.len() - 1
+            }
+        };
+        lane_free[lane] = s.completed_vt;
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"args\":{{\"token\":{},\"device\":{},\"device_seconds\":{:.9},\"queue_wait_us\":{:.3},\
+             \"chunks\":{},\"cache_hits\":{},\"cache_misses\":{},\"device_ops\":{}}}}}",
+            s.kind,
+            us(s.submitted_vt),
+            us(s.latency()).max(0.0),
+            s.token,
+            s.device,
+            s.device_seconds,
+            us(s.queue_wait()).max(0.0),
+            s.chunks_touched,
+            s.cache_hits,
+            s.cache_misses,
+            s.device_ops,
+        ));
+        for ev in &s.events {
+            events.push(format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"s\":\"t\"}}",
+                ev.label(),
+                us(s.started_vt),
+            ));
+        }
+        for iv in &s.intervals {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":2,\"tid\":{},\"name\":\"service\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"args\":{{\"token\":{},\"seconds\":{:.9}}}}}",
+                iv.device,
+                us(iv.start_vt),
+                us(iv.seconds),
+                s.token,
+                iv.seconds,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// Outcome of [`replay`]: how a span stream re-dispatched through a
+/// fresh scheduler compares to what the trace recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Spans replayed.
+    pub ops: usize,
+    /// Spans whose replayed instants differed (0 for a faithful
+    /// dispatch-order trace).
+    pub mismatches: usize,
+    /// Busy seconds per device accumulated by the replay scheduler.
+    pub device_busy: Vec<f64>,
+    /// The replay scheduler's final horizon.
+    pub horizon: f64,
+}
+
+impl Replay {
+    /// Whether every span's instants were reproduced bit-for-bit.
+    pub fn exact(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+/// Re-dispatches `spans` (in slice order, which must be dispatch
+/// order) through a fresh [`VirtualScheduler`] over `devices`
+/// devices, comparing every operation's replayed submit → start →
+/// complete instants, total device seconds, and finishing device to
+/// what the trace recorded — **bitwise**. A faithful trace replays
+/// exactly because the replay runs the very arithmetic the original
+/// dispatch ran.
+pub fn replay(spans: &[OpSpan], devices: usize) -> Replay {
+    let mut sched = VirtualScheduler::new(devices.max(1));
+    let mut mismatches = 0usize;
+    for s in spans {
+        let charges = s.charges();
+        let d = sched.dispatch(s.submitted_vt, &charges);
+        let exact = d.started_vt == s.started_vt
+            && d.completed_vt == s.completed_vt
+            && d.device_seconds == s.device_seconds
+            && d.device == s.device;
+        if !exact {
+            mismatches += 1;
+        }
+    }
+    Replay {
+        ops: spans.len(),
+        mismatches,
+        device_busy: sched.busy_seconds().to_vec(),
+        horizon: sched.horizon(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unified metrics
+// ---------------------------------------------------------------------
+
+/// A typed metric value in the unified registry view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+}
+
+/// One unified snapshot of everything the serving stack counts —
+/// the registry subsuming the scattered per-layer stats structs.
+/// Produced by [`Dataset::metrics()`](crate::client::Dataset::metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Operations accepted into the submission ring.
+    pub submitted: u64,
+    /// Operations completed (answered or failed).
+    pub completed: u64,
+    /// Fail-mode submissions shed because the ring was full.
+    pub rejected: u64,
+    /// Operations cancelled by a shutdown while still queued.
+    pub cancelled: u64,
+    /// Operations queued in the ring right now.
+    pub queued: usize,
+    /// Requests the engine served (gets + scans + appends), all
+    /// entry points included.
+    pub requests_served: u64,
+    /// Payload bytes memcpy'd on the serving read path.
+    pub bytes_copied: u64,
+    /// Decoded-chunk cache hits (across shards).
+    pub cache_hits: u64,
+    /// Decoded-chunk cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Decoded chunks currently pinned.
+    pub cache_len: usize,
+    /// Cache capacity in chunks.
+    pub cache_capacity: usize,
+    /// Cache shard-lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Seconds spent holding cache shard locks (summed over shards).
+    pub lock_busy_seconds: f64,
+    /// Virtual busy (service) seconds per reactor device.
+    pub device_busy: Vec<f64>,
+    /// Per-device utilization over the reactor horizon.
+    pub utilization: Vec<f64>,
+    /// The reactor's virtual horizon (latest booked instant).
+    pub horizon: f64,
+    /// Device-model read commands issued.
+    pub device_reads: u64,
+    /// Device-model write commands issued.
+    pub device_writes: u64,
+    /// Device-model read service seconds.
+    pub device_read_seconds: f64,
+    /// Device-model write service seconds.
+    pub device_write_seconds: f64,
+    /// Spans recorded in the dataset's trace buffer (0 when tracing
+    /// is off).
+    pub trace_spans: usize,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit fraction in `[0, 1]` (0 when untouched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// The registry view: every metric as a `(name, typed value)`
+    /// pair, per-device entries included.
+    pub fn metrics(&self) -> Vec<(String, MetricValue)> {
+        let mut out: Vec<(String, MetricValue)> = vec![
+            (
+                "server.submitted".into(),
+                MetricValue::Counter(self.submitted),
+            ),
+            (
+                "server.completed".into(),
+                MetricValue::Counter(self.completed),
+            ),
+            (
+                "server.rejected".into(),
+                MetricValue::Counter(self.rejected),
+            ),
+            (
+                "server.cancelled".into(),
+                MetricValue::Counter(self.cancelled),
+            ),
+            (
+                "server.queued".into(),
+                MetricValue::Gauge(self.queued as f64),
+            ),
+            (
+                "engine.requests_served".into(),
+                MetricValue::Counter(self.requests_served),
+            ),
+            (
+                "engine.bytes_copied".into(),
+                MetricValue::Counter(self.bytes_copied),
+            ),
+            ("cache.hits".into(), MetricValue::Counter(self.cache_hits)),
+            (
+                "cache.misses".into(),
+                MetricValue::Counter(self.cache_misses),
+            ),
+            (
+                "cache.evictions".into(),
+                MetricValue::Counter(self.cache_evictions),
+            ),
+            (
+                "cache.hit_rate".into(),
+                MetricValue::Gauge(self.cache_hit_rate()),
+            ),
+            (
+                "cache.len".into(),
+                MetricValue::Gauge(self.cache_len as f64),
+            ),
+            (
+                "cache.lock_acquisitions".into(),
+                MetricValue::Counter(self.lock_acquisitions),
+            ),
+            (
+                "cache.lock_busy_seconds".into(),
+                MetricValue::Gauge(self.lock_busy_seconds),
+            ),
+            ("reactor.horizon".into(), MetricValue::Gauge(self.horizon)),
+            (
+                "device.reads".into(),
+                MetricValue::Counter(self.device_reads),
+            ),
+            (
+                "device.writes".into(),
+                MetricValue::Counter(self.device_writes),
+            ),
+            (
+                "device.read_seconds".into(),
+                MetricValue::Gauge(self.device_read_seconds),
+            ),
+            (
+                "device.write_seconds".into(),
+                MetricValue::Gauge(self.device_write_seconds),
+            ),
+            (
+                "trace.spans".into(),
+                MetricValue::Counter(self.trace_spans as u64),
+            ),
+        ];
+        for (d, (busy, util)) in self
+            .device_busy
+            .iter()
+            .zip(self.utilization.iter().chain(std::iter::repeat(&0.0)))
+            .enumerate()
+        {
+            out.push((
+                format!("device.{d}.busy_seconds"),
+                MetricValue::Gauge(*busy),
+            ));
+            out.push((format!("device.{d}.utilization"), MetricValue::Gauge(*util)));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (the metrics dump the
+    /// bench bins write next to their trace exports).
+    pub fn to_json(&self) -> String {
+        let vec_json = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| format!("{x:.9}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"server\":{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"cancelled\":{},\
+             \"queued\":{}}},\"engine\":{{\"requests_served\":{},\"bytes_copied\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.6},\
+             \"shards\":{},\"len\":{},\"capacity\":{},\"lock_acquisitions\":{},\
+             \"lock_busy_seconds\":{:.9}}},\"reactor\":{{\"horizon\":{:.9},\
+             \"device_busy\":[{}],\"utilization\":[{}]}},\"device\":{{\"reads\":{},\
+             \"writes\":{},\"read_seconds\":{:.9},\"write_seconds\":{:.9}}},\
+             \"trace\":{{\"spans\":{}}}}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.cancelled,
+            self.queued,
+            self.requests_served,
+            self.bytes_copied,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_rate(),
+            self.cache_shards,
+            self.cache_len,
+            self.cache_capacity,
+            self.lock_acquisitions,
+            self.lock_busy_seconds,
+            self.horizon,
+            vec_json(&self.device_busy),
+            vec_json(&self.utilization),
+            self.device_reads,
+            self.device_writes,
+            self.device_read_seconds,
+            self.device_write_seconds,
+            self.trace_spans,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed time-series sampling
+// ---------------------------------------------------------------------
+
+/// Samples a span stream into fixed virtual-time windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsRecorder {
+    dt: f64,
+}
+
+impl MetricsRecorder {
+    /// A recorder slicing the timeline into `virtual_dt`-second
+    /// windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `virtual_dt` is not a positive finite number.
+    pub fn sample_every(virtual_dt: f64) -> MetricsRecorder {
+        assert!(
+            virtual_dt.is_finite() && virtual_dt > 0.0,
+            "window width must be positive and finite"
+        );
+        MetricsRecorder { dt: virtual_dt }
+    }
+
+    /// The configured window width (virtual seconds).
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Slices `spans` into windows, producing queue-depth,
+    /// utilization, and hit-rate curves over `devices` devices.
+    ///
+    /// Every [`ChargeInterval`] is split **exactly** across the
+    /// windows it overlaps — the final piece is the charge's demand
+    /// minus the earlier pieces — so summing a device's windowed busy
+    /// seconds recovers the scheduler's busy total up to f64
+    /// addition reordering (the `trace_explorer` bench asserts the
+    /// integration).
+    pub fn sample(&self, spans: &[OpSpan], devices: usize) -> WindowSeries {
+        let devices = devices.max(1);
+        let horizon = spans.iter().map(|s| s.completed_vt).fold(0.0f64, f64::max);
+        let windows = ((horizon / self.dt).ceil() as usize).max(1);
+        let mut busy = vec![vec![0.0f64; devices]; windows];
+        let mut queue_depth = vec![0u32; windows];
+        let mut completions = vec![0u32; windows];
+        let mut hits = vec![0u64; windows];
+        let mut misses = vec![0u64; windows];
+        let w_of = |vt: f64| ((vt / self.dt) as usize).min(windows - 1);
+        for s in spans {
+            // Queue depth sampled at window starts: the op occupies
+            // every window whose start instant falls inside
+            // [submitted, completed).
+            let first = if s.submitted_vt <= 0.0 {
+                0
+            } else {
+                (s.submitted_vt / self.dt).ceil() as usize
+            };
+            let mut w = first;
+            while w < windows && (w as f64) * self.dt < s.completed_vt {
+                queue_depth[w] += 1;
+                w += 1;
+            }
+            let done = w_of(s.completed_vt);
+            completions[done] += 1;
+            hits[done] += s.cache_hits;
+            misses[done] += s.cache_misses;
+            for iv in &s.intervals {
+                let dev = iv.device.min(devices - 1);
+                if iv.end_vt <= iv.start_vt {
+                    busy[w_of(iv.start_vt)][dev] += iv.seconds;
+                    continue;
+                }
+                // Walk window indices directly (a boundary-landing
+                // cursor can round `cursor/dt` down and stall a
+                // cursor-driven walk); the index strictly increases,
+                // so the walk is bounded by the window count.
+                let mut w = w_of(iv.start_vt);
+                let mut cursor = iv.start_vt;
+                let mut remaining = iv.seconds;
+                loop {
+                    let w_end = (w as f64 + 1.0) * self.dt;
+                    if w_end >= iv.end_vt || w == windows - 1 {
+                        // Last piece takes the exact remainder so the
+                        // pieces sum to the charge's demand.
+                        busy[w][dev] += remaining;
+                        break;
+                    }
+                    let piece = (w_end - cursor).max(0.0);
+                    busy[w][dev] += piece;
+                    remaining -= piece;
+                    cursor = w_end;
+                    w += 1;
+                }
+            }
+        }
+        let hit_rate = hits
+            .iter()
+            .zip(&misses)
+            .map(|(&h, &m)| {
+                if h + m == 0 {
+                    0.0
+                } else {
+                    h as f64 / (h + m) as f64
+                }
+            })
+            .collect();
+        WindowSeries {
+            dt: self.dt,
+            devices,
+            busy,
+            queue_depth,
+            completions,
+            hit_rate,
+        }
+    }
+}
+
+/// Windowed time-series curves over the virtual timeline — what
+/// [`MetricsRecorder::sample`] produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSeries {
+    /// Window width, virtual seconds.
+    pub dt: f64,
+    /// Devices covered.
+    pub devices: usize,
+    /// Busy seconds per `[window][device]`.
+    pub busy: Vec<Vec<f64>>,
+    /// Admitted-incomplete operations at each window's start instant.
+    pub queue_depth: Vec<u32>,
+    /// Operations completing within each window.
+    pub completions: Vec<u32>,
+    /// Chunk-touch cache hit rate of the ops completing in each
+    /// window (0 where none completed).
+    pub hit_rate: Vec<f64>,
+}
+
+impl WindowSeries {
+    /// Window count.
+    pub fn windows(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Per-`[window][device]` utilization: busy seconds over the
+    /// window width.
+    pub fn utilization(&self) -> Vec<Vec<f64>> {
+        self.busy
+            .iter()
+            .map(|w| w.iter().map(|b| b / self.dt).collect())
+            .collect()
+    }
+
+    /// Total busy seconds per device, integrated across windows —
+    /// matches the scheduler's per-device busy totals.
+    pub fn total_busy(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.devices];
+        for w in &self.busy {
+            for (d, b) in w.iter().enumerate() {
+                out[d] += b;
+            }
+        }
+        out
+    }
+
+    /// Renders the series as one JSON object.
+    pub fn to_json(&self) -> String {
+        let util = self
+            .utilization()
+            .iter()
+            .map(|w| {
+                format!(
+                    "[{}]",
+                    w.iter()
+                        .map(|u| format!("{u:.6}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let ints = |xs: &[u32]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"dt\":{:.9},\"windows\":{},\"devices\":{},\"queue_depth\":[{}],\
+             \"completions\":[{}],\"hit_rate\":[{}],\"utilization\":[{}]}}",
+            self.dt,
+            self.windows(),
+            self.devices,
+            ints(&self.queue_depth),
+            ints(&self.completions),
+            self.hit_rate
+                .iter()
+                .map(|h| format!("{h:.6}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            util,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_percentile(sorted: &[f64], p: f64) -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments_and_tight_quantiles() {
+        let mut h = LogHistogram::new();
+        let vals: Vec<f64> = (1..=5000).map(|i| i as f64 * 1e-4).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5000);
+        let exact_sum: f64 = vals.iter().sum();
+        assert_eq!(h.sum(), exact_sum); // same addition order: bitwise
+        assert_eq!(h.max(), 0.5);
+        assert_eq!(h.min(), 1e-4);
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let q = h.quantile(p);
+            let e = exact_percentile(&vals, p);
+            assert!(
+                (q - e).abs() <= e * 0.01 + 1e-12,
+                "p{p}: histogram {q} vs exact {e}"
+            );
+        }
+        // Quantiles are monotone in p.
+        let qs: Vec<f64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn histogram_handles_edges() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0.0);
+        h.record(f64::NAN); // dropped
+        h.record(1e-300); // underflow octave
+        h.record(1e12); // overflow octave
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1e12);
+        assert_eq!(h.quantile(1.0), 1e12);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_monotone_across_histograms() {
+        // a ≤ b pointwise ⇒ every quantile of a ≤ same quantile of b.
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 1..=500 {
+            a.record(i as f64 * 1e-3);
+            b.record(i as f64 * 1.37e-3);
+        }
+        for p in [0.5, 0.9, 0.99, 1.0] {
+            assert!(a.quantile(p) <= b.quantile(p));
+        }
+    }
+
+    fn span(token: u64, submit: f64, intervals: Vec<ChargeInterval>) -> OpSpan {
+        let started = intervals
+            .iter()
+            .map(|i| i.start_vt)
+            .fold(f64::INFINITY, f64::min);
+        let completed = intervals.iter().map(|i| i.end_vt).fold(submit, f64::max);
+        let seconds: f64 = intervals.iter().map(|i| i.seconds).sum();
+        let device = intervals
+            .iter()
+            .max_by(|a, b| a.end_vt.partial_cmp(&b.end_vt).unwrap())
+            .map(|i| i.device)
+            .unwrap_or(0);
+        OpSpan {
+            token,
+            kind: "get",
+            submitted_vt: submit,
+            started_vt: if started.is_finite() { started } else { submit },
+            completed_vt: completed,
+            device,
+            device_seconds: seconds,
+            intervals,
+            chunks_touched: 1,
+            cache_hits: 0,
+            cache_misses: 1,
+            device_ops: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// Spans dispatched through a real scheduler so instants are
+    /// exactly what a drive would record.
+    fn scheduled_spans(n: u64, devices: usize) -> Vec<OpSpan> {
+        let mut sched = VirtualScheduler::new(devices);
+        (0..n)
+            .map(|i| {
+                let submit = i as f64 * 0.01;
+                let charges = [
+                    DeviceCharge {
+                        device: i as usize % devices,
+                        seconds: 0.004 + i as f64 * 1e-4,
+                    },
+                    DeviceCharge {
+                        device: (i as usize + 1) % devices,
+                        seconds: 0.002,
+                    },
+                ];
+                let (d, intervals) = sched.dispatch_traced(submit, &charges);
+                let mut s = span(i, submit, intervals);
+                s.started_vt = d.started_vt;
+                s.completed_vt = d.completed_vt;
+                s.device_seconds = d.device_seconds;
+                s.device = d.device;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_reproduces_scheduled_instants_bitwise() {
+        let spans = scheduled_spans(32, 3);
+        let r = replay(&spans, 3);
+        assert!(r.exact(), "{} of {} spans mismatched", r.mismatches, r.ops);
+        assert_eq!(r.ops, 32);
+        assert!(r.device_busy.iter().all(|b| *b > 0.0));
+        // Perturbing one instant is detected.
+        let mut bad = spans;
+        bad[7].completed_vt += 1e-9;
+        assert!(!replay(&bad, 3).exact());
+    }
+
+    #[test]
+    fn windowed_busy_integrates_to_scheduler_busy() {
+        let spans = scheduled_spans(48, 2);
+        let mut sched = VirtualScheduler::new(2);
+        for s in &spans {
+            sched.dispatch(s.submitted_vt, &s.charges());
+        }
+        let series = MetricsRecorder::sample_every(0.0137).sample(&spans, 2);
+        let total = series.total_busy();
+        for (d, b) in sched.busy_seconds().iter().enumerate() {
+            assert!(
+                (total[d] - b).abs() <= b.abs() * 1e-12 + 1e-15,
+                "device {d}: windowed {} vs scheduler {b}",
+                total[d]
+            );
+        }
+        assert!(series.windows() >= 2);
+        assert!(series.queue_depth.iter().any(|&q| q > 0));
+        assert_eq!(
+            series
+                .completions
+                .iter()
+                .map(|&c| c as usize)
+                .sum::<usize>(),
+            spans.len()
+        );
+        let json = series.to_json();
+        assert!(json.contains("\"queue_depth\"") && json.contains("\"utilization\""));
+    }
+
+    #[test]
+    fn chrome_trace_packs_ops_onto_nonoverlapping_lanes() {
+        let spans = scheduled_spans(24, 2);
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // One X event per op plus one per charge interval.
+        let n_intervals: usize = spans.iter().map(|s| s.intervals.len()).sum();
+        let xs = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(xs, spans.len() + n_intervals);
+        assert!(json.contains("\"name\":\"service\""));
+        assert!(json.contains("\"name\":\"get\""));
+        // Required trace-event fields are present on complete events.
+        assert!(json.contains("\"ts\":") && json.contains("\"dur\":"));
+    }
+
+    #[test]
+    fn metric_registry_lists_typed_values() {
+        let snap = MetricsSnapshot {
+            submitted: 10,
+            completed: 9,
+            rejected: 1,
+            cancelled: 0,
+            queued: 0,
+            requests_served: 9,
+            bytes_copied: 4096,
+            cache_hits: 6,
+            cache_misses: 3,
+            cache_evictions: 1,
+            cache_shards: 2,
+            cache_len: 2,
+            cache_capacity: 4,
+            lock_acquisitions: 9,
+            lock_busy_seconds: 1e-6,
+            device_busy: vec![0.5, 0.25],
+            utilization: vec![0.5, 0.25],
+            horizon: 1.0,
+            device_reads: 3,
+            device_writes: 0,
+            device_read_seconds: 0.75,
+            device_write_seconds: 0.0,
+            trace_spans: 9,
+        };
+        assert!((snap.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let metrics = snap.metrics();
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| n == "cache.hits" && *v == MetricValue::Counter(6)));
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| n == "device.1.utilization" && *v == MetricValue::Gauge(0.25)));
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in ["\"server\"", "\"cache\"", "\"reactor\"", "\"device_busy\""] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+    }
+}

@@ -39,6 +39,11 @@
 //!   (uniform/Zipf/sequential/hotspot) feeding
 //!   `Dataset::drive_open_loop`, whose `QosReport` measures
 //!   latency–throughput curves to saturation.
+//! - [`obs`] — observability over the virtual timeline (re-export of
+//!   [`store::obs`]): per-op span tracing with zero timeline
+//!   perturbation, a unified metrics snapshot (`Dataset::metrics`),
+//!   windowed utilization/hit-rate sampling, and Chrome trace-event
+//!   (Perfetto-loadable) export.
 //! - [`pipeline`] — the end-to-end pipelined simulator that reproduces the
 //!   paper's evaluation figures (GEM and GenStore integration, energy),
 //!   including the store-served preparation scenario routed through a
@@ -76,3 +81,7 @@ pub use sage_store::client;
 
 // The open-loop workload/QoS subsystem: `sage::workload`.
 pub use sage_store::client::workload;
+
+// The observability layer (span tracing, unified metrics, Perfetto
+// export): `sage::obs`.
+pub use sage_store::obs;
