@@ -1,0 +1,136 @@
+//! bench_diff: the CI perf-regression gate's CLI. Diffs a current
+//! bench JSON artifact against a committed baseline under per-metric
+//! tolerances and exits non-zero when any metric regressed or
+//! vanished — see [`sage_bench::regression`] for the comparator.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json>
+//!     [--default-rel R]           # relative tolerance when no rule matches (default 0.25)
+//!     [--default-abs A]           # absolute floor when no rule matches (default 0)
+//!     [--rule PATTERN=REL[:abs=A][:dir=higher|lower|both]]
+//!     [--rule PATTERN=skip]       # exclude matched metrics entirely
+//! ```
+//!
+//! Rules match by substring against the flattened metric path
+//! (e.g. `cells[1].latency.p99_ms`); the longest matching pattern
+//! wins. Direction defaults to `higher` (growth is bad).
+
+use sage_bench::regression::{compare, parse_json, Direction, GateSpec, Rule};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <current.json> \
+         [--default-rel R] [--default-abs A] \
+         [--rule PATTERN=REL[:abs=A][:dir=higher|lower|both]] [--rule PATTERN=skip]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_rule(arg: &str) -> Result<Rule, String> {
+    let (pattern, rest) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("rule '{arg}' needs PATTERN=REL"))?;
+    if rest == "skip" {
+        return Ok(Rule::skip(pattern));
+    }
+    let mut parts = rest.split(':');
+    let rel: f64 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| format!("rule '{arg}': REL must be a number"))?;
+    let mut rule = Rule::new(pattern, rel, 0.0);
+    for part in parts {
+        if let Some(abs) = part.strip_prefix("abs=") {
+            rule.abs = abs
+                .parse()
+                .map_err(|_| format!("rule '{arg}': abs must be a number"))?;
+        } else if let Some(dir) = part.strip_prefix("dir=") {
+            rule.direction = match dir {
+                "higher" => Direction::HigherIsWorse,
+                "lower" => Direction::LowerIsWorse,
+                "both" => Direction::Both,
+                other => return Err(format!("rule '{arg}': unknown direction '{other}'")),
+            };
+        } else {
+            return Err(format!("rule '{arg}': unknown clause '{part}'"));
+        }
+    }
+    Ok(rule)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut spec = GateSpec::new(0.25, 0.0);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--default-rel" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => spec.default_rel = v,
+                None => usage(),
+            },
+            "--default-abs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => spec.default_abs = v,
+                None => usage(),
+            },
+            "--rule" => match it.next().map(|v| parse_rule(v)) {
+                Some(Ok(rule)) => spec.rules.push(rule),
+                Some(Err(e)) => {
+                    eprintln!("bench_diff: {e}");
+                    return ExitCode::from(2);
+                }
+                None => usage(),
+            },
+            flag if flag.starts_with("--") => usage(),
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        usage();
+    };
+
+    let read_doc = |path: &str| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (read_doc(baseline_path), read_doc(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_diff: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&baseline, &current, &spec);
+    println!(
+        "bench_diff: {} checked, {} skipped, {} added, {} missing, {} regressed \
+         ({} vs {})",
+        report.checked,
+        report.skipped,
+        report.added.len(),
+        report.missing.len(),
+        report.regressions.len(),
+        current_path,
+        baseline_path,
+    );
+    for path in &report.added {
+        println!("  added (no baseline): {path}");
+    }
+    for path in &report.missing {
+        println!("  MISSING from current: {path}");
+    }
+    for r in &report.regressions {
+        println!("  REGRESSION {}", r.describe());
+    }
+    if report.pass() {
+        println!("bench_diff: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_diff: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -7,12 +7,14 @@
 //! [`sage_store::client::Dataset::drive_open_loop`]: Poisson arrivals
 //! injected on the virtual timeline *regardless of completions*, with
 //! arrivals that find the bounded virtual queue full counted as shed.
-//! Per device count the sweep first calibrates the service capacity
-//! (a trickle-rate run measuring mean device seconds per operation),
-//! then offers fractions 0.25×…3× of it and records achieved vs
-//! offered throughput, the shared latency percentile block, shed
-//! fractions, and per-device utilization — all on the deterministic
-//! virtual timeline, so the asserted shape cannot flake on CI load.
+//! The serving stack (dataset, encoding, fleet, calibration) is the
+//! shared [`QosScenario`] fixture; per device count the sweep first
+//! calibrates the service capacity (a trickle-rate run measuring mean
+//! device seconds per operation), then offers fractions 0.25×…3× of
+//! it and records achieved vs offered throughput, the shared latency
+//! percentile block, shed fractions, and per-device utilization — all
+//! on the deterministic virtual timeline, so the asserted shape
+//! cannot flake on CI load.
 //!
 //! Expected shape, asserted:
 //!
@@ -28,22 +30,15 @@
 //! Run with: `cargo run --release --bin qos_sweep`
 //! (`SAGE_SCALE` scales the dataset like every other harness).
 
-use sage_bench::{banner, dataset, row};
-use sage_genomics::sim::DatasetProfile;
-use sage_pipeline::SystemConfig;
-use sage_store::client::workload::{Arrivals, OpenLoopSpec, Pattern, QosReport};
-use sage_store::client::DatasetBuilder;
-use sage_store::{encode_sharded, ShardedStore, StoreOptions};
+use sage_bench::scenario::QosScenario;
+use sage_bench::{banner, row};
+use sage_store::client::workload::QosReport;
+use sage_store::ShardedStore;
 
-/// Arrivals generated per sweep cell (sheds included).
-const REQUESTS_PER_CELL: u64 = 600;
-
-/// Reads per chunk (and per request range: span-aligned slots).
-const READS_PER_CHUNK: usize = 48;
-
-/// Virtual queue bound: arrivals finding this many operations
-/// incomplete are shed.
-const QUEUE_DEPTH: usize = 64;
+/// The sweep's load shape: arrivals per cell and virtual queue bound.
+fn scenario() -> QosScenario {
+    QosScenario::new(600, 64)
+}
 
 /// Offered-load fractions of the calibrated capacity.
 const LOAD_FRACTIONS: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.25, 3.0];
@@ -76,41 +71,12 @@ impl Cell {
     }
 }
 
-/// Opens the store over an `n`-device PCIe fleet with caching off, so
-/// every operation pays its device.
-fn open_fleet(sharded: &ShardedStore, devices: usize) -> sage_store::client::Dataset {
-    let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
-    DatasetBuilder::new()
-        .cache_chunks(0)
-        .ssd_fleet(fleet)
-        .open(sharded.clone())
-        .expect("valid sweep configuration")
-}
-
-/// Measures mean device-seconds per operation at a trickle rate (no
-/// queueing), from which the fleet's service capacity follows.
-fn calibrate_capacity(sharded: &ShardedStore, devices: usize) -> f64 {
-    let dataset = open_fleet(sharded, devices);
-    let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate: 1.0 });
-    spec.pattern = Pattern::Uniform {
-        span: READS_PER_CHUNK as u64,
-    };
-    spec.requests = 64;
-    dataset
-        .drive_open_loop(&spec)
-        .expect("calibration drive")
-        .capacity_estimate(devices)
-}
-
 fn run_cell(sharded: &ShardedStore, devices: usize, rate: f64) -> Cell {
-    let dataset = open_fleet(sharded, devices);
-    let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate });
-    spec.pattern = Pattern::Uniform {
-        span: READS_PER_CHUNK as u64,
-    };
-    spec.requests = REQUESTS_PER_CELL;
-    spec.queue_depth = QUEUE_DEPTH;
-    let report = dataset.drive_open_loop(&spec).expect("open loop");
+    let sc = scenario();
+    let dataset = sc.open_fleet(sharded, devices, false);
+    let report = dataset
+        .drive_open_loop(&sc.spec_at(rate))
+        .expect("open loop");
     Cell {
         offered_rate: rate,
         report,
@@ -150,7 +116,7 @@ impl Sweep {
 }
 
 fn run_sweep(sharded: &ShardedStore, devices: usize, widths: &[usize]) -> Sweep {
-    let capacity_est = calibrate_capacity(sharded, devices);
+    let capacity_est = scenario().calibrate_capacity(sharded, devices);
     banner(&format!(
         "{devices}-SSD sweep (calibrated capacity ≈ {capacity_est:.0} req/s)"
     ));
@@ -201,17 +167,16 @@ fn run_sweep(sharded: &ShardedStore, devices: usize, widths: &[usize]) -> Sweep 
 
 fn main() {
     banner("qos_sweep: open-loop arrival-rate sweep to saturation");
-    let ds = dataset(&DatasetProfile::rs1().scaled(0.04));
-    let sharded =
-        encode_sharded(&ds.reads, &StoreOptions::new(READS_PER_CHUNK)).expect("encode store");
+    let sc = scenario();
+    let sharded = sc.encode_store();
     println!(
         "dataset: {} reads in {} chunks of ≤{} reads; {} Poisson arrivals per cell, \
          virtual queue depth {}",
         sharded.total_reads(),
         sharded.n_chunks(),
-        READS_PER_CHUNK,
-        REQUESTS_PER_CELL,
-        QUEUE_DEPTH,
+        sc.reads_per_chunk,
+        sc.requests,
+        sc.queue_depth,
     );
 
     let widths = [10, 11, 6, 9, 9, 9, 6];
@@ -240,9 +205,9 @@ fn main() {
         "{{\n  \"bench\": \"qos_sweep\",\n  \"reads\": {},\n  \"chunks\": {},\n  \"reads_per_chunk\": {},\n  \"requests_per_cell\": {},\n  \"queue_depth\": {},\n  \"load_fractions\": [{}],\n  \"sweeps\": [{}],\n  \"knee_scaling_1_to_4\": {:.3},\n  \"p99_growth_1ssd\": {:.3}\n}}\n",
         sharded.total_reads(),
         sharded.n_chunks(),
-        READS_PER_CHUNK,
-        REQUESTS_PER_CELL,
-        QUEUE_DEPTH,
+        sc.reads_per_chunk,
+        sc.requests,
+        sc.queue_depth,
         LOAD_FRACTIONS
             .iter()
             .map(|f| format!("{f}"))

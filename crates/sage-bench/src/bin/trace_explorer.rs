@@ -5,7 +5,8 @@
 //! Two open-loop cells per fleet shape — one below the calibrated
 //! capacity, one at 2× (overloaded, shedding) — each driven **twice**
 //! on identically-prepared datasets: once untraced, once with
-//! [`DatasetBuilder::tracing`] on. Asserted, per cell:
+//! [`sage_store::client::DatasetBuilder::tracing`] on. Asserted, per
+//! cell:
 //!
 //! - **zero perturbation**: the traced drive's `QosReport` equals the
 //!   untraced one bit-for-bit (tracing observes the timeline, never
@@ -23,6 +24,10 @@
 //!   kind and arrival instant (`shed_events`), and the per-kind
 //!   counts sum back to the shed total.
 //!
+//! The serving stack (dataset, encoding, fleet, calibration) is the
+//! shared [`QosScenario`] fixture, so the cells here replay exactly
+//! the sweep's scenario.
+//!
 //! Artifacts: `BENCH_trace.json` (cells, replay verdicts, windowed
 //! curves, shed attribution) and `BENCH_trace_perfetto.json` — the
 //! overloaded 2-SSD cell's Chrome trace-event stream, loadable
@@ -31,23 +36,17 @@
 //! Run with: `cargo run --release --bin trace_explorer`
 //! (`SAGE_SCALE` scales the dataset like every other harness).
 
-use sage_bench::{banner, dataset, row};
-use sage_genomics::sim::DatasetProfile;
-use sage_pipeline::SystemConfig;
-use sage_store::client::workload::{Arrivals, OpenLoopSpec, Pattern, QosReport};
-use sage_store::client::{Dataset, DatasetBuilder};
+use sage_bench::scenario::QosScenario;
+use sage_bench::{banner, row};
+use sage_store::client::workload::QosReport;
 use sage_store::obs::{self, MetricsRecorder};
-use sage_store::{encode_sharded, ShardedStore, StoreOptions};
+use sage_store::ShardedStore;
 
-/// Arrivals generated per cell (sheds included).
-const REQUESTS_PER_CELL: u64 = 400;
-
-/// Reads per chunk (and per request range: span-aligned slots).
-const READS_PER_CHUNK: usize = 48;
-
-/// Virtual queue bound: arrivals finding this many operations
-/// incomplete are shed.
-const QUEUE_DEPTH: usize = 32;
+/// The explorer's load shape: arrivals per cell and virtual queue
+/// bound.
+fn scenario() -> QosScenario {
+    QosScenario::new(400, 32)
+}
 
 /// Offered-load fractions of the calibrated capacity: one
 /// under-loaded cell, one overloaded (shedding) cell.
@@ -55,42 +54,6 @@ const LOAD_FRACTIONS: [f64; 2] = [0.5, 2.0];
 
 /// Windows per makespan for the sampled curves.
 const WINDOWS: f64 = 24.0;
-
-/// Opens the store over an `n`-device PCIe fleet with caching off and
-/// the span tracer on or off.
-fn open_fleet(sharded: &ShardedStore, devices: usize, tracing: bool) -> Dataset {
-    let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
-    DatasetBuilder::new()
-        .cache_chunks(0)
-        .ssd_fleet(fleet)
-        .tracing(tracing)
-        .open(sharded.clone())
-        .expect("valid explorer configuration")
-}
-
-fn spec_at(rate: f64) -> OpenLoopSpec {
-    let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate });
-    spec.pattern = Pattern::Uniform {
-        span: READS_PER_CHUNK as u64,
-    };
-    spec.requests = REQUESTS_PER_CELL;
-    spec.queue_depth = QUEUE_DEPTH;
-    spec
-}
-
-/// Measures the fleet's service capacity at a trickle rate.
-fn calibrate_capacity(sharded: &ShardedStore, devices: usize) -> f64 {
-    let dataset = open_fleet(sharded, devices, false);
-    let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate: 1.0 });
-    spec.pattern = Pattern::Uniform {
-        span: READS_PER_CHUNK as u64,
-    };
-    spec.requests = 64;
-    dataset
-        .drive_open_loop(&spec)
-        .expect("calibration drive")
-        .capacity_estimate(devices)
-}
 
 /// One verified cell: the traced report plus everything the span
 /// stream proved about it.
@@ -107,13 +70,15 @@ struct Cell {
 }
 
 fn run_cell(sharded: &ShardedStore, devices: usize, rate: f64) -> Cell {
+    let sc = scenario();
     // Identically-prepared datasets, the only difference the tracer.
-    let plain = open_fleet(sharded, devices, false)
-        .drive_open_loop(&spec_at(rate))
+    let plain = sc
+        .open_fleet(sharded, devices, false)
+        .drive_open_loop(&sc.spec_at(rate))
         .expect("untraced drive");
-    let traced_ds = open_fleet(sharded, devices, true);
+    let traced_ds = sc.open_fleet(sharded, devices, true);
     let report = traced_ds
-        .drive_open_loop(&spec_at(rate))
+        .drive_open_loop(&sc.spec_at(rate))
         .expect("traced drive");
 
     // Zero perturbation: the whole report, bit for bit.
@@ -205,17 +170,16 @@ impl Cell {
 
 fn main() {
     banner("trace_explorer: span tracing replay of the qos-sweep scenario");
-    let ds = dataset(&DatasetProfile::rs1().scaled(0.04));
-    let sharded =
-        encode_sharded(&ds.reads, &StoreOptions::new(READS_PER_CHUNK)).expect("encode store");
+    let sc = scenario();
+    let sharded = sc.encode_store();
     println!(
         "dataset: {} reads in {} chunks of ≤{} reads; {} Poisson arrivals per cell, \
          virtual queue depth {}",
         sharded.total_reads(),
         sharded.n_chunks(),
-        READS_PER_CHUNK,
-        REQUESTS_PER_CELL,
-        QUEUE_DEPTH,
+        sc.reads_per_chunk,
+        sc.requests,
+        sc.queue_depth,
     );
 
     let widths = [5, 10, 11, 6, 6, 7, 9, 11];
@@ -237,7 +201,7 @@ fn main() {
     );
     let mut cells: Vec<Cell> = Vec::new();
     for devices in [1usize, 2] {
-        let capacity = calibrate_capacity(&sharded, devices);
+        let capacity = sc.calibrate_capacity(&sharded, devices);
         for f in LOAD_FRACTIONS {
             let cell = run_cell(&sharded, devices, f * capacity);
             println!(
@@ -284,8 +248,8 @@ fn main() {
          \n  \"cells\": [{}]\n}}\n",
         sharded.total_reads(),
         sharded.n_chunks(),
-        REQUESTS_PER_CELL,
-        QUEUE_DEPTH,
+        sc.requests,
+        sc.queue_depth,
         LOAD_FRACTIONS
             .iter()
             .map(|f| format!("{f}"))

@@ -3,7 +3,12 @@
 //! One binary per table/figure of the paper's evaluation (see
 //! `DESIGN.md` §5 for the index) plus criterion micro-benchmarks. This
 //! library holds the shared utilities: dataset synthesis with a global
-//! scale knob, and fixed-width table printing.
+//! scale knob, fixed-width table printing, the shared qos-scenario
+//! fixture ([`scenario`]), and the CI perf-regression comparator
+//! ([`regression`]).
+
+pub mod regression;
+pub mod scenario;
 
 use sage_baselines::{GzipLike, SpringLike, SpringStats};
 use sage_core::{CompressionStats, SageCompressor};

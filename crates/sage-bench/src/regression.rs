@@ -1,0 +1,548 @@
+//! The CI perf-regression gate: parse two bench JSON artifacts,
+//! flatten every numeric leaf to a dotted path, and diff current
+//! against baseline under per-metric tolerances. The comparator is a
+//! pure function of the two artifacts and the [`GateSpec`], so the
+//! gate's verdict is as deterministic as the benches that produced
+//! the artifacts; tolerances exist to absorb the one legitimate
+//! source of drift — libm differences across platforms feeding the
+//! arrival generators.
+//!
+//! The parser is a minimal recursive-descent JSON reader (the
+//! workspace deliberately carries no serde); it accepts exactly the
+//! JSON the benches emit — objects, arrays, numbers, strings, bools,
+//! null — and rejects anything malformed with a position.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion order not preserved (sorted by key).
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Parses one JSON document, requiring it to consume the whole input.
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the first
+/// malformed construct.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "malformed \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            _ => {
+                // Copy the full UTF-8 sequence starting here.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// Flattens a document to its numeric leaves: every number (and bool,
+/// as 0/1) becomes one `(dotted.path[ix].leaf, value)` pair. Strings
+/// and nulls carry no comparable magnitude and are skipped.
+pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Num(x) => out.push((path, *x)),
+        Json::Bool(x) => out.push((path, f64::from(*x))),
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, format!("{path}[{i}]"), out);
+            }
+        }
+        Json::Obj(map) => {
+            for (k, item) in map {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(item, child, out);
+            }
+        }
+        Json::Null | Json::Str(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gate
+// ---------------------------------------------------------------------
+
+/// Which direction of movement counts as a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Growth is bad (latencies, shed counts, error fractions).
+    #[default]
+    HigherIsWorse,
+    /// Shrinkage is bad (throughput, compliance, hit rates).
+    LowerIsWorse,
+    /// Any movement past tolerance is bad (structural counts).
+    Both,
+}
+
+/// One tolerance rule, matched by substring against the flattened
+/// metric path; when several rules match, the longest pattern wins.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Substring of the dotted path this rule governs. An empty
+    /// pattern matches everything (a default-override).
+    pub pattern: String,
+    /// Relative tolerance: |delta| ≤ rel × |baseline| passes.
+    pub rel: f64,
+    /// Absolute floor: |delta| ≤ abs always passes.
+    pub abs: f64,
+    /// Which movement direction regresses.
+    pub direction: Direction,
+    /// A matched metric is excluded from the gate entirely.
+    pub skip: bool,
+}
+
+impl Rule {
+    /// A higher-is-worse rule with the given tolerances.
+    pub fn new(pattern: &str, rel: f64, abs: f64) -> Rule {
+        Rule {
+            pattern: pattern.into(),
+            rel,
+            abs,
+            direction: Direction::HigherIsWorse,
+            skip: false,
+        }
+    }
+
+    /// The same rule with a different direction.
+    pub fn direction(mut self, direction: Direction) -> Rule {
+        self.direction = direction;
+        self
+    }
+
+    /// A rule excluding matched metrics from the gate.
+    pub fn skip(pattern: &str) -> Rule {
+        Rule {
+            pattern: pattern.into(),
+            rel: 0.0,
+            abs: 0.0,
+            direction: Direction::Both,
+            skip: true,
+        }
+    }
+}
+
+/// The gate's configuration: default tolerances plus per-metric
+/// rules.
+#[derive(Debug, Clone)]
+pub struct GateSpec {
+    /// Relative tolerance for metrics no rule matches.
+    pub default_rel: f64,
+    /// Absolute floor for metrics no rule matches.
+    pub default_abs: f64,
+    /// Per-metric overrides (longest matching pattern wins).
+    pub rules: Vec<Rule>,
+}
+
+impl GateSpec {
+    /// A gate with the given defaults and no per-metric rules.
+    pub fn new(default_rel: f64, default_abs: f64) -> GateSpec {
+        GateSpec {
+            default_rel,
+            default_abs,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule, returning the spec for chaining.
+    pub fn rule(mut self, rule: Rule) -> GateSpec {
+        self.rules.push(rule);
+        self
+    }
+
+    fn rule_for(&self, path: &str) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| path.contains(r.pattern.as_str()))
+            .max_by_key(|r| r.pattern.len())
+    }
+}
+
+/// One metric that moved past its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Flattened metric path.
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The tolerance it had to stay within.
+    pub allowed: f64,
+}
+
+impl Regression {
+    /// Human-readable one-liner for the gate's failure output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {} -> {} (allowed ±{:.6})",
+            self.path, self.baseline, self.current, self.allowed
+        )
+    }
+}
+
+/// The comparator's verdict over two artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Metrics compared.
+    pub checked: usize,
+    /// Metrics a skip-rule excluded.
+    pub skipped: usize,
+    /// Baseline metrics absent from the current artifact — always a
+    /// failure (a silently vanished metric is how gates rot).
+    pub missing: Vec<String>,
+    /// Current metrics absent from the baseline — reported, not
+    /// failed (new benches land before their baselines).
+    pub added: Vec<String>,
+    /// Metrics that moved past tolerance.
+    pub regressions: Vec<Regression>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` under the spec's tolerances.
+pub fn compare(baseline: &Json, current: &Json, spec: &GateSpec) -> GateReport {
+    let base: BTreeMap<String, f64> = flatten(baseline).into_iter().collect();
+    let cur: BTreeMap<String, f64> = flatten(current).into_iter().collect();
+    let mut report = GateReport::default();
+    for (path, b) in &base {
+        let rule = spec.rule_for(path);
+        if rule.is_some_and(|r| r.skip) {
+            report.skipped += 1;
+            continue;
+        }
+        let Some(c) = cur.get(path) else {
+            report.missing.push(path.clone());
+            continue;
+        };
+        report.checked += 1;
+        let (rel, abs, direction) = rule.map(|r| (r.rel, r.abs, r.direction)).unwrap_or((
+            spec.default_rel,
+            spec.default_abs,
+            Direction::default(),
+        ));
+        let allowed = (rel * b.abs()).max(abs);
+        let delta = c - b;
+        let worse = match direction {
+            Direction::HigherIsWorse => delta,
+            Direction::LowerIsWorse => -delta,
+            Direction::Both => delta.abs(),
+        };
+        if worse > allowed {
+            report.regressions.push(Regression {
+                path: path.clone(),
+                baseline: *b,
+                current: *c,
+                allowed,
+            });
+        }
+    }
+    for path in cur.keys() {
+        if !base.contains_key(path) && !spec.rule_for(path).is_some_and(|r| r.skip) {
+            report.added.push(path.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT: &str = r#"{
+      "bench": "blame_explorer",
+      "cells": [
+        {"devices": 1, "latency": {"p50_ms": 1.5, "p99_ms": 4.0}, "queue_share": 0.2},
+        {"devices": 2, "latency": {"p50_ms": 0.9, "p99_ms": 2.5}, "queue_share": 0.7}
+      ],
+      "slo": {"met": true, "alerts": 3}
+    }"#;
+
+    #[test]
+    fn parser_reads_the_bench_shape() {
+        let doc = parse_json(ARTIFACT).expect("parse");
+        let flat = flatten(&doc);
+        let get = |p: &str| flat.iter().find(|(k, _)| k == p).map(|(_, v)| *v);
+        assert_eq!(get("cells[0].latency.p99_ms"), Some(4.0));
+        assert_eq!(get("cells[1].devices"), Some(2.0));
+        assert_eq!(get("slo.met"), Some(1.0)); // bool as 0/1
+        assert_eq!(get("slo.alerts"), Some(3.0));
+        // Strings are not metrics.
+        assert!(get("bench").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("{\"a\": nul}").is_err());
+    }
+
+    #[test]
+    fn parser_decodes_string_escapes() {
+        let doc = parse_json(r#"{"s": "a\nbA\"", "n": -1.5e2}"#).expect("parse");
+        let Json::Obj(map) = &doc else { panic!() };
+        assert_eq!(map["s"], Json::Str("a\nbA\"".into()));
+        assert_eq!(map["n"], Json::Num(-150.0));
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let doc = parse_json(ARTIFACT).unwrap();
+        let report = compare(&doc, &doc, &GateSpec::new(0.0, 0.0));
+        assert!(report.pass());
+        assert_eq!(report.checked, 10);
+        assert!(report.regressions.is_empty());
+    }
+
+    /// The acceptance criterion: an injected synthetic regression must
+    /// fail the gate.
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = parse_json(ARTIFACT).unwrap();
+        // p99 on the second cell degrades 2.5 -> 4.0 ms (+60%).
+        let cur = parse_json(&ARTIFACT.replace("\"p99_ms\": 2.5", "\"p99_ms\": 4.0")).unwrap();
+        let spec = GateSpec::new(0.25, 0.0);
+        let report = compare(&base, &cur, &spec);
+        assert!(!report.pass(), "a 60% p99 regression must fail a 25% gate");
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.path, "cells[1].latency.p99_ms");
+        assert_eq!(r.baseline, 2.5);
+        assert_eq!(r.current, 4.0);
+        assert!(r.describe().contains("cells[1].latency.p99_ms"));
+    }
+
+    #[test]
+    fn tolerances_absorb_platform_drift() {
+        let base = parse_json(ARTIFACT).unwrap();
+        // 10% drift on the same metric passes a 25% gate...
+        let cur = parse_json(&ARTIFACT.replace("\"p99_ms\": 2.5", "\"p99_ms\": 2.75")).unwrap();
+        assert!(compare(&base, &cur, &GateSpec::new(0.25, 0.0)).pass());
+        // ...and an absolute floor forgives small moves on tiny bases.
+        let cur = parse_json(&ARTIFACT.replace("\"alerts\": 3", "\"alerts\": 5")).unwrap();
+        assert!(!compare(&base, &cur, &GateSpec::new(0.1, 0.0)).pass());
+        assert!(compare(&base, &cur, &GateSpec::new(0.1, 2.0)).pass());
+    }
+
+    #[test]
+    fn direction_governs_which_movement_regresses() {
+        let base = parse_json(ARTIFACT).unwrap();
+        // Compliance-like metric drops: only LowerIsWorse flags it.
+        let cur =
+            parse_json(&ARTIFACT.replace("\"queue_share\": 0.7", "\"queue_share\": 0.1")).unwrap();
+        let higher = GateSpec::new(0.2, 0.0);
+        assert!(compare(&base, &cur, &higher).pass());
+        let lower = GateSpec::new(0.2, 0.0)
+            .rule(Rule::new("queue_share", 0.2, 0.0).direction(Direction::LowerIsWorse));
+        let report = compare(&base, &cur, &lower);
+        assert!(!report.pass());
+        assert_eq!(report.regressions[0].path, "cells[1].queue_share");
+    }
+
+    #[test]
+    fn missing_metrics_fail_and_added_ones_do_not() {
+        let base = parse_json(r#"{"a": 1, "b": 2}"#).unwrap();
+        let cur = parse_json(r#"{"a": 1, "c": 3}"#).unwrap();
+        let report = compare(&base, &cur, &GateSpec::new(0.5, 0.0));
+        assert!(!report.pass(), "a vanished baseline metric must fail");
+        assert_eq!(report.missing, vec!["b".to_string()]);
+        assert_eq!(report.added, vec!["c".to_string()]);
+        // Unless a rule explicitly skips it.
+        let spec = GateSpec::new(0.5, 0.0).rule(Rule::skip("b"));
+        assert!(compare(&base, &cur, &spec).pass());
+    }
+
+    #[test]
+    fn longest_matching_rule_wins() {
+        let base = parse_json(r#"{"lat": {"p50": 1.0, "p99": 1.0}}"#).unwrap();
+        let cur = parse_json(r#"{"lat": {"p50": 1.4, "p99": 1.4}}"#).unwrap();
+        let spec = GateSpec::new(0.0, 0.0)
+            .rule(Rule::new("lat", 0.1, 0.0))
+            .rule(Rule::new("lat.p99", 0.5, 0.0));
+        let report = compare(&base, &cur, &spec);
+        // p50 is governed by the 10% rule (fails), p99 by the 50%
+        // rule (passes).
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].path, "lat.p50");
+    }
+}

@@ -1,0 +1,116 @@
+//! The shared qos-scenario fixture: one definition of the open-loop
+//! serving setup that `qos_sweep`, `trace_explorer`, and
+//! `blame_explorer` all run on — same dataset profile, same store
+//! encoding, same fleet shape, same arrival spec, same trickle-rate
+//! capacity calibration — so the harnesses differ only in what they
+//! *measure*, never in what they *drive*. The knobs that legitimately
+//! differ per harness (arrivals per cell, virtual queue bound) are the
+//! scenario's fields; everything else is fixed here.
+
+use sage_genomics::sim::DatasetProfile;
+use sage_pipeline::SystemConfig;
+use sage_store::client::workload::{Arrivals, OpenLoopSpec, Pattern};
+use sage_store::client::{Dataset, DatasetBuilder};
+use sage_store::{encode_sharded, ShardedStore, StoreOptions};
+
+/// One open-loop QoS scenario: the serving stack every qos-family
+/// harness drives, parameterized only by its load shape.
+#[derive(Debug, Clone, Copy)]
+pub struct QosScenario {
+    /// Reads per chunk (and per request range: span-aligned slots).
+    pub reads_per_chunk: usize,
+    /// Arrivals generated per sweep cell (sheds included).
+    pub requests: u64,
+    /// Virtual queue bound: arrivals finding this many operations
+    /// incomplete are shed.
+    pub queue_depth: usize,
+}
+
+impl QosScenario {
+    /// The scenario with the family's fixed chunking and the given
+    /// load shape.
+    pub fn new(requests: u64, queue_depth: usize) -> QosScenario {
+        QosScenario {
+            reads_per_chunk: 48,
+            requests,
+            queue_depth,
+        }
+    }
+
+    /// Synthesizes the family's dataset (RS1 at 4% of paper scale,
+    /// times `SAGE_SCALE`) and encodes it into the sharded store.
+    pub fn encode_store(&self) -> ShardedStore {
+        let ds = crate::dataset(&DatasetProfile::rs1().scaled(0.04));
+        encode_sharded(&ds.reads, &StoreOptions::new(self.reads_per_chunk)).expect("encode store")
+    }
+
+    /// Opens the store over an `n`-device PCIe fleet with caching off
+    /// (every operation pays its device) and the span tracer on or
+    /// off.
+    pub fn open_fleet(&self, sharded: &ShardedStore, devices: usize, tracing: bool) -> Dataset {
+        let fleet = SystemConfig::pcie().with_ssds(devices).device_configs();
+        DatasetBuilder::new()
+            .cache_chunks(0)
+            .ssd_fleet(fleet)
+            .tracing(tracing)
+            .open(sharded.clone())
+            .expect("valid scenario configuration")
+    }
+
+    /// The scenario's open-loop spec at one offered Poisson rate.
+    pub fn spec_at(&self, rate: f64) -> OpenLoopSpec {
+        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate });
+        spec.pattern = Pattern::Uniform {
+            span: self.reads_per_chunk as u64,
+        };
+        spec.requests = self.requests;
+        spec.queue_depth = self.queue_depth;
+        spec
+    }
+
+    /// Measures the fleet's service capacity at a trickle rate (no
+    /// queueing): mean device seconds per operation, inverted and
+    /// multiplied out to the fleet.
+    pub fn calibrate_capacity(&self, sharded: &ShardedStore, devices: usize) -> f64 {
+        let dataset = self.open_fleet(sharded, devices, false);
+        let mut spec = OpenLoopSpec::new(Arrivals::Fixed { rate: 1.0 });
+        spec.pattern = Pattern::Uniform {
+            span: self.reads_per_chunk as u64,
+        };
+        spec.requests = 64;
+        dataset
+            .drive_open_loop(&spec)
+            .expect("calibration drive")
+            .capacity_estimate(devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_calibrates_and_drives() {
+        let sc = QosScenario::new(32, 8);
+        assert_eq!(sc.reads_per_chunk, 48);
+        let sharded = sc.encode_store();
+        assert!(sharded.total_reads() > 0);
+        let capacity = sc.calibrate_capacity(&sharded, 1);
+        assert!(capacity > 0.0, "calibration must find positive capacity");
+        let report = sc
+            .open_fleet(&sharded, 1, false)
+            .drive_open_loop(&sc.spec_at(capacity * 0.5))
+            .expect("drive");
+        assert_eq!(report.completed + report.shed, 32);
+    }
+
+    #[test]
+    fn spec_carries_the_scenario_load_shape() {
+        let sc = QosScenario::new(600, 64);
+        let spec = sc.spec_at(123.0);
+        assert_eq!(spec.requests, 600);
+        assert_eq!(spec.queue_depth, 64);
+        assert!(matches!(spec.arrivals, Arrivals::Poisson { rate } if rate == 123.0));
+        assert!(matches!(spec.pattern, Pattern::Uniform { span: 48 }));
+    }
+}

@@ -109,6 +109,13 @@ impl ReactorSnapshot {
         }
         self.device_busy.iter().map(|b| b / window).collect()
     }
+
+    /// Busy seconds summed across every device — the run's total
+    /// service demand. The observability layer's windowed busy
+    /// integrals and blame timelines are checked against this total.
+    pub fn total_busy_seconds(&self) -> f64 {
+        self.device_busy.iter().sum()
+    }
 }
 
 /// A running reactor over backend `B`.
@@ -365,6 +372,12 @@ mod tests {
         // 3 ops per device × 1 ms.
         assert!((snap.device_busy[0] - 3e-3).abs() < 1e-12);
         assert!((snap.device_busy[1] - 3e-3).abs() < 1e-12);
+        // Total service demand across the fleet: 6 ops × 1 ms.
+        assert!((snap.total_busy_seconds() - 6e-3).abs() < 1e-12);
+        assert_eq!(
+            snap.total_busy_seconds(),
+            snap.device_busy.iter().sum::<f64>()
+        );
         r.shutdown();
     }
 

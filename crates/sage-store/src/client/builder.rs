@@ -77,6 +77,7 @@ pub struct DatasetBuilder {
     server_workers: usize,
     queue_depth: usize,
     tracing: bool,
+    tracing_capacity: Option<usize>,
 }
 
 impl Default for DatasetBuilder {
@@ -96,6 +97,7 @@ impl Default for DatasetBuilder {
             server_workers: 4,
             queue_depth: 32,
             tracing: false,
+            tracing_capacity: None,
         }
     }
 }
@@ -215,6 +217,21 @@ impl DatasetBuilder {
         self
     }
 
+    /// Enables span tracing bounded to the most recent `n` spans: the
+    /// trace buffer becomes a ring that evicts its oldest span on
+    /// overflow (each eviction counted —
+    /// [`MetricsSnapshot::trace_dropped`](crate::obs::MetricsSnapshot::trace_dropped)),
+    /// so long open-loop runs can trace steady state without
+    /// unbounded memory growth. Implies
+    /// [`tracing(true)`](DatasetBuilder::tracing); `0` is a typed
+    /// [`ConfigError::ZeroTraceCapacity`]. The bound is
+    /// observation-side only — it never perturbs the timeline.
+    pub fn tracing_capacity(mut self, n: usize) -> DatasetBuilder {
+        self.tracing = true;
+        self.tracing_capacity = Some(n);
+        self
+    }
+
     /// Validates the folded configuration and splits it back into the
     /// layer configs.
     fn validate(&self) -> std::result::Result<(StoreOptions, EngineConfig), ConfigError> {
@@ -240,6 +257,9 @@ impl DatasetBuilder {
         }
         if self.cache_shards == 0 {
             return Err(ConfigError::ZeroCacheShards);
+        }
+        if self.tracing_capacity == Some(0) {
+            return Err(ConfigError::ZeroTraceCapacity);
         }
         let store_opts = StoreOptions {
             reads_per_chunk: self.reads_per_chunk,
@@ -293,7 +313,13 @@ impl DatasetBuilder {
 
     fn serve_engine(&self, sharded: ShardedStore, engine_cfg: EngineConfig) -> Result<Dataset> {
         let engine = Arc::new(StoreEngine::try_open(sharded, engine_cfg)?);
-        Dataset::serve_traced(engine, self.server_workers, self.queue_depth, self.tracing)
+        Dataset::serve_with(
+            engine,
+            self.server_workers,
+            self.queue_depth,
+            self.tracing,
+            self.tracing_capacity,
+        )
     }
 }
 
@@ -416,6 +442,37 @@ mod tests {
             "engine tracing must emit cache/device events"
         );
         assert_eq!(dataset.metrics().trace_spans, 1);
+    }
+
+    #[test]
+    fn tracing_capacity_bounds_the_buffer_and_counts_drops() {
+        let rs = reads();
+        let dataset = DatasetBuilder::new()
+            .chunk_reads(16)
+            .ssd(SsdConfig::pcie())
+            .tracing_capacity(3) // implies tracing(true)
+            .encode(&rs)
+            .expect("traced build");
+        let trace = dataset.trace().expect("tracing implied by capacity");
+        assert_eq!(trace.capacity(), Some(3));
+        for i in 0..8 {
+            dataset.session().get(i..i + 2).unwrap().join().unwrap();
+        }
+        // Ring holds the 3 newest spans; 5 were evicted and counted.
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped(), 5);
+        let m = dataset.metrics();
+        assert_eq!(m.trace_spans, 3);
+        assert_eq!(m.trace_dropped, 5);
+        // Zero capacity is a typed config error.
+        expect_config(
+            DatasetBuilder::new()
+                .chunk_reads(16)
+                .tracing_capacity(0)
+                .encode(&reads())
+                .unwrap_err(),
+            ConfigError::ZeroTraceCapacity,
+        );
     }
 
     #[test]

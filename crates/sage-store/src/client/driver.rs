@@ -14,11 +14,11 @@
 //! The `io_sweep` and `fig15_multissd` benches and the pipeline's
 //! store-served preparation scenario all drive this one loop.
 
-use super::stats::LatencyStats;
+use super::stats::{LatencyByKind, LatencyStats};
 use super::workload::{OpKind, OpKindStats};
 use super::Dataset;
 use crate::engine::{EngineBackend, OpValue, StoreOp};
-use crate::obs::OpSpan;
+use crate::obs::{LogHistogram, OpSpan};
 use crate::Result;
 use sage_io::{IoConfig, Reactor};
 use std::sync::Arc;
@@ -58,8 +58,13 @@ pub struct LoadReport {
     pub req_per_s: f64,
     /// Aggregated latency distribution — the same percentile
     /// machinery ([`LatencyStats`]) the open-loop
-    /// [`QosReport`](super::workload::QosReport) uses.
+    /// [`QosReport`](super::workload::QosReport) uses, produced by
+    /// folding the per-kind histograms with
+    /// [`LogHistogram::merge`](crate::obs::LogHistogram::merge).
     pub latency: LatencyStats,
+    /// Latency distribution per op kind, from the same recording
+    /// pass.
+    pub latency_by_kind: LatencyByKind,
     /// Every per-operation virtual latency, seconds, ascending.
     pub latencies: Vec<f64>,
     /// Busy (service) seconds accumulated per device.
@@ -172,6 +177,13 @@ impl Dataset {
         let mut gets = OpKindStats::default();
         let mut scans = OpKindStats::default();
         let mut appends = OpKindStats::default();
+        // One latency histogram per kind, recorded in completion
+        // order; the run total is their merge fold.
+        let mut hists = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
         let mut token = 0u64;
         while (latencies.len() as u64) < spec.requests {
             let Some(cqe) = cq.wait_any() else {
@@ -208,6 +220,7 @@ impl Dataset {
                 OpKind::Scan => scans.record(&trace),
                 OpKind::Append => appends.record(&trace),
             }
+            hists[kind as usize].record(latency);
             if let OpValue::Reads(rs) = &value {
                 reads_served += rs.len() as u64;
                 bases_served += rs.total_bases() as u64;
@@ -229,6 +242,16 @@ impl Dataset {
         reactor.shutdown();
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
         let completed = latencies.len() as u64;
+        let latency_by_kind = LatencyByKind {
+            gets: LatencyStats::from_histogram(&hists[0]),
+            scans: LatencyStats::from_histogram(&hists[1]),
+            appends: LatencyStats::from_histogram(&hists[2]),
+        };
+        // Run total = merge fold of the per-kind histograms: bucket
+        // counts and extrema equal one histogram fed every latency.
+        let mut total_hist = hists[0].clone();
+        total_hist.merge(&hists[1]);
+        total_hist.merge(&hists[2]);
         Ok(LoadReport {
             completed,
             makespan,
@@ -237,7 +260,8 @@ impl Dataset {
             } else {
                 0.0
             },
-            latency: LatencyStats::from_sorted_secs(&latencies),
+            latency: LatencyStats::from_histogram(&total_hist),
+            latency_by_kind,
             utilization: snap.utilization_over(makespan),
             device_busy: snap.device_busy,
             latencies,
@@ -296,6 +320,11 @@ mod tests {
         assert_eq!(report.gets.ops, 64);
         assert_eq!(report.scans.ops, 0);
         assert_eq!(report.appends.ops, 0);
+        // Per-kind latency view: all-gets drive means the gets
+        // histogram IS the run total.
+        assert_eq!(report.latency_by_kind.gets.count, 64);
+        assert_eq!(report.latency_by_kind.scans.count, 0);
+        assert_eq!(report.latency_by_kind.gets, report.latency);
         assert!(report.gets.chunk_hits + report.gets.chunk_misses > 0);
     }
 

@@ -65,7 +65,7 @@ pub mod workload;
 pub use builder::DatasetBuilder;
 pub use driver::{range_for, ClosedLoopSpec, LoadReport};
 pub use session::{Dataset, ServerStats, Session};
-pub use stats::{percentile, LatencyStats};
+pub use stats::{percentile, LatencyByKind, LatencyStats};
 
 use crate::engine::OpValue;
 use crate::view::ReadView;

@@ -4,6 +4,7 @@
 use super::{extract_appended, extract_reads, OpReport, Payload, SubmitMode, Ticket};
 use crate::engine::{EngineBackend, StoreEngine, StoreOp};
 use crate::lru::{CacheSnapshot, StripeSnapshot};
+use crate::obs::analysis::BlameReport;
 use crate::obs::{MetricsSnapshot, TraceBuffer};
 use crate::timing::TimingSnapshot;
 use crate::view::ReadView;
@@ -306,13 +307,42 @@ impl Dataset {
         queue_depth: usize,
         tracing: bool,
     ) -> Result<Dataset> {
+        Dataset::serve_with(engine, workers, queue_depth, tracing, None)
+    }
+
+    /// [`Dataset::serve_traced`] with an optional bound on the trace
+    /// buffer: `Some(n)` keeps only the most recent `n` spans (a
+    /// ring, evicting the oldest and counting each eviction — see
+    /// [`TraceBuffer::dropped`]), `None` keeps every span. The ring
+    /// bound is observation-side only and never perturbs the
+    /// timeline.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] when `workers` or `queue_depth` is 0,
+    /// or when `trace_capacity` is `Some(0)`.
+    pub fn serve_with(
+        engine: Arc<StoreEngine>,
+        workers: usize,
+        queue_depth: usize,
+        tracing: bool,
+        trace_capacity: Option<usize>,
+    ) -> Result<Dataset> {
         if workers == 0 {
             return Err(crate::ConfigError::ZeroServerWorkers.into());
         }
         if queue_depth == 0 {
             return Err(crate::ConfigError::ZeroQueueDepth.into());
         }
-        let trace = tracing.then(|| Arc::new(TraceBuffer::new()));
+        if trace_capacity == Some(0) {
+            return Err(crate::ConfigError::ZeroTraceCapacity.into());
+        }
+        let trace = tracing.then(|| {
+            Arc::new(match trace_capacity {
+                Some(cap) => TraceBuffer::with_capacity(cap),
+                None => TraceBuffer::new(),
+            })
+        });
         Ok(Dataset {
             core: Arc::new(ServeCore::start(engine, workers, queue_depth, trace)),
         })
@@ -404,6 +434,7 @@ impl Dataset {
         let reactor = self.reactor_snapshot();
         let timing = self.timing_snapshot();
         let engine = self.engine();
+        let (trace_spans, trace_dropped) = self.trace().map_or((0, 0), |t| (t.len(), t.dropped()));
         MetricsSnapshot {
             submitted: server.submitted,
             completed: server.completed,
@@ -427,8 +458,21 @@ impl Dataset {
             device_writes: timing.writes,
             device_read_seconds: timing.read_seconds,
             device_write_seconds: timing.write_seconds,
-            trace_spans: self.trace().map_or(0, |t| t.len()),
+            trace_spans,
+            trace_dropped,
         }
+    }
+
+    /// Runs the analysis tier over the dataset's recorded spans:
+    /// per-op latency blame, the windowed bottleneck timeline, and
+    /// run totals (see [`analysis::analyze`](crate::obs::analysis::analyze)).
+    /// Returns `None` when the dataset was served without tracing.
+    /// Read-only: consumes a copy of the recorded spans and never
+    /// touches the timeline.
+    pub fn analyze(&self, spec: &crate::obs::analysis::AnalysisSpec) -> Option<BlameReport> {
+        let trace = self.trace()?;
+        let devices = self.reactor_snapshot().device_busy.len();
+        Some(crate::obs::analysis::analyze(&trace.spans(), devices, spec))
     }
 
     /// Stops serving after the queue drains. Outstanding sessions

@@ -93,6 +93,34 @@ impl LatencyStats {
     }
 }
 
+/// Per-op-kind latency distributions of one drive.
+///
+/// Each kind aggregates through its own [`LogHistogram`] inside the
+/// driver; the run-level [`LatencyStats`] both reports carry is the
+/// [`LogHistogram::merge`] fold of these three, so per-kind and total
+/// views come from one recording pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyByKind {
+    /// Latency distribution of point gets.
+    pub gets: LatencyStats,
+    /// Latency distribution of range scans.
+    pub scans: LatencyStats,
+    /// Latency distribution of appends.
+    pub appends: LatencyStats,
+}
+
+impl LatencyByKind {
+    /// Renders the per-kind stats as a JSON object fragment.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"gets\":{},\"scans\":{},\"appends\":{}}}",
+            self.gets.json(),
+            self.scans.json(),
+            self.appends.json()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +165,42 @@ mod tests {
     #[test]
     fn empty_input_is_all_zero() {
         assert_eq!(LatencyStats::from_sorted_secs(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn per_kind_fold_matches_single_histogram() {
+        // Recording per kind then merging equals recording everything
+        // into one histogram: quantiles, count, min, max all agree.
+        let gets: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-3).collect();
+        let scans: Vec<f64> = (1..=50).map(|i| i as f64 * 5e-3).collect();
+        let mut h_get = LogHistogram::new();
+        let mut h_scan = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for &v in &gets {
+            h_get.record(v);
+            all.record(v);
+        }
+        for &v in &scans {
+            h_scan.record(v);
+            all.record(v);
+        }
+        let mut folded = h_get.clone();
+        folded.merge(&h_scan);
+        let a = LatencyStats::from_histogram(&folded);
+        let b = LatencyStats::from_histogram(&all);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.p50_ms, b.p50_ms);
+        assert_eq!(a.p99_ms, b.p99_ms);
+        assert_eq!(a.max_ms, b.max_ms);
+        let by_kind = LatencyByKind {
+            gets: LatencyStats::from_histogram(&h_get),
+            scans: LatencyStats::from_histogram(&h_scan),
+            appends: LatencyStats::default(),
+        };
+        let j = by_kind.json();
+        for key in ["\"gets\"", "\"scans\"", "\"appends\""] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
     }
 
     #[test]

@@ -40,10 +40,10 @@
 //! dataset (same encode, cold cache) the whole [`QosReport`] is
 //! reproduced exactly — the property the QoS benches assert on.
 
-use super::stats::LatencyStats;
+use super::stats::{LatencyByKind, LatencyStats};
 use super::Dataset;
 use crate::engine::{EngineBackend, OpTrace, OpValue, StoreOp};
-use crate::obs::OpSpan;
+use crate::obs::{LogHistogram, OpSpan};
 use crate::{ConfigError, Result};
 use sage_genomics::ReadSet;
 use sage_io::{IoConfig, Reactor};
@@ -802,8 +802,13 @@ pub struct QosReport {
     pub achieved_rate: f64,
     /// Virtual makespan: the latest completion instant.
     pub makespan: f64,
-    /// Aggregated latency distribution (shared percentile machinery).
+    /// Aggregated latency distribution (shared percentile machinery),
+    /// produced by folding the per-kind histograms with
+    /// [`LogHistogram::merge`](crate::obs::LogHistogram::merge).
     pub latency: LatencyStats,
+    /// Latency distribution per op kind, from the same recording
+    /// pass.
+    pub latency_by_kind: LatencyByKind,
     /// Every per-operation virtual latency, seconds, ascending.
     pub latencies: Vec<f64>,
     /// Busy (service) seconds accumulated per device.
@@ -974,6 +979,13 @@ impl Dataset {
         let mut gets = OpKindStats::default();
         let mut scans = OpKindStats::default();
         let mut appends = OpKindStats::default();
+        // One latency histogram per kind, recorded in completion
+        // order; the run total is their merge fold.
+        let mut hists = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
         let mut reads_served = 0u64;
         let mut bases_served = 0u64;
         for i in 0..spec.requests {
@@ -1021,6 +1033,7 @@ impl Dataset {
                 OpKind::Scan => scans.record(&trace),
                 OpKind::Append => appends.record(&trace),
             }
+            hists[kind as usize].record(latency);
             if let (OpKind::Get, OpValue::Reads(rs)) = (kind, &value) {
                 reads_served += rs.len() as u64;
                 bases_served += rs.total_bases() as u64;
@@ -1033,6 +1046,16 @@ impl Dataset {
         reactor.shutdown();
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
         let completed = latencies.len() as u64;
+        let latency_by_kind = LatencyByKind {
+            gets: LatencyStats::from_histogram(&hists[0]),
+            scans: LatencyStats::from_histogram(&hists[1]),
+            appends: LatencyStats::from_histogram(&hists[2]),
+        };
+        // Run total = merge fold of the per-kind histograms: bucket
+        // counts and extrema equal one histogram fed every latency.
+        let mut total_hist = hists[0].clone();
+        total_hist.merge(&hists[1]);
+        total_hist.merge(&hists[2]);
         Ok(QosReport {
             offered: spec.requests,
             completed,
@@ -1049,7 +1072,8 @@ impl Dataset {
                 0.0
             },
             makespan,
-            latency: LatencyStats::from_sorted_secs(&latencies),
+            latency: LatencyStats::from_histogram(&total_hist),
+            latency_by_kind,
             utilization: snap.utilization_over(makespan),
             device_busy: snap.device_busy,
             latencies,

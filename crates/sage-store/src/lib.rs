@@ -40,11 +40,17 @@
 //!   [`Dataset::drive_open_loop`], whose [`QosReport`] carries
 //!   latency–throughput curves to saturation;
 //! - [`obs`] — virtual-time observability: per-operation span tracing
-//!   into a [`TraceBuffer`] (Chrome/Perfetto-exportable, with the
+//!   into a [`TraceBuffer`] (Chrome/Perfetto-exportable, optionally a
+//!   bounded ring via [`DatasetBuilder::tracing_capacity`], with the
 //!   hard invariant that tracing never perturbs the timeline), the
 //!   unified [`MetricsSnapshot`] registry behind
-//!   [`Dataset::metrics`], and windowed [`MetricsRecorder`] sampling
-//!   for utilization / queue-depth / hit-rate curves;
+//!   [`Dataset::metrics`], windowed [`MetricsRecorder`] sampling for
+//!   utilization / queue-depth / hit-rate curves, and the
+//!   [`obs::analysis`] tier — bitwise-conserving per-op latency blame
+//!   ([`obs::analysis::LatencyBlame`]), windowed bottleneck timelines
+//!   ([`obs::analysis::BlameReport`]), tail forensics, and
+//!   deterministic SLO burn-rate monitors
+//!   ([`obs::analysis::SloSpec`]);
 //! - [`timing`] — SSD-backed timing: a single device maps the blob
 //!   onto [`sage_ssd::SageLayout`] pages and charges
 //!   [`sage_ssd::SsdModel`] latencies per chunk fetch, or a fleet
@@ -133,6 +139,8 @@ pub enum ConfigError {
     ZeroSpan,
     /// An op mix with negative, non-finite, or all-zero weights.
     DegenerateOpMix,
+    /// The trace ring was bounded to zero spans.
+    ZeroTraceCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -164,6 +172,9 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "op-mix weights must be non-negative, finite, and not all zero"
             ),
+            ConfigError::ZeroTraceCapacity => {
+                write!(f, "a bounded trace ring needs capacity ≥ 1")
+            }
         }
     }
 }
