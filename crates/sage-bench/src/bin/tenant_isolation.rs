@@ -1,0 +1,225 @@
+//! tenant_isolation: the multi-tenant QoS picture — what each
+//! scheduling policy does to a latency-sensitive foreground tenant
+//! when bursty background tenants share the fleet.
+//!
+//! The cast is the shared [`QosScenario`] tenant matrix: a get-only
+//! foreground service offering steady Poisson load, a scan-heavy batch
+//! tenant arriving in bursts (long full-chunk walks — the classic
+//! antagonist that queues ahead of short gets under FIFO), and a
+//! steady append-heavy ingest tenant. Per policy the harness first
+//! drives the foreground *alone* (the per-policy baseline), then the
+//! full mix, and reports the foreground p99 inflation — mixed over
+//! alone — alongside per-tenant throughput, shed counts, and queue
+//! delay. Everything runs on the deterministic virtual timeline, so
+//! the asserted isolation bounds cannot flake on CI load.
+//!
+//! Expected shape, asserted:
+//!
+//! - under `WeightedFair` and `StrictPriority` the foreground p99
+//!   inflates ≤2× against its own baseline — the policies isolate;
+//! - under `Fifo` the inflation exceeds that bound — arrival order
+//!   alone does not;
+//! - every tenant completes work under every policy (no starvation,
+//!   not even for the lowest-priority ingest tenant under strict
+//!   priority at this load).
+//!
+//! Results land in `BENCH_tenant.json`.
+//!
+//! Run with: `cargo run --release --bin tenant_isolation`
+//! (`SAGE_SCALE` scales the dataset like every other harness).
+
+use sage_bench::scenario::QosScenario;
+use sage_bench::{banner, row};
+use sage_io::SchedPolicyKind;
+use sage_store::client::workload::QosReport;
+use sage_store::{MultiQosReport, ShardedStore};
+
+/// The isolation load shape: arrivals per tenant and a queue bound
+/// generous enough that reordering, not shedding, differentiates the
+/// policies.
+fn scenario() -> QosScenario {
+    QosScenario::new(320, 256)
+}
+
+/// SSDs in the contended fleet.
+const DEVICES: usize = 2;
+
+/// Foreground offered load as a fraction of calibrated capacity.
+const FG_FRACTION: f64 = 0.35;
+
+/// Background (batch mean, ingest) rate as a fraction of capacity.
+const BG_FRACTION: f64 = 0.40;
+
+/// The isolation bound: mixed foreground p99 over fg-alone p99 that
+/// the fair policies must stay under and FIFO must exceed.
+const INFLATION_BOUND: f64 = 2.0;
+
+/// One policy's measurement: the baseline and the mixed run.
+struct PolicyCell {
+    policy: SchedPolicyKind,
+    alone: MultiQosReport,
+    mixed: MultiQosReport,
+}
+
+impl PolicyCell {
+    fn fg_alone(&self) -> &QosReport {
+        &self.alone.tenants[0]
+    }
+
+    fn fg_mixed(&self) -> &QosReport {
+        &self.mixed.tenants[0]
+    }
+
+    /// Foreground p99 inflation: mixed over alone.
+    fn inflation(&self) -> f64 {
+        self.fg_mixed().latency.p99_ms / self.fg_alone().latency.p99_ms.max(f64::MIN_POSITIVE)
+    }
+
+    fn json(&self) -> String {
+        let sheds = self.mixed.shed_by_tenant();
+        let tenants = self
+            .mixed
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, q)| {
+                format!(
+                    "{{\"completed\":{},\"shed\":{},\"queue_delay_s\":{:.6},\"latency\":{}}}",
+                    q.completed,
+                    sheds[t],
+                    self.mixed.tenant_queue_delay[t],
+                    q.latency.json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"policy\":\"{}\",\"fg_alone_p99_ms\":{:.4},\"fg_mixed_p99_ms\":{:.4},\"fg_p99_inflation\":{:.4},\"tenants\":[{tenants}]}}",
+            self.policy.label(),
+            self.fg_alone().latency.p99_ms,
+            self.fg_mixed().latency.p99_ms,
+            self.inflation(),
+        )
+    }
+}
+
+fn run_policy(
+    sharded: &ShardedStore,
+    policy: SchedPolicyKind,
+    fg_rate: f64,
+    bg_rate: f64,
+) -> PolicyCell {
+    let sc = scenario();
+    let alone = sc
+        .open_fleet(sharded, DEVICES, false)
+        .drive_tenants(&sc.foreground_alone(policy, fg_rate))
+        .expect("fg-alone drive");
+    let mixed = sc
+        .open_fleet(sharded, DEVICES, false)
+        .drive_tenants(&sc.tenant_matrix(policy, fg_rate, bg_rate))
+        .expect("mixed drive");
+    PolicyCell {
+        policy,
+        alone,
+        mixed,
+    }
+}
+
+fn main() {
+    banner("tenant_isolation: scheduling policies vs a bursty neighborhood");
+    let sc = scenario();
+    let sharded = sc.encode_store();
+    let capacity = sc.calibrate_capacity(&sharded, DEVICES);
+    let fg_rate = FG_FRACTION * capacity;
+    let bg_rate = BG_FRACTION * capacity;
+    println!(
+        "dataset: {} reads in {} chunks; {} arrivals per tenant on {DEVICES} SSDs \
+         (capacity ≈ {capacity:.0} req/s; fg {fg_rate:.0}/s Poisson gets, \
+         batch bursts to {:.0}/s scans, ingest {bg_rate:.0}/s appends)",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        sc.requests,
+        bg_rate * 3.0,
+    );
+
+    let widths = [16, 13, 13, 10, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "policy".into(),
+                "fg alone p99".into(),
+                "fg mixed p99".into(),
+                "inflation".into(),
+                "batch p99".into(),
+                "ingest p99".into(),
+                "fg queue ms".into(),
+            ],
+            &widths
+        )
+    );
+    let cells: Vec<PolicyCell> = SchedPolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let cell = run_policy(&sharded, policy, fg_rate, bg_rate);
+            println!(
+                "{}",
+                row(
+                    &[
+                        policy.label().into(),
+                        format!("{:.3}", cell.fg_alone().latency.p99_ms),
+                        format!("{:.3}", cell.fg_mixed().latency.p99_ms),
+                        format!("{:.2}x", cell.inflation()),
+                        format!("{:.3}", cell.mixed.tenants[1].latency.p99_ms),
+                        format!("{:.3}", cell.mixed.tenants[2].latency.p99_ms),
+                        format!("{:.3}", cell.mixed.tenant_queue_delay[0] * 1e3),
+                    ],
+                    &widths
+                )
+            );
+            cell
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"tenant_isolation\",\n  \"reads\": {},\n  \"chunks\": {},\n  \"devices\": {DEVICES},\n  \"requests_per_tenant\": {},\n  \"queue_depth\": {},\n  \"capacity_est_rps\": {:.1},\n  \"fg_rate_rps\": {fg_rate:.1},\n  \"bg_rate_rps\": {bg_rate:.1},\n  \"inflation_bound\": {INFLATION_BOUND},\n  \"policies\": [{}]\n}}\n",
+        sharded.total_reads(),
+        sharded.n_chunks(),
+        sc.requests,
+        sc.queue_depth,
+        capacity,
+        cells
+            .iter()
+            .map(PolicyCell::json)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    std::fs::write("BENCH_tenant.json", &json).expect("write BENCH_tenant.json");
+    println!("\nwrote BENCH_tenant.json");
+
+    // The isolation claims, asserted on the virtual timeline.
+    for cell in &cells {
+        let inflation = cell.inflation();
+        match cell.policy {
+            SchedPolicyKind::WeightedFair
+            | SchedPolicyKind::StrictPriority
+            | SchedPolicyKind::Deadline => assert!(
+                inflation <= INFLATION_BOUND,
+                "{} must isolate the foreground tenant: p99 inflation {inflation:.2}x > {INFLATION_BOUND}x",
+                cell.policy.label()
+            ),
+            SchedPolicyKind::Fifo => assert!(
+                inflation > INFLATION_BOUND,
+                "fifo should NOT isolate under this mix: p99 inflation {inflation:.2}x ≤ {INFLATION_BOUND}x \
+                 (the antagonists are too gentle to differentiate policies)"
+            ),
+        }
+        for (t, q) in cell.mixed.tenants.iter().enumerate() {
+            assert!(
+                q.completed > 0,
+                "{}: tenant {t} starved — zero completions",
+                cell.policy.label()
+            );
+        }
+    }
+}

@@ -8,10 +8,13 @@
 //! scenario's fields; everything else is fixed here.
 
 use sage_genomics::sim::DatasetProfile;
+use sage_io::SchedPolicyKind;
 use sage_pipeline::SystemConfig;
-use sage_store::client::workload::{Arrivals, OpenLoopSpec, Pattern};
+use sage_store::client::workload::{Arrivals, OpMix, OpenLoopSpec, Pattern};
 use sage_store::client::{Dataset, DatasetBuilder};
-use sage_store::{encode_sharded, ShardedStore, StoreOptions};
+use sage_store::{
+    encode_sharded, MultiTenantSpec, ShardedStore, StoreOptions, TenantLoad, TenantSpec,
+};
 
 /// One open-loop QoS scenario: the serving stack every qos-family
 /// harness drives, parameterized only by its load shape.
@@ -57,15 +60,107 @@ impl QosScenario {
             .expect("valid scenario configuration")
     }
 
-    /// The scenario's open-loop spec at one offered Poisson rate.
-    pub fn spec_at(&self, rate: f64) -> OpenLoopSpec {
-        let mut spec = OpenLoopSpec::new(Arrivals::Poisson { rate });
-        spec.pattern = Pattern::Uniform {
+    /// The scenario's load shape under the given arrival process: the
+    /// single definition (pattern span, request count) that both the
+    /// single-tenant sweep cells and every tenant in the mixed-tenant
+    /// matrix are cut from.
+    pub fn load_at(&self, arrivals: Arrivals) -> TenantLoad {
+        let mut load = TenantLoad::new(arrivals);
+        load.pattern = Pattern::Uniform {
             span: self.reads_per_chunk as u64,
         };
-        spec.requests = self.requests;
+        load.requests = self.requests;
+        load
+    }
+
+    /// The scenario's open-loop spec at one offered Poisson rate.
+    pub fn spec_at(&self, rate: f64) -> OpenLoopSpec {
+        let load = self.load_at(Arrivals::Poisson { rate });
+        let mut spec = OpenLoopSpec::new(load.arrivals);
+        spec.pattern = load.pattern;
+        spec.mix = load.mix;
+        spec.requests = load.requests;
+        spec.seed = load.seed;
         spec.queue_depth = self.queue_depth;
         spec
+    }
+
+    /// The foreground tenant of the mixed matrix: a latency-sensitive
+    /// get-only service offering steady Poisson load, high priority,
+    /// the lion's share of fair-queueing weight, and a tight SLO (the
+    /// deadline policy schedules it by that SLO).
+    pub fn foreground(&self, rate: f64) -> (TenantSpec, TenantLoad) {
+        let mut load = self.load_at(Arrivals::Poisson { rate });
+        load.seed = 0x0f9a;
+        let spec = TenantSpec::named("latency")
+            .with_priority(200)
+            .with_weight(8.0)
+            .with_slo(0.005);
+        (spec, load)
+    }
+
+    /// The scan-heavy batch tenant: bursts of full-chunk walks — the
+    /// antagonist whose long operations queue ahead of foreground gets
+    /// under FIFO.
+    pub fn batch(&self, rate: f64) -> (TenantSpec, TenantLoad) {
+        let mut load = self.load_at(Arrivals::Bursty {
+            on_rate: rate * 3.0,
+            mean_on: 0.05,
+            mean_off: 0.10,
+        });
+        load.mix = OpMix {
+            get: 0.0,
+            scan: 1.0,
+            append: 0.0,
+        };
+        load.seed = 0xba7c;
+        let spec = TenantSpec::named("batch")
+            .with_priority(50)
+            .with_weight(2.0);
+        (spec, load)
+    }
+
+    /// The append-heavy ingest tenant: a steady fixed-rate writer at
+    /// the bottom of the priority order with the smallest fair share.
+    pub fn ingest(&self, rate: f64) -> (TenantSpec, TenantLoad) {
+        let mut load = self.load_at(Arrivals::Fixed { rate });
+        load.mix = OpMix {
+            get: 0.0,
+            scan: 0.0,
+            append: 1.0,
+        };
+        load.seed = 0x16e5;
+        let spec = TenantSpec::named("ingest")
+            .with_priority(10)
+            .with_weight(1.0);
+        (spec, load)
+    }
+
+    /// The full mixed-tenant matrix under one scheduling policy:
+    /// foreground latency tenant plus both background antagonists.
+    pub fn tenant_matrix(
+        &self,
+        policy: SchedPolicyKind,
+        fg_rate: f64,
+        bg_rate: f64,
+    ) -> MultiTenantSpec {
+        let mut spec = MultiTenantSpec::new(policy);
+        spec.queue_depth = self.queue_depth;
+        let (fg_spec, fg_load) = self.foreground(fg_rate);
+        let (batch_spec, batch_load) = self.batch(bg_rate);
+        let (ingest_spec, ingest_load) = self.ingest(bg_rate);
+        spec.tenant(fg_spec, fg_load)
+            .tenant(batch_spec, batch_load)
+            .tenant(ingest_spec, ingest_load)
+    }
+
+    /// The foreground tenant running alone under the same policy: the
+    /// per-policy baseline an isolation claim is measured against.
+    pub fn foreground_alone(&self, policy: SchedPolicyKind, fg_rate: f64) -> MultiTenantSpec {
+        let mut spec = MultiTenantSpec::new(policy);
+        spec.queue_depth = self.queue_depth;
+        let (fg_spec, fg_load) = self.foreground(fg_rate);
+        spec.tenant(fg_spec, fg_load)
     }
 
     /// Measures the fleet's service capacity at a trickle rate (no
@@ -102,6 +197,30 @@ mod tests {
             .drive_open_loop(&sc.spec_at(capacity * 0.5))
             .expect("drive");
         assert_eq!(report.completed + report.shed, 32);
+    }
+
+    #[test]
+    fn tenant_matrix_casts_the_three_tenants() {
+        let sc = QosScenario::new(64, 256);
+        let spec = sc.tenant_matrix(SchedPolicyKind::WeightedFair, 100.0, 40.0);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.queue_depth, 256);
+        assert_eq!(spec.tenants.len(), 3);
+        let names: Vec<&str> = spec.tenants.iter().map(|(s, _)| s.name).collect();
+        assert_eq!(names, ["latency", "batch", "ingest"]);
+        // Priority order matches the cast: latency > batch > ingest.
+        assert!(spec.tenants[0].0.priority > spec.tenants[1].0.priority);
+        assert!(spec.tenants[1].0.priority > spec.tenants[2].0.priority);
+        // Every tenant is cut from the scenario's load shape.
+        for (_, load) in &spec.tenants {
+            assert!(matches!(load.pattern, Pattern::Uniform { span: 48 }));
+            assert_eq!(load.requests, 64);
+        }
+        let alone = sc.foreground_alone(SchedPolicyKind::Fifo, 100.0);
+        assert_eq!(alone.tenants.len(), 1);
+        assert_eq!(alone.tenants[0].0.name, "latency");
+        // The baseline foreground load is the matrix foreground load.
+        assert_eq!(alone.tenants[0].1.seed, spec.tenants[0].1.seed);
     }
 
     #[test]

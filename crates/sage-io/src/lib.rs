@@ -18,6 +18,10 @@
 //!   turn the device models' service seconds into queued start/finish
 //!   instants, so completions carry realistic latencies (queueing
 //!   included) while staying deterministic for CI.
+//! - [`qos`] — **multi-tenant scheduling policies**: FIFO, strict
+//!   priority, weighted fair (SCFQ), and earliest-deadline-first picks
+//!   over the scheduler's per-device pending queues, with per-tenant
+//!   busy/queue-delay attribution.
 //! - [`cqueue`] — per-device **completion queues** with poll/wait
 //!   harvesting.
 //! - [`device`] — **multi-SSD extent sharding**: a [`DeviceMap`]
@@ -41,12 +45,14 @@
 
 pub mod cqueue;
 pub mod device;
+pub mod qos;
 pub mod reactor;
 pub mod ring;
 pub mod sched;
 
 pub use cqueue::{CompletionQueues, Cqe};
 pub use device::{ChunkSlot, DeviceMap, DeviceSnapshot, Placement};
+pub use qos::{SchedPolicy, SchedPolicyKind, SchedTag};
 pub use reactor::{IoBackend, IoConfig, Reactor, ReactorSnapshot, Sqe};
 pub use ring::{RingCounters, SubmissionRing, SubmitError};
-pub use sched::{ChargeInterval, DeviceCharge, Dispatch, VirtualScheduler};
+pub use sched::{ChargeInterval, DeviceCharge, Dispatch, ResolvedOp, VirtualScheduler};

@@ -1,0 +1,354 @@
+//! Multi-tenant scheduling policies for the virtual-time device
+//! queues.
+//!
+//! The eager [`VirtualScheduler`](crate::sched::VirtualScheduler)
+//! dispatch places charges the instant they are submitted — which *is*
+//! FIFO service when submissions arrive in virtual-time order. Serving
+//! tenants with different priorities, weights, or deadlines needs the
+//! opposite: charges wait in per-device pending queues and the device,
+//! each time it frees up, picks which queued charge to serve next.
+//! That pick is this module's [`SchedPolicy`] trait; the queues
+//! themselves live in the scheduler
+//! ([`VirtualScheduler::enqueue`](crate::sched::VirtualScheduler::enqueue)
+//! / [`advance_to`](crate::sched::VirtualScheduler::advance_to) /
+//! [`flush`](crate::sched::VirtualScheduler::flush)).
+//!
+//! Every policy is expressed the same way: at enqueue time the policy
+//! assigns each charge a scalar *key* (lower serves first, ties broken
+//! by submission order), and when a device frees it serves the
+//! smallest-keyed charge among those that have already arrived. This
+//! keeps the queued path exactly as deterministic as the eager one —
+//! same inputs, same timeline, bit for bit.
+//!
+//! | Policy | Key | Behavior |
+//! |---|---|---|
+//! | [`Fifo`] | constant | submission order; bit-identical to eager dispatch |
+//! | [`StrictPriority`] | `255 − priority` | higher [`SchedTag::priority`] always first |
+//! | [`WeightedFair`] | SCFQ finish tag | device seconds shared ∝ [`SchedTag::weight`] |
+//! | [`Deadline`] | `deadline_vt` | earliest [`SchedTag::deadline_vt`] first (EDF) |
+
+use std::fmt;
+
+/// Per-operation scheduling attributes, stamped by the submitting
+/// tenant's registration.
+///
+/// The default tag (tenant 0, priority 0, weight 1, no deadline) is
+/// what every untagged submission carries; a fleet that never tags
+/// anything therefore schedules exactly as before the QoS layer
+/// existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedTag {
+    /// Tenant index — keys the per-tenant busy/queue-delay accounting.
+    pub tenant: usize,
+    /// Strict priority class (higher serves first under
+    /// [`StrictPriority`]).
+    pub priority: u8,
+    /// Fair share weight (device seconds are shared proportionally
+    /// under [`WeightedFair`]); clamped to a small positive minimum.
+    pub weight: f64,
+    /// Absolute completion deadline on the virtual timeline (EDF order
+    /// under [`Deadline`]); `INFINITY` means "no deadline".
+    pub deadline_vt: f64,
+}
+
+impl Default for SchedTag {
+    fn default() -> SchedTag {
+        SchedTag {
+            tenant: 0,
+            priority: 0,
+            weight: 1.0,
+            deadline_vt: f64::INFINITY,
+        }
+    }
+}
+
+impl SchedTag {
+    /// The tag for `tenant` with the remaining attributes defaulted.
+    pub fn for_tenant(tenant: usize) -> SchedTag {
+        SchedTag {
+            tenant,
+            ..SchedTag::default()
+        }
+    }
+}
+
+/// Weights below this are clamped up so a mis-configured zero weight
+/// cannot produce infinite finish tags.
+const MIN_WEIGHT: f64 = 1e-9;
+
+/// How a device picks the next pending charge to serve.
+///
+/// The contract: [`enqueue_key`](SchedPolicy::enqueue_key) assigns
+/// each charge a key when it joins a device's pending queue; the
+/// device serves the smallest key among the charges that have arrived
+/// by the time it frees up, breaking ties by submission sequence.
+/// [`on_service`](SchedPolicy::on_service) is called as each charge
+/// begins service so stateful policies (SCFQ virtual clocks) can
+/// advance.
+///
+/// Keys must never be NaN — every built-in policy guarantees this and
+/// custom policies must too, or the pending-queue ordering becomes
+/// unspecified.
+///
+/// ```
+/// use sage_io::qos::{SchedPolicyKind, SchedTag};
+/// use sage_io::sched::{DeviceCharge, VirtualScheduler};
+///
+/// // Two tenants share one device under strict priority: the
+/// // high-priority charge submitted *later* is served *first*.
+/// let mut s = VirtualScheduler::with_policy(1, SchedPolicyKind::StrictPriority);
+/// let lo = SchedTag { tenant: 0, priority: 0, ..SchedTag::default() };
+/// let hi = SchedTag { tenant: 1, priority: 7, ..SchedTag::default() };
+/// let blocker = [DeviceCharge { device: 0, seconds: 1.0 }];
+/// s.enqueue(0, 0.0, &blocker, lo); // in service at t=0
+/// s.enqueue(1, 0.1, &blocker, lo); // queued
+/// s.enqueue(2, 0.2, &blocker, hi); // queued, higher priority
+/// let done = s.flush();
+/// // The blocker finishes at 1.0; the high-priority op jumps the
+/// // earlier-submitted low-priority one.
+/// assert_eq!(done.iter().map(|r| r.user_data).collect::<Vec<_>>(), [0, 2, 1]);
+/// assert_eq!(done[1].dispatch.started_vt, 1.0);
+/// ```
+pub trait SchedPolicy: Send + fmt::Debug {
+    /// Display label ("fifo", "strict_priority", …).
+    fn label(&self) -> &'static str;
+
+    /// The key for one charge of `seconds` device time entering
+    /// `device`'s pending queue under `tag`.
+    fn enqueue_key(&mut self, device: usize, tag: &SchedTag, seconds: f64) -> f64;
+
+    /// A charge with `key` began service on `device`.
+    fn on_service(&mut self, device: usize, key: f64) {
+        let _ = (device, key);
+    }
+}
+
+/// First in, first out — the default, and bit-identical to the eager
+/// dispatch path (property-gated in `tests/prop_qos.rs`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl SchedPolicy for Fifo {
+    fn label(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn enqueue_key(&mut self, _device: usize, _tag: &SchedTag, _seconds: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Higher [`SchedTag::priority`] always serves first; submission order
+/// within a class.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StrictPriority;
+
+impl SchedPolicy for StrictPriority {
+    fn label(&self) -> &'static str {
+        "strict_priority"
+    }
+
+    fn enqueue_key(&mut self, _device: usize, tag: &SchedTag, _seconds: f64) -> f64 {
+        f64::from(u8::MAX - tag.priority)
+    }
+}
+
+/// Self-clocked weighted fair queueing (SCFQ) over per-tenant device
+/// seconds.
+///
+/// Each device keeps a virtual clock `v` — the finish tag of the
+/// charge most recently started. A charge from tenant `t` with demand
+/// `s` gets start tag `max(v, F_last[t])` and finish tag `start +
+/// s / weight`; devices serve the smallest finish tag. Backlogged
+/// tenants therefore receive device seconds proportionally to their
+/// weights, and an idle tenant's share is redistributed (the clock
+/// catches up, so returning tenants are not owed the past).
+#[derive(Debug, Default)]
+pub struct WeightedFair {
+    /// Per-device virtual clock: finish tag of the last charge to
+    /// begin service.
+    v: Vec<f64>,
+    /// `[device][tenant]` finish tag of the tenant's last enqueued
+    /// charge — consecutive charges from one tenant form a chain.
+    f_last: Vec<Vec<f64>>,
+}
+
+impl WeightedFair {
+    fn slot(&mut self, device: usize, tenant: usize) -> (&mut f64, &mut f64) {
+        if self.v.len() <= device {
+            self.v.resize(device + 1, 0.0);
+            self.f_last.resize_with(device + 1, Vec::new);
+        }
+        let row = &mut self.f_last[device];
+        if row.len() <= tenant {
+            row.resize(tenant + 1, 0.0);
+        }
+        (&mut self.v[device], &mut row[tenant])
+    }
+}
+
+impl SchedPolicy for WeightedFair {
+    fn label(&self) -> &'static str {
+        "weighted_fair"
+    }
+
+    fn enqueue_key(&mut self, device: usize, tag: &SchedTag, seconds: f64) -> f64 {
+        let weight = tag.weight.max(MIN_WEIGHT);
+        let (v, f_last) = self.slot(device, tag.tenant);
+        let start = v.max(*f_last);
+        let finish = start + seconds / weight;
+        *f_last = finish;
+        finish
+    }
+
+    fn on_service(&mut self, device: usize, key: f64) {
+        let (v, _) = self.slot(device, 0);
+        *v = v.max(key);
+    }
+}
+
+/// Earliest deadline first on [`SchedTag::deadline_vt`] (derived from
+/// the tenant's SLO by the client layer: `submit + slo`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Deadline;
+
+impl SchedPolicy for Deadline {
+    fn label(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn enqueue_key(&mut self, _device: usize, tag: &SchedTag, _seconds: f64) -> f64 {
+        tag.deadline_vt
+    }
+}
+
+/// Config-friendly policy selector ([`IoConfig`](crate::reactor::IoConfig)
+/// stays `Copy`/`Eq`); [`policy`](SchedPolicyKind::policy) instantiates
+/// the boxed implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicyKind {
+    /// [`Fifo`].
+    #[default]
+    Fifo,
+    /// [`StrictPriority`].
+    StrictPriority,
+    /// [`WeightedFair`].
+    WeightedFair,
+    /// [`Deadline`].
+    Deadline,
+}
+
+impl SchedPolicyKind {
+    /// Every selectable policy, in display order.
+    pub const ALL: [SchedPolicyKind; 4] = [
+        SchedPolicyKind::Fifo,
+        SchedPolicyKind::StrictPriority,
+        SchedPolicyKind::WeightedFair,
+        SchedPolicyKind::Deadline,
+    ];
+
+    /// Display label (matches [`SchedPolicy::label`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicyKind::Fifo => "fifo",
+            SchedPolicyKind::StrictPriority => "strict_priority",
+            SchedPolicyKind::WeightedFair => "weighted_fair",
+            SchedPolicyKind::Deadline => "deadline",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn policy(&self) -> Box<dyn SchedPolicy> {
+        match self {
+            SchedPolicyKind::Fifo => Box::new(Fifo),
+            SchedPolicyKind::StrictPriority => Box::new(StrictPriority),
+            SchedPolicyKind::WeightedFair => Box::new(WeightedFair::default()),
+            SchedPolicyKind::Deadline => Box::new(Deadline),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tag_is_the_neutral_tenant() {
+        let t = SchedTag::default();
+        assert_eq!(t.tenant, 0);
+        assert_eq!(t.priority, 0);
+        assert_eq!(t.weight, 1.0);
+        assert!(t.deadline_vt.is_infinite());
+        assert_eq!(SchedTag::for_tenant(3).tenant, 3);
+    }
+
+    #[test]
+    fn kinds_instantiate_matching_policies() {
+        for kind in SchedPolicyKind::ALL {
+            assert_eq!(kind.policy().label(), kind.label());
+        }
+        assert_eq!(SchedPolicyKind::default(), SchedPolicyKind::Fifo);
+    }
+
+    #[test]
+    fn strict_priority_orders_by_class() {
+        let mut p = StrictPriority;
+        let hi = SchedTag {
+            priority: 9,
+            ..SchedTag::default()
+        };
+        let lo = SchedTag {
+            priority: 1,
+            ..SchedTag::default()
+        };
+        assert!(p.enqueue_key(0, &hi, 1.0) < p.enqueue_key(0, &lo, 1.0));
+    }
+
+    #[test]
+    fn weighted_fair_finish_tags_scale_inversely_with_weight() {
+        let mut p = WeightedFair::default();
+        let heavy = SchedTag {
+            tenant: 0,
+            weight: 4.0,
+            ..SchedTag::default()
+        };
+        let light = SchedTag {
+            tenant: 1,
+            weight: 1.0,
+            ..SchedTag::default()
+        };
+        // Same demand: the heavy tenant's finish tag is 4× closer.
+        assert_eq!(p.enqueue_key(0, &heavy, 1.0), 0.25);
+        assert_eq!(p.enqueue_key(0, &light, 1.0), 1.0);
+        // Back-to-back charges from one tenant chain off its own
+        // previous finish tag.
+        assert_eq!(p.enqueue_key(0, &heavy, 1.0), 0.5);
+        // A service advances the device clock: later enqueues start
+        // from it, not from zero.
+        p.on_service(0, 1.0);
+        assert_eq!(p.enqueue_key(0, &light, 1.0), 2.0);
+    }
+
+    #[test]
+    fn zero_weight_is_clamped_finite() {
+        let mut p = WeightedFair::default();
+        let broken = SchedTag {
+            weight: 0.0,
+            ..SchedTag::default()
+        };
+        assert!(p.enqueue_key(0, &broken, 1.0).is_finite());
+    }
+
+    #[test]
+    fn deadline_key_is_the_deadline() {
+        let mut p = Deadline;
+        let t = SchedTag {
+            deadline_vt: 7.5,
+            ..SchedTag::default()
+        };
+        assert_eq!(p.enqueue_key(0, &t, 1.0), 7.5);
+        assert!(Deadline
+            .enqueue_key(0, &SchedTag::default(), 1.0)
+            .is_infinite());
+    }
+}

@@ -15,9 +15,12 @@
 //! per-request latency even though the device models are analytical.
 
 use crate::cqueue::{CompletionQueues, Cqe};
+use crate::qos::{SchedPolicyKind, SchedTag};
 use crate::ring::{RingCounters, SubmissionRing, SubmitError};
 use crate::sched::{DeviceCharge, VirtualScheduler};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// What the reactor runs operations against.
@@ -48,6 +51,9 @@ pub struct Sqe<Op> {
     /// client (next submit = previous completion); simple callers pass
     /// 0.0 and read only relative device accounting.
     pub submit_vt: f64,
+    /// Scheduling attributes (tenant, priority, weight, deadline) —
+    /// the default tag bills tenant 0 and schedules neutrally.
+    pub tag: SchedTag,
 }
 
 /// Reactor sizing.
@@ -65,6 +71,14 @@ pub struct IoConfig {
     /// moves a single virtual instant — both paths run the same
     /// scheduler arithmetic.
     pub record_intervals: bool,
+    /// Device scheduling discipline. [`SchedPolicyKind::Fifo`] (the
+    /// default) dispatches eagerly — bit-identical to the pre-QoS
+    /// reactor. Any other policy routes charges through the
+    /// scheduler's per-device pending queues: workers enqueue instead
+    /// of placing, and completions post when the timeline resolves —
+    /// via [`Reactor::advance_to`] as the arrival frontier moves, or
+    /// at the end-of-stream flush after [`Reactor::close`].
+    pub policy: SchedPolicyKind,
 }
 
 impl Default for IoConfig {
@@ -74,6 +88,7 @@ impl Default for IoConfig {
             queue_depth: 32,
             devices: 1,
             record_intervals: false,
+            policy: SchedPolicyKind::Fifo,
         }
     }
 }
@@ -95,6 +110,15 @@ pub struct ReactorSnapshot {
     pub horizon: f64,
     /// Per-device utilization over the makespan.
     pub utilization: Vec<f64>,
+    /// Busy seconds per tenant per device (`[tenant][device]`; rows
+    /// exist for every tenant that dispatched). `device_busy` is the
+    /// fold of these rows in tenant order, so the per-tenant split
+    /// conserves the device totals *exactly*, not just within
+    /// floating-point tolerance.
+    pub tenant_busy: Vec<Vec<f64>>,
+    /// Seconds charges spent waiting between submit and service
+    /// start, per tenant.
+    pub tenant_queue_delay: Vec<f64>,
 }
 
 impl ReactorSnapshot {
@@ -118,12 +142,50 @@ impl ReactorSnapshot {
     }
 }
 
+/// Scheduler-side shared state: the virtual clocks plus, for the
+/// queued dispatch path, the outputs of executed-but-unresolved
+/// operations (keyed by the scheduler's enqueue handle) and the count
+/// of submissions fully processed by a worker (the
+/// [`Reactor::quiesce`] target).
+struct SchedState<T> {
+    sched: VirtualScheduler,
+    held: HashMap<u64, T>,
+    processed: u64,
+}
+
+impl<T> fmt::Debug for SchedState<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedState")
+            .field("sched", &self.sched)
+            .field("held", &self.held.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+/// The shared state cell: one mutex for the scheduler and held
+/// outputs, one condvar signalling `processed` advances.
+struct StateCell<T> {
+    state: Mutex<SchedState<T>>,
+    processed_cv: Condvar,
+}
+
+impl<T> fmt::Debug for StateCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateCell")
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
 /// A running reactor over backend `B`.
 #[derive(Debug)]
 pub struct Reactor<B: IoBackend> {
     ring: Arc<SubmissionRing<Sqe<B::Op>>>,
     cq: Arc<CompletionQueues<B::Output>>,
-    sched: Arc<Mutex<VirtualScheduler>>,
+    cell: Arc<StateCell<B::Output>>,
+    record_intervals: bool,
+    policy: SchedPolicyKind,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -137,13 +199,21 @@ impl<B: IoBackend> Reactor<B> {
         assert!(cfg.workers > 0, "need at least one worker");
         let ring: Arc<SubmissionRing<Sqe<B::Op>>> = Arc::new(SubmissionRing::new(cfg.queue_depth));
         let cq = Arc::new(CompletionQueues::new(cfg.devices, cfg.workers));
-        let sched = Arc::new(Mutex::new(VirtualScheduler::new(cfg.devices)));
+        let cell = Arc::new(StateCell {
+            state: Mutex::new(SchedState {
+                sched: VirtualScheduler::with_policy(cfg.devices, cfg.policy),
+                held: HashMap::new(),
+                processed: 0,
+            }),
+            processed_cv: Condvar::new(),
+        });
         let record_intervals = cfg.record_intervals;
+        let policy = cfg.policy;
         let workers = (0..cfg.workers)
             .map(|_| {
                 let ring = Arc::clone(&ring);
                 let cq = Arc::clone(&cq);
-                let sched = Arc::clone(&sched);
+                let cell = Arc::clone(&cell);
                 let backend = Arc::clone(&backend);
                 std::thread::spawn(move || {
                     // Signalled on *every* exit path: a backend panic
@@ -161,21 +231,78 @@ impl<B: IoBackend> Reactor<B> {
                     let _guard = PosterGuard(&cq);
                     while let Some(sqe) = ring.pop() {
                         let (output, charges) = backend.execute(sqe.op);
-                        let (dispatch, intervals) = {
-                            let mut sched = sched.lock().expect("scheduler poisoned");
-                            if record_intervals {
-                                sched.dispatch_traced(sqe.submit_vt, &charges)
-                            } else {
-                                (sched.dispatch(sqe.submit_vt, &charges), Vec::new())
-                            }
-                        };
-                        cq.post(Cqe::from_dispatch(
-                            sqe.user_data,
-                            sqe.submit_vt,
-                            dispatch,
-                            intervals,
-                            output,
-                        ));
+                        if policy == SchedPolicyKind::Fifo {
+                            // Eager dispatch: place immediately, post
+                            // immediately — the pre-QoS hot path, with
+                            // busy/queue-delay billed to the tag's
+                            // tenant.
+                            let (dispatch, intervals) = {
+                                let mut state = cell.state.lock().expect("scheduler poisoned");
+                                if record_intervals {
+                                    state.sched.dispatch_tagged_traced(
+                                        sqe.submit_vt,
+                                        &charges,
+                                        sqe.tag.tenant,
+                                    )
+                                } else {
+                                    (
+                                        state.sched.dispatch_tagged(
+                                            sqe.submit_vt,
+                                            &charges,
+                                            sqe.tag.tenant,
+                                        ),
+                                        Vec::new(),
+                                    )
+                                }
+                            };
+                            cq.post(Cqe::from_dispatch(
+                                sqe.user_data,
+                                sqe.submit_vt,
+                                dispatch,
+                                intervals,
+                                output,
+                            ));
+                            let mut state = cell.state.lock().expect("scheduler poisoned");
+                            state.processed += 1;
+                            drop(state);
+                            cell.processed_cv.notify_all();
+                        } else {
+                            // Queued dispatch: execution happens now
+                            // (in submission order), but the timeline
+                            // placement waits in the policy's pending
+                            // queues; the completion posts when the
+                            // operation resolves.
+                            let mut state = cell.state.lock().expect("scheduler poisoned");
+                            let handle = state.sched.enqueue(
+                                sqe.user_data,
+                                sqe.submit_vt,
+                                &charges,
+                                sqe.tag,
+                            );
+                            state.held.insert(handle, output);
+                            state.processed += 1;
+                            drop(state);
+                            cell.processed_cv.notify_all();
+                        }
+                    }
+                    if policy != SchedPolicyKind::Fifo {
+                        // End of stream: resolve everything still
+                        // pending before this poster counts down, so
+                        // `wait_any` consumers drain every completion.
+                        // With several workers each flushes what is
+                        // pending at its own exit; the last one to
+                        // leave sweeps the remainder.
+                        Reactor::<B>::post_resolved(&cq, record_intervals, {
+                            let mut state = cell.state.lock().expect("scheduler poisoned");
+                            let resolved = state.sched.flush();
+                            resolved
+                                .into_iter()
+                                .map(|r| {
+                                    let output = state.held.remove(&r.handle).expect("held output");
+                                    (r, output)
+                                })
+                                .collect()
+                        });
                     }
                 })
             })
@@ -183,9 +310,88 @@ impl<B: IoBackend> Reactor<B> {
         Reactor {
             ring,
             cq,
-            sched,
+            cell,
+            record_intervals,
+            policy,
             workers,
         }
+    }
+
+    /// Posts resolved queued operations as completions, honoring the
+    /// interval-recording knob.
+    fn post_resolved(
+        cq: &CompletionQueues<B::Output>,
+        record_intervals: bool,
+        resolved: Vec<(crate::sched::ResolvedOp, B::Output)>,
+    ) -> usize {
+        let n = resolved.len();
+        for (r, output) in resolved {
+            let intervals = if record_intervals {
+                r.intervals
+            } else {
+                Vec::new()
+            };
+            cq.post(Cqe::from_dispatch(
+                r.user_data,
+                r.submit_vt,
+                r.dispatch,
+                intervals,
+                output,
+            ));
+        }
+        n
+    }
+
+    /// Moves the arrival frontier of the queued dispatch path to `vt`:
+    /// resolves every pending pick whose decision instant lies
+    /// strictly before `vt` and posts the completions of operations
+    /// that fully resolved. Returns how many completions posted. A
+    /// no-op (0) under the eager [`SchedPolicyKind::Fifo`].
+    ///
+    /// The caller owns the frontier contract: every submission with
+    /// `submit_vt < vt` must already be processed (see
+    /// [`Reactor::quiesce`]) — open-loop drivers submit in
+    /// nondecreasing virtual time, quiesce, then advance.
+    pub fn advance_to(&self, vt: f64) -> usize {
+        let resolved = {
+            let mut state = self.cell.state.lock().expect("scheduler poisoned");
+            let resolved = state.sched.advance_to(vt);
+            resolved
+                .into_iter()
+                .map(|r| {
+                    let output = state.held.remove(&r.handle).expect("held output");
+                    (r, output)
+                })
+                .collect()
+        };
+        Self::post_resolved(&self.cq, self.record_intervals, resolved)
+    }
+
+    /// Blocks until every submission accepted so far has been
+    /// processed by a worker (executed and, under the eager policy,
+    /// posted; under a queued policy, enqueued into the pending
+    /// queues). The synchronization point open-loop drivers need
+    /// between submitting an arrival and reading the timeline.
+    ///
+    /// Counts only accepted submissions (rejected `try_submit`s are
+    /// not waited for). A worker lost to a backend panic never
+    /// finishes its operation, so quiescing after one would block
+    /// until another submission is processed.
+    pub fn quiesce(&self) {
+        let target = self.ring.counters().submitted;
+        let mut state = self.cell.state.lock().expect("scheduler poisoned");
+        while state.processed < target {
+            state = self
+                .cell
+                .processed_cv
+                .wait(state)
+                .expect("scheduler poisoned");
+        }
+    }
+
+    /// The configured scheduling policy.
+    pub fn policy(&self) -> SchedPolicyKind {
+        self.policy
     }
 
     /// Submits an operation, blocking while the ring is full
@@ -199,6 +405,29 @@ impl<B: IoBackend> Reactor<B> {
             op,
             user_data,
             submit_vt,
+            tag: SchedTag::default(),
+        })
+    }
+
+    /// [`Reactor::submit`] with explicit scheduling attributes —
+    /// tenant attribution under every policy, and the
+    /// priority/weight/deadline the queued policies order by.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] when the reactor already shut down.
+    pub fn submit_tagged(
+        &self,
+        op: B::Op,
+        user_data: u64,
+        submit_vt: f64,
+        tag: SchedTag,
+    ) -> Result<(), SubmitError> {
+        self.ring.push(Sqe {
+            op,
+            user_data,
+            submit_vt,
+            tag,
         })
     }
 
@@ -209,10 +438,27 @@ impl<B: IoBackend> Reactor<B> {
     /// [`SubmitError::Full`] when the ring is at capacity (the
     /// rejection is counted), [`SubmitError::Closed`] after shutdown.
     pub fn try_submit(&self, op: B::Op, user_data: u64, submit_vt: f64) -> Result<(), SubmitError> {
+        self.try_submit_tagged(op, user_data, submit_vt, SchedTag::default())
+    }
+
+    /// [`Reactor::try_submit`] with explicit scheduling attributes.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the ring is at capacity (the
+    /// rejection is counted), [`SubmitError::Closed`] after shutdown.
+    pub fn try_submit_tagged(
+        &self,
+        op: B::Op,
+        user_data: u64,
+        submit_vt: f64,
+        tag: SchedTag,
+    ) -> Result<(), SubmitError> {
         self.ring.try_push(Sqe {
             op,
             user_data,
             submit_vt,
+            tag,
         })
     }
 
@@ -236,6 +482,7 @@ impl<B: IoBackend> Reactor<B> {
                 op,
                 user_data,
                 submit_vt,
+                tag: SchedTag::default(),
             }))
     }
 
@@ -257,15 +504,17 @@ impl<B: IoBackend> Reactor<B> {
             rejected,
             queued,
         } = self.ring.counters();
-        let sched = self.sched.lock().expect("scheduler poisoned");
+        let state = self.cell.state.lock().expect("scheduler poisoned");
         ReactorSnapshot {
             submitted,
             rejected,
             completed: self.cq.completed(),
             queued,
-            device_busy: sched.busy_seconds().to_vec(),
-            horizon: sched.horizon(),
-            utilization: sched.utilization(),
+            device_busy: state.sched.busy_seconds(),
+            horizon: state.sched.horizon(),
+            utilization: state.sched.utilization(),
+            tenant_busy: state.sched.tenant_busy_seconds().to_vec(),
+            tenant_queue_delay: state.sched.tenant_queue_delay().to_vec(),
         }
     }
 
@@ -351,6 +600,7 @@ mod tests {
                 queue_depth: 8,
                 devices: 2,
                 record_intervals: false,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         for i in 0..6u64 {
@@ -390,6 +640,7 @@ mod tests {
                 queue_depth: 8,
                 devices: 2,
                 record_intervals: true,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         for i in 0..4u64 {
@@ -419,6 +670,7 @@ mod tests {
                 queue_depth: 16,
                 devices: 1,
                 record_intervals: false,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         for i in 0..10u64 {
@@ -443,6 +695,7 @@ mod tests {
                 queue_depth: 64,
                 devices: 1,
                 record_intervals: false,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         for i in 0..50u64 {
@@ -477,6 +730,7 @@ mod tests {
                 queue_depth: 2,
                 devices: 1,
                 record_intervals: false,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         // First submit may begin executing immediately; fill the ring
@@ -513,6 +767,7 @@ mod tests {
                 queue_depth: 8,
                 devices: 1,
                 record_intervals: false,
+                policy: SchedPolicyKind::Fifo,
             },
         );
         let cq = r.completions();
@@ -531,6 +786,91 @@ mod tests {
     }
 
     #[test]
+    fn queued_policy_reorders_and_accounts_per_tenant() {
+        // Two tenants through the reactor's queued path: with strict
+        // priority the high-priority op submitted later completes
+        // first, and the snapshot's per-tenant busy rows fold exactly
+        // back to the device totals.
+        let r = Reactor::start(
+            Arc::new(Doubler { devices: 1 }),
+            IoConfig {
+                workers: 1,
+                queue_depth: 16,
+                devices: 1,
+                record_intervals: false,
+                policy: SchedPolicyKind::StrictPriority,
+            },
+        );
+        let lo = SchedTag::default();
+        let hi = SchedTag {
+            tenant: 1,
+            priority: 7,
+            ..SchedTag::default()
+        };
+        // Arrivals 0.1 ms apart against a 1 ms service time: both
+        // later ops queue behind the first.
+        r.submit_tagged(0, 0, 0.0, lo).unwrap();
+        r.submit_tagged(1, 1, 1e-4, lo).unwrap();
+        r.submit_tagged(2, 2, 2e-4, hi).unwrap();
+        r.quiesce();
+        // Only the first decision instant (t=0) lies before the
+        // frontier; the queued picks stay open.
+        let posted = r.advance_to(2e-4);
+        assert_eq!(posted, 1);
+        let cq = r.completions();
+        let first = cq.poll_any().expect("posted");
+        assert_eq!(first.user_data, 0);
+        // End of stream flushes the rest: the high-priority op jumps
+        // the earlier low-priority one.
+        r.shutdown();
+        let order: Vec<u64> = std::iter::from_fn(|| cq.wait_any())
+            .map(|c| c.user_data)
+            .collect();
+        assert_eq!(order, [2, 1]);
+    }
+
+    #[test]
+    fn snapshot_folds_tenant_busy_exactly() {
+        let r = Reactor::start(
+            Arc::new(Doubler { devices: 2 }),
+            IoConfig {
+                workers: 1,
+                queue_depth: 16,
+                devices: 2,
+                record_intervals: false,
+                policy: SchedPolicyKind::WeightedFair,
+            },
+        );
+        for i in 0..8u64 {
+            r.submit_tagged(i, i, 0.0, SchedTag::for_tenant((i % 3) as usize))
+                .unwrap();
+        }
+        r.quiesce();
+        let posted = r.advance_to(f64::INFINITY);
+        assert_eq!(posted, 8);
+        let snap = r.snapshot();
+        assert_eq!(snap.tenant_busy.len(), 3);
+        assert_eq!(snap.tenant_queue_delay.len(), 3);
+        for d in 0..2 {
+            let fold: f64 = (0..3).fold(0.0, |acc, t| acc + snap.tenant_busy[t][d]);
+            assert_eq!(
+                fold.to_bits(),
+                snap.device_busy[d].to_bits(),
+                "per-tenant busy must conserve device busy exactly"
+            );
+        }
+        // Later tenants on a contended device accrued queue delay.
+        assert!(snap.tenant_queue_delay.iter().copied().sum::<f64>() > 0.0);
+        let cq = r.completions();
+        r.shutdown();
+        let mut n = 0;
+        while cq.wait_any().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+
+    #[test]
     fn closed_loop_latency_grows_with_depth() {
         // The queue-depth knob in one test: same backend, same request
         // count, deeper closed loop ⇒ higher mean virtual latency.
@@ -542,6 +882,7 @@ mod tests {
                     queue_depth: depth as usize,
                     devices: 1,
                     record_intervals: false,
+                    policy: SchedPolicyKind::Fifo,
                 },
             );
             let cq = r.completions();

@@ -14,6 +14,26 @@
 //! sweep harnesses stay deterministic and CI-robust, while queue depth
 //! and device count still shape latency exactly as they would on real
 //! hardware.
+//!
+//! Two dispatch disciplines share the clocks:
+//!
+//! - **Eager** ([`dispatch`](VirtualScheduler::dispatch) /
+//!   [`dispatch_tagged`](VirtualScheduler::dispatch_tagged)): charges
+//!   are placed the instant they are submitted — FIFO service when
+//!   submissions arrive in virtual-time order. This is the original
+//!   path and stays bit-identical.
+//! - **Queued** ([`enqueue`](VirtualScheduler::enqueue) /
+//!   [`advance_to`](VirtualScheduler::advance_to) /
+//!   [`flush`](VirtualScheduler::flush)): charges wait in per-device
+//!   pending queues and a [`SchedPolicy`] picks which to serve each
+//!   time a device frees up, so a queued high-priority charge can
+//!   start before an earlier-submitted low-priority one. Resolution is
+//!   lazy — a pick is only final once the arrival frontier has passed
+//!   the device's decision instant — which keeps reordering policies
+//!   exactly as deterministic as FIFO.
+
+use crate::qos::{SchedPolicy, SchedPolicyKind, SchedTag};
+use std::collections::HashMap;
 
 /// Device seconds one operation charged to one device.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,23 +81,105 @@ pub struct Dispatch {
     pub device: usize,
 }
 
-/// Per-device virtual clocks plus busy accounting.
+/// One operation fully placed by the queued dispatch path — what
+/// [`VirtualScheduler::advance_to`] / [`VirtualScheduler::flush`]
+/// return once every charge of a pending operation has been served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedOp {
+    /// The handle [`VirtualScheduler::enqueue`] returned.
+    pub handle: u64,
+    /// Caller token, passed through verbatim.
+    pub user_data: u64,
+    /// The operation's submit instant.
+    pub submit_vt: f64,
+    /// Tenant the operation was charged to.
+    pub tenant: usize,
+    /// Where the operation landed on the timeline — same arithmetic,
+    /// field for field, as the eager path's [`Dispatch`].
+    pub dispatch: Dispatch,
+    /// Per-charge service windows in original charge order.
+    pub intervals: Vec<ChargeInterval>,
+}
+
+/// One charge waiting in a device's pending queue.
+#[derive(Debug)]
+struct PendingCharge {
+    /// Key into the pending-op table.
+    op: u64,
+    /// Index of this charge within its operation.
+    charge_idx: usize,
+    submit_vt: f64,
+    seconds: f64,
+    /// The policy's key: smallest serves first.
+    key: f64,
+    /// Global enqueue sequence: the deterministic tie-break.
+    seq: u64,
+    tenant: usize,
+}
+
+/// One operation with charges still pending.
+#[derive(Debug)]
+struct PendingOp {
+    user_data: u64,
+    submit_vt: f64,
+    tenant: usize,
+    /// Charges not yet served.
+    left: usize,
+    /// Service windows filled in as charges resolve, by charge index.
+    intervals: Vec<Option<ChargeInterval>>,
+}
+
+/// Per-device virtual clocks plus per-tenant busy accounting and the
+/// policy-driven pending queues.
 #[derive(Debug)]
 pub struct VirtualScheduler {
     free_at: Vec<f64>,
-    busy: Vec<f64>,
+    /// Busy seconds per tenant per device (`[tenant][device]`, rows
+    /// grown on first charge); [`busy_seconds`](Self::busy_seconds)
+    /// folds the rows in tenant order, so a single-tenant run's
+    /// per-device totals accumulate exactly as the pre-QoS scheduler's
+    /// single counter did.
+    tenant_busy: Vec<Vec<f64>>,
+    /// Seconds charges spent waiting between submit and service start,
+    /// per tenant.
+    queue_delay: Vec<f64>,
     dispatched: u64,
+    policy: Box<dyn SchedPolicy>,
+    /// Enqueue sequence for deterministic tie-breaks.
+    seq: u64,
+    next_op: u64,
+    /// Per-device pending queues (queued dispatch path only).
+    queues: Vec<Vec<PendingCharge>>,
+    ops: HashMap<u64, PendingOp>,
+    /// Uncharged operations resolve instantly and wait here for the
+    /// next [`advance_to`](Self::advance_to) to hand them back.
+    ready: Vec<ResolvedOp>,
 }
 
 impl VirtualScheduler {
-    /// A scheduler over `n_devices` devices (at least 1 is kept so
-    /// uncharged workloads still have a completion-queue to land on).
+    /// A FIFO scheduler over `n_devices` devices (at least 1 is kept
+    /// so uncharged workloads still have a completion-queue to land
+    /// on).
     pub fn new(n_devices: usize) -> VirtualScheduler {
+        VirtualScheduler::with_policy(n_devices, SchedPolicyKind::Fifo)
+    }
+
+    /// A scheduler whose queued dispatch path serves pending charges
+    /// in `policy` order. The eager path is policy-independent (it
+    /// *is* FIFO by construction).
+    pub fn with_policy(n_devices: usize, policy: SchedPolicyKind) -> VirtualScheduler {
         let n = n_devices.max(1);
         VirtualScheduler {
             free_at: vec![0.0; n],
-            busy: vec![0.0; n],
+            tenant_busy: Vec::new(),
+            queue_delay: Vec::new(),
             dispatched: 0,
+            policy: policy.policy(),
+            seq: 0,
+            next_op: 0,
+            queues: (0..n).map(|_| Vec::new()).collect(),
+            ops: HashMap::new(),
+            ready: Vec::new(),
         }
     }
 
@@ -86,14 +188,31 @@ impl VirtualScheduler {
         self.free_at.len()
     }
 
-    /// Places one request's charges on the timeline.
+    /// The scheduling policy's display label.
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
+    }
+
+    /// Grows the per-tenant rows to cover `tenant` and returns the
+    /// busy row.
+    fn tenant_row(&mut self, tenant: usize) -> &mut Vec<f64> {
+        let n = self.free_at.len();
+        if self.tenant_busy.len() <= tenant {
+            self.tenant_busy.resize_with(tenant + 1, || vec![0.0; n]);
+            self.queue_delay.resize(tenant + 1, 0.0);
+        }
+        &mut self.tenant_busy[tenant]
+    }
+
+    /// Places one request's charges on the timeline immediately
+    /// (eager FIFO dispatch), billing tenant 0.
     ///
     /// Each charge starts at `max(submit_vt, free_at[device])` — the
     /// device serves requests in dispatch order — and charges to
     /// distinct devices overlap. A request with no charges completes
     /// instantly at `submit_vt`.
     pub fn dispatch(&mut self, submit_vt: f64, charges: &[DeviceCharge]) -> Dispatch {
-        self.dispatch_core(submit_vt, charges, None)
+        self.dispatch_core(submit_vt, charges, 0, None)
     }
 
     /// Like [`dispatch`](VirtualScheduler::dispatch), additionally
@@ -109,7 +228,33 @@ impl VirtualScheduler {
         charges: &[DeviceCharge],
     ) -> (Dispatch, Vec<ChargeInterval>) {
         let mut intervals = Vec::with_capacity(charges.len());
-        let dispatch = self.dispatch_core(submit_vt, charges, Some(&mut intervals));
+        let dispatch = self.dispatch_core(submit_vt, charges, 0, Some(&mut intervals));
+        (dispatch, intervals)
+    }
+
+    /// Eager dispatch billed to `tenant` instead of tenant 0 — the
+    /// timeline arithmetic is identical to
+    /// [`dispatch`](VirtualScheduler::dispatch); only the busy /
+    /// queue-delay attribution differs.
+    pub fn dispatch_tagged(
+        &mut self,
+        submit_vt: f64,
+        charges: &[DeviceCharge],
+        tenant: usize,
+    ) -> Dispatch {
+        self.dispatch_core(submit_vt, charges, tenant, None)
+    }
+
+    /// [`dispatch_tagged`](VirtualScheduler::dispatch_tagged) with
+    /// per-charge service windows.
+    pub fn dispatch_tagged_traced(
+        &mut self,
+        submit_vt: f64,
+        charges: &[DeviceCharge],
+        tenant: usize,
+    ) -> (Dispatch, Vec<ChargeInterval>) {
+        let mut intervals = Vec::with_capacity(charges.len());
+        let dispatch = self.dispatch_core(submit_vt, charges, tenant, Some(&mut intervals));
         (dispatch, intervals)
     }
 
@@ -117,19 +262,23 @@ impl VirtualScheduler {
         &mut self,
         submit_vt: f64,
         charges: &[DeviceCharge],
+        tenant: usize,
         mut intervals: Option<&mut Vec<ChargeInterval>>,
     ) -> Dispatch {
         self.dispatched += 1;
+        let n = self.free_at.len();
+        self.tenant_row(tenant);
         let mut started = f64::INFINITY;
         let mut completed = submit_vt;
         let mut total = 0.0;
         let mut device = 0;
         for c in charges {
-            let d = c.device.min(self.free_at.len() - 1);
+            let d = c.device.min(n - 1);
             let start = submit_vt.max(self.free_at[d]);
             let done = start + c.seconds;
             self.free_at[d] = done;
-            self.busy[d] += c.seconds;
+            self.tenant_busy[tenant][d] += c.seconds;
+            self.queue_delay[tenant] += start - submit_vt;
             started = started.min(start);
             if done >= completed {
                 completed = done;
@@ -157,9 +306,188 @@ impl VirtualScheduler {
         }
     }
 
-    /// Busy (service) seconds accumulated per device.
-    pub fn busy_seconds(&self) -> &[f64] {
-        &self.busy
+    // -----------------------------------------------------------------
+    // Queued dispatch: per-device pending queues in policy order
+    // -----------------------------------------------------------------
+
+    /// Queues one request's charges into the per-device pending queues
+    /// instead of placing them immediately; returns a handle
+    /// identifying the operation in the [`ResolvedOp`]s that
+    /// [`advance_to`](Self::advance_to) / [`flush`](Self::flush) hand
+    /// back.
+    ///
+    /// The policy assigns each charge its key now (so SCFQ tags see
+    /// the state at arrival), but nothing is placed on the timeline
+    /// yet. An uncharged request resolves instantly at `submit_vt` and
+    /// is returned by the next `advance_to`/`flush` call.
+    pub fn enqueue(
+        &mut self,
+        user_data: u64,
+        submit_vt: f64,
+        charges: &[DeviceCharge],
+        tag: SchedTag,
+    ) -> u64 {
+        self.dispatched += 1;
+        self.tenant_row(tag.tenant);
+        let handle = self.next_op;
+        self.next_op += 1;
+        if charges.is_empty() {
+            self.ready.push(ResolvedOp {
+                handle,
+                user_data,
+                submit_vt,
+                tenant: tag.tenant,
+                dispatch: Dispatch {
+                    started_vt: submit_vt,
+                    completed_vt: submit_vt,
+                    device_seconds: 0.0,
+                    device: 0,
+                },
+                intervals: Vec::new(),
+            });
+            return handle;
+        }
+        self.ops.insert(
+            handle,
+            PendingOp {
+                user_data,
+                submit_vt,
+                tenant: tag.tenant,
+                left: charges.len(),
+                intervals: vec![None; charges.len()],
+            },
+        );
+        let n = self.free_at.len();
+        for (charge_idx, c) in charges.iter().enumerate() {
+            let d = c.device.min(n - 1);
+            let key = self.policy.enqueue_key(d, &tag, c.seconds);
+            let seq = self.seq;
+            self.seq += 1;
+            self.queues[d].push(PendingCharge {
+                op: handle,
+                charge_idx,
+                submit_vt,
+                seconds: c.seconds,
+                key,
+                seq,
+                tenant: tag.tenant,
+            });
+        }
+        handle
+    }
+
+    /// Resolves queued service while every decision is final, i.e.
+    /// while some device's next decision instant lies strictly before
+    /// `frontier`, and returns the operations that fully completed.
+    ///
+    /// The caller's contract: all arrivals with `submit_vt < frontier`
+    /// have already been [`enqueue`](Self::enqueue)d (open-loop
+    /// drivers submit in nondecreasing virtual time, so passing the
+    /// current arrival instant satisfies this). Under that contract
+    /// the pick each device makes at its decision instant can never be
+    /// changed by a future arrival, which is what keeps reordering
+    /// policies bit-deterministic.
+    ///
+    /// Every operation whose completion instant is `< frontier` is
+    /// guaranteed resolved on return (a charge completing by `t` must
+    /// have started before `t`).
+    pub fn advance_to(&mut self, frontier: f64) -> Vec<ResolvedOp> {
+        let mut out = std::mem::take(&mut self.ready);
+        loop {
+            // The device with the earliest next decision instant (ties
+            // to the lowest index) decides first.
+            let mut best: Option<(f64, usize)> = None;
+            for (d, q) in self.queues.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                let min_submit = q.iter().map(|p| p.submit_vt).fold(f64::INFINITY, f64::min);
+                let t = self.free_at[d].max(min_submit);
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, d));
+                }
+            }
+            let Some((t, d)) = best else { break };
+            if t >= frontier {
+                break;
+            }
+            // Serve the smallest (key, seq) among the charges that
+            // have arrived by the decision instant.
+            let q = &self.queues[d];
+            let mut pick = 0;
+            let mut found = false;
+            for (i, p) in q.iter().enumerate() {
+                if p.submit_vt > t {
+                    continue;
+                }
+                if !found {
+                    pick = i;
+                    found = true;
+                    continue;
+                }
+                let (a, b) = (&q[i], &q[pick]);
+                if a.key < b.key || (a.key == b.key && a.seq < b.seq) {
+                    pick = i;
+                }
+            }
+            debug_assert!(found, "decision instant implies an arrived charge");
+            let p = self.queues[d].swap_remove(pick);
+            let start = p.submit_vt.max(self.free_at[d]);
+            let done = start + p.seconds;
+            self.free_at[d] = done;
+            self.tenant_busy[p.tenant][d] += p.seconds;
+            self.queue_delay[p.tenant] += start - p.submit_vt;
+            self.policy.on_service(d, p.key);
+            let op = self.ops.get_mut(&p.op).expect("charge has a pending op");
+            op.intervals[p.charge_idx] = Some(ChargeInterval {
+                device: d,
+                start_vt: start,
+                end_vt: done,
+                seconds: p.seconds,
+            });
+            op.left -= 1;
+            if op.left == 0 {
+                let op = self.ops.remove(&p.op).expect("pending op");
+                out.push(resolve(p.op, op));
+            }
+        }
+        out
+    }
+
+    /// Resolves everything still pending (end of arrivals).
+    pub fn flush(&mut self) -> Vec<ResolvedOp> {
+        self.advance_to(f64::INFINITY)
+    }
+
+    /// Charges still waiting in the pending queues.
+    pub fn pending_charges(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Busy (service) seconds accumulated per device: the fold of the
+    /// per-tenant rows in tenant order, so
+    /// `tenant_busy_seconds()[t][d]` sums back to `busy_seconds()[d]`
+    /// exactly (same additions, same order).
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.free_at.len()];
+        for row in &self.tenant_busy {
+            for (d, b) in row.iter().enumerate() {
+                out[d] += b;
+            }
+        }
+        out
+    }
+
+    /// Busy seconds per tenant per device (`[tenant][device]`; rows
+    /// exist for every tenant that ever dispatched).
+    pub fn tenant_busy_seconds(&self) -> &[Vec<f64>] {
+        &self.tenant_busy
+    }
+
+    /// Seconds charges spent queued (service start minus submit,
+    /// summed over charges) per tenant.
+    pub fn tenant_queue_delay(&self) -> &[f64] {
+        &self.queue_delay
     }
 
     /// The latest instant any device is booked to — the virtual
@@ -168,7 +496,7 @@ impl VirtualScheduler {
         self.free_at.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Requests dispatched so far.
+    /// Requests dispatched so far (queued requests count at enqueue).
     pub fn dispatched(&self) -> u64 {
         self.dispatched
     }
@@ -177,10 +505,53 @@ impl VirtualScheduler {
     /// (all zeros before anything was charged).
     pub fn utilization(&self) -> Vec<f64> {
         let horizon = self.horizon();
+        let busy = self.busy_seconds();
         if horizon <= 0.0 {
-            return vec![0.0; self.busy.len()];
+            return vec![0.0; busy.len()];
         }
-        self.busy.iter().map(|b| b / horizon).collect()
+        busy.iter().map(|b| b / horizon).collect()
+    }
+}
+
+/// Folds a fully-served pending op into its [`ResolvedOp`] with the
+/// exact `dispatch_core` arithmetic: fold per-charge windows in
+/// original charge order with `min` for the start and the
+/// `done >= completed` rule for the completing device, starting from
+/// `completed = submit_vt`.
+fn resolve(handle: u64, op: PendingOp) -> ResolvedOp {
+    let intervals: Vec<ChargeInterval> = op
+        .intervals
+        .into_iter()
+        .map(|iv| iv.expect("all charges served"))
+        .collect();
+    let mut started = f64::INFINITY;
+    let mut completed = op.submit_vt;
+    let mut total = 0.0;
+    let mut device = 0;
+    for iv in &intervals {
+        started = started.min(iv.start_vt);
+        if iv.end_vt >= completed {
+            completed = iv.end_vt;
+            device = iv.device;
+        }
+        total += iv.seconds;
+    }
+    ResolvedOp {
+        handle,
+        user_data: op.user_data,
+        submit_vt: op.submit_vt,
+        tenant: op.tenant,
+        dispatch: Dispatch {
+            started_vt: if started.is_finite() {
+                started
+            } else {
+                op.submit_vt
+            },
+            completed_vt: completed,
+            device_seconds: total,
+            device,
+        },
+        intervals,
     }
 }
 
@@ -274,5 +645,162 @@ mod tests {
         let d = s.dispatch(0.0, &[charge(9, 1.0)]);
         assert_eq!(d.device, 0);
         assert_eq!(s.busy_seconds(), &[1.0]);
+    }
+
+    #[test]
+    fn tagged_dispatch_attributes_busy_per_tenant() {
+        let mut s = VirtualScheduler::new(2);
+        s.dispatch_tagged(0.0, &[charge(0, 1.0)], 0);
+        s.dispatch_tagged(0.0, &[charge(0, 0.5), charge(1, 0.25)], 2);
+        let by_tenant = s.tenant_busy_seconds();
+        assert_eq!(by_tenant.len(), 3);
+        assert_eq!(by_tenant[0], vec![1.0, 0.0]);
+        assert_eq!(by_tenant[1], vec![0.0, 0.0]);
+        assert_eq!(by_tenant[2], vec![0.5, 0.25]);
+        // Device totals are the fold of the tenant rows.
+        assert_eq!(s.busy_seconds(), &[1.5, 0.25]);
+        // Tenant 2's device-0 charge waited behind tenant 0's.
+        assert_eq!(s.tenant_queue_delay(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn queued_fifo_replays_eager_dispatch_bitwise() {
+        // The queued path under FIFO must reproduce the eager path's
+        // timeline exactly: same starts, same completions, same busy
+        // accumulation — including multi-charge ops that serialize on
+        // one device while overlapping on another.
+        let stream: [(f64, Vec<DeviceCharge>); 5] = [
+            (0.0, vec![charge(0, 0.5), charge(1, 0.25), charge(0, 0.125)]),
+            (0.1, vec![charge(1, 0.5)]),
+            (0.2, vec![]),
+            (0.7, vec![charge(0, 0.25), charge(1, 0.03125)]),
+            (2.0, vec![charge(0, 0.0625)]),
+        ];
+        let mut eager = VirtualScheduler::new(2);
+        let eager_out: Vec<(Dispatch, Vec<ChargeInterval>)> = stream
+            .iter()
+            .map(|(vt, charges)| eager.dispatch_traced(*vt, charges))
+            .collect();
+
+        let mut queued = VirtualScheduler::with_policy(2, SchedPolicyKind::Fifo);
+        let mut resolved = Vec::new();
+        for (i, (vt, charges)) in stream.iter().enumerate() {
+            queued.enqueue(i as u64, *vt, charges, SchedTag::default());
+            resolved.extend(queued.advance_to(*vt));
+        }
+        resolved.extend(queued.flush());
+        assert_eq!(resolved.len(), stream.len());
+        resolved.sort_by_key(|r| r.user_data);
+        for (r, (d, ivs)) in resolved.iter().zip(&eager_out) {
+            assert_eq!(&r.dispatch, d);
+            assert_eq!(&r.intervals, ivs);
+        }
+        assert_eq!(eager.busy_seconds(), queued.busy_seconds());
+        assert_eq!(eager.horizon(), queued.horizon());
+        assert_eq!(eager.dispatched(), queued.dispatched());
+    }
+
+    #[test]
+    fn strict_priority_jumps_the_queue() {
+        let mut s = VirtualScheduler::with_policy(1, SchedPolicyKind::StrictPriority);
+        let lo = SchedTag::default();
+        let hi = SchedTag {
+            tenant: 1,
+            priority: 5,
+            ..SchedTag::default()
+        };
+        s.enqueue(0, 0.0, &[charge(0, 1.0)], lo); // in service
+        s.enqueue(1, 0.1, &[charge(0, 1.0)], lo); // queued
+        s.enqueue(2, 0.2, &[charge(0, 1.0)], hi); // queued, high prio
+        let done = s.flush();
+        let order: Vec<u64> = done.iter().map(|r| r.user_data).collect();
+        assert_eq!(order, [0, 2, 1]);
+        // Non-preemptive: the high-priority op waits for the charge in
+        // service, then starts before the earlier low-priority one.
+        assert_eq!(done[1].dispatch.started_vt, 1.0);
+        assert_eq!(done[2].dispatch.started_vt, 2.0);
+    }
+
+    #[test]
+    fn weighted_fair_shares_in_weight_proportion() {
+        // Two backlogged tenants, weights 3:1, equal demands: over any
+        // service prefix the heavy tenant accumulates ≈3× the busy
+        // seconds.
+        let mut s = VirtualScheduler::with_policy(1, SchedPolicyKind::WeightedFair);
+        let heavy = SchedTag {
+            tenant: 0,
+            weight: 3.0,
+            ..SchedTag::default()
+        };
+        let light = SchedTag {
+            tenant: 1,
+            weight: 1.0,
+            ..SchedTag::default()
+        };
+        for i in 0..12u64 {
+            s.enqueue(i, 0.0, &[charge(0, 1.0)], heavy);
+            s.enqueue(100 + i, 0.0, &[charge(0, 1.0)], light);
+        }
+        // Resolve only the first 8 services (frontier bounds nothing
+        // here — everything arrived at 0 — so cut by count instead).
+        let done = s.flush();
+        let first8: Vec<usize> = done.iter().take(8).map(|r| r.tenant).collect();
+        let heavy_served = first8.iter().filter(|t| **t == 0).count();
+        assert_eq!(
+            heavy_served, 6,
+            "3:1 weights serve 6 of 8 heavy: {first8:?}"
+        );
+        // All 24 seconds land somewhere; conservation is exact.
+        assert_eq!(s.busy_seconds(), &[24.0]);
+        assert_eq!(s.tenant_busy_seconds()[0][0], 12.0);
+        assert_eq!(s.tenant_busy_seconds()[1][0], 12.0);
+    }
+
+    #[test]
+    fn deadline_serves_urgent_first() {
+        let mut s = VirtualScheduler::with_policy(1, SchedPolicyKind::Deadline);
+        let relaxed = SchedTag {
+            deadline_vt: 100.0,
+            ..SchedTag::default()
+        };
+        let urgent = SchedTag {
+            tenant: 1,
+            deadline_vt: 2.0,
+            ..SchedTag::default()
+        };
+        s.enqueue(0, 0.0, &[charge(0, 1.0)], relaxed);
+        s.enqueue(1, 0.0, &[charge(0, 1.0)], relaxed);
+        s.enqueue(2, 0.1, &[charge(0, 1.0)], urgent);
+        let order: Vec<u64> = s.flush().iter().map(|r| r.user_data).collect();
+        assert_eq!(order, [0, 2, 1]);
+    }
+
+    #[test]
+    fn advance_respects_the_arrival_frontier() {
+        let mut s = VirtualScheduler::with_policy(1, SchedPolicyKind::StrictPriority);
+        s.enqueue(0, 0.0, &[charge(0, 1.0)], SchedTag::default());
+        // The decision instant (0.0) is not strictly before the
+        // frontier (0.0): nothing resolves — a later arrival at 0.0
+        // could still win the pick.
+        assert!(s.advance_to(0.0).is_empty());
+        assert_eq!(s.pending_charges(), 1);
+        // Past the frontier the pick is final.
+        let done = s.advance_to(0.5);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].dispatch.completed_vt, 1.0);
+        assert_eq!(s.pending_charges(), 0);
+    }
+
+    #[test]
+    fn uncharged_queued_ops_resolve_instantly() {
+        let mut s = VirtualScheduler::with_policy(2, SchedPolicyKind::WeightedFair);
+        s.enqueue(7, 3.0, &[], SchedTag::for_tenant(1));
+        let done = s.flush();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].user_data, 7);
+        assert_eq!(done[0].tenant, 1);
+        assert_eq!(done[0].dispatch.started_vt, 3.0);
+        assert_eq!(done[0].dispatch.completed_vt, 3.0);
+        assert_eq!(done[0].dispatch.device_seconds, 0.0);
     }
 }

@@ -1,6 +1,7 @@
 //! [`DatasetBuilder`]: one validated entry point folding the codec
 //! ([`StoreOptions`]), engine ([`EngineConfig`]), and serving knobs.
 
+use super::tenant::TenantSpec;
 use super::Dataset;
 use crate::codec::{encode_sharded, ShardedStore, StoreOptions};
 use crate::engine::{EngineConfig, StoreEngine};
@@ -78,6 +79,7 @@ pub struct DatasetBuilder {
     queue_depth: usize,
     tracing: bool,
     tracing_capacity: Option<usize>,
+    tenants: Vec<TenantSpec>,
 }
 
 impl Default for DatasetBuilder {
@@ -98,6 +100,7 @@ impl Default for DatasetBuilder {
             queue_depth: 32,
             tracing: false,
             tracing_capacity: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -232,6 +235,35 @@ impl DatasetBuilder {
         self
     }
 
+    /// Registers one tenant; its [`TenantId`](super::TenantId) is its
+    /// registration order. With no tenants registered the dataset
+    /// serves the single default tenant. Open tenant-bound sessions
+    /// with [`Dataset::session_for`](super::Dataset::session_for);
+    /// [`Dataset::drive_tenants`](super::MultiTenantSpec) measures
+    /// tenants against each other under a chosen scheduling policy.
+    ///
+    /// ```
+    /// use sage_store::client::{DatasetBuilder, TenantId, TenantSpec};
+    /// use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    ///
+    /// # fn main() -> Result<(), sage_store::StoreError> {
+    /// let ds = simulate_dataset(&DatasetProfile::tiny_short(), 7);
+    /// let dataset = DatasetBuilder::new()
+    ///     .chunk_reads(32)
+    ///     .tenant(TenantSpec::named("frontend").with_priority(200).with_weight(4.0))
+    ///     .tenant(TenantSpec::named("batch").with_admission(8))
+    ///     .encode(&ds.reads)?;
+    /// assert_eq!(dataset.tenants().len(), 2);
+    /// let fg = dataset.session_for(TenantId(0))?;
+    /// assert_eq!(fg.tenant_spec().name, "frontend");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn tenant(mut self, spec: TenantSpec) -> DatasetBuilder {
+        self.tenants.push(spec);
+        self
+    }
+
     /// Validates the folded configuration and splits it back into the
     /// layer configs.
     fn validate(&self) -> std::result::Result<(StoreOptions, EngineConfig), ConfigError> {
@@ -260,6 +292,9 @@ impl DatasetBuilder {
         }
         if self.tracing_capacity == Some(0) {
             return Err(ConfigError::ZeroTraceCapacity);
+        }
+        for tenant in &self.tenants {
+            tenant.validate()?;
         }
         let store_opts = StoreOptions {
             reads_per_chunk: self.reads_per_chunk,
@@ -313,12 +348,13 @@ impl DatasetBuilder {
 
     fn serve_engine(&self, sharded: ShardedStore, engine_cfg: EngineConfig) -> Result<Dataset> {
         let engine = Arc::new(StoreEngine::try_open(sharded, engine_cfg)?);
-        Dataset::serve_with(
+        Dataset::serve_multi(
             engine,
             self.server_workers,
             self.queue_depth,
             self.tracing,
             self.tracing_capacity,
+            self.tenants.clone(),
         )
     }
 }

@@ -20,7 +20,7 @@ use super::Dataset;
 use crate::engine::{EngineBackend, OpValue, StoreOp};
 use crate::obs::{LogHistogram, OpSpan};
 use crate::Result;
-use sage_io::{IoConfig, Reactor};
+use sage_io::{IoConfig, Reactor, SchedPolicyKind};
 use std::sync::Arc;
 
 /// Sizing of one closed-loop drive.
@@ -150,6 +150,7 @@ impl Dataset {
                 queue_depth: spec.clients.max(1),
                 devices,
                 record_intervals: trace_buf.is_some(),
+                policy: SchedPolicyKind::Fifo,
             },
         );
         let cq = reactor.completions();
@@ -200,6 +201,7 @@ impl Dataset {
             if let Some(buf) = &trace_buf {
                 buf.record(OpSpan {
                     token,
+                    tenant: 0,
                     kind: kind.label(),
                     submitted_vt,
                     started_vt,

@@ -60,12 +60,14 @@ mod builder;
 mod driver;
 mod session;
 mod stats;
+mod tenant;
 pub mod workload;
 
 pub use builder::DatasetBuilder;
 pub use driver::{range_for, ClosedLoopSpec, LoadReport};
 pub use session::{Dataset, ServerStats, Session};
 pub use stats::{percentile, LatencyByKind, LatencyStats};
+pub use tenant::{MultiQosReport, MultiTenantSpec, TenantId, TenantLoad, TenantSpec};
 
 use crate::engine::OpValue;
 use crate::view::ReadView;
@@ -163,10 +165,18 @@ impl OpReport {
     }
 
     /// The operation as an [`OpSpan`](crate::obs::OpSpan) for trace
-    /// recording, tagged with its submission `token` and kind label.
+    /// recording, tagged with its submission `token` and kind label,
+    /// attributed to the default tenant (0).
     pub fn to_span(&self, token: u64, kind: &'static str) -> crate::obs::OpSpan {
+        self.to_span_for(token, kind, 0)
+    }
+
+    /// [`OpReport::to_span`] with explicit tenant attribution — the
+    /// form multi-tenant serving paths use.
+    pub fn to_span_for(&self, token: u64, kind: &'static str, tenant: usize) -> crate::obs::OpSpan {
         crate::obs::OpSpan {
             token,
+            tenant,
             kind,
             submitted_vt: self.submitted_vt,
             started_vt: self.started_vt,

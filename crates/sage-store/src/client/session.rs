@@ -1,6 +1,7 @@
 //! The serving core: [`Dataset`] (engine + reactor + dispatcher) and
 //! [`Session`] (the typed submission front end).
 
+use super::tenant::{TenantId, TenantSpec};
 use super::{extract_appended, extract_reads, OpReport, Payload, SubmitMode, Ticket};
 use crate::engine::{EngineBackend, StoreEngine, StoreOp};
 use crate::lru::{CacheSnapshot, StripeSnapshot};
@@ -10,7 +11,9 @@ use crate::timing::TimingSnapshot;
 use crate::view::ReadView;
 use crate::{Result, StoreError};
 use sage_genomics::{Read, ReadSet};
-use sage_io::{Cqe, DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SubmitError};
+use sage_io::{
+    Cqe, DeviceSnapshot, IoConfig, Reactor, ReactorSnapshot, SchedPolicyKind, SubmitError,
+};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,8 +38,8 @@ pub struct ServerStats {
 }
 
 /// In-flight submissions by token: each op's ticket channel plus its
-/// kind label (for span recording).
-type PendingMap = Mutex<HashMap<u64, (SyncSender<Payload>, &'static str)>>;
+/// kind label and tenant (for span recording).
+type PendingMap = Mutex<HashMap<u64, (SyncSender<Payload>, &'static str, usize)>>;
 
 /// The shared serving state behind [`Dataset`] and every [`Session`].
 #[derive(Debug)]
@@ -53,6 +56,10 @@ pub(crate) struct ServeCore {
     cancelled: Arc<AtomicU64>,
     /// The dataset's span sink; `None` when tracing is off.
     trace: Option<Arc<TraceBuffer>>,
+    /// Registered tenants, in [`TenantId`] order; never empty (a
+    /// dataset serving without explicit tenants gets the one default
+    /// tenant).
+    tenants: Vec<TenantSpec>,
 }
 
 impl ServeCore {
@@ -61,6 +68,7 @@ impl ServeCore {
         workers: usize,
         queue_depth: usize,
         trace: Option<Arc<TraceBuffer>>,
+        tenants: Vec<TenantSpec>,
     ) -> ServeCore {
         let reactor = Reactor::start(
             Arc::new(EngineBackend::new(Arc::clone(&engine))),
@@ -69,6 +77,7 @@ impl ServeCore {
                 queue_depth,
                 devices: engine.n_devices().max(1),
                 record_intervals: trace.is_some(),
+                policy: SchedPolicyKind::Fifo,
             },
         );
         let pending: Arc<PendingMap> = Arc::new(Mutex::new(HashMap::new()));
@@ -109,12 +118,13 @@ impl ServeCore {
                     // carries its final instants — observation only,
                     // never on the virtual timeline.
                     if let (Some(buf), Ok((_, report))) = (trace_buf.as_ref(), payload.as_ref()) {
-                        let kind = entry.as_ref().map_or("op", |(_, k)| *k);
-                        buf.record(report.to_span(user_data, kind));
+                        let kind = entry.as_ref().map_or("op", |(_, k, _)| *k);
+                        let tenant = entry.as_ref().map_or(0, |(_, _, t)| *t);
+                        buf.record(report.to_span_for(user_data, kind, tenant));
                     }
                     // A client that dropped its ticket is not an
                     // error; its send just goes nowhere.
-                    if let Some((tx, _)) = entry {
+                    if let Some((tx, _, _)) = entry {
                         let _ = tx.send(payload);
                     }
                 }
@@ -122,7 +132,7 @@ impl ServeCore {
                 // when serving stopped and will never execute.
                 // Resolve those tickets with a typed error instead of
                 // letting their owners hang.
-                for (_, (tx, _)) in pending.lock().expect("pending poisoned").drain() {
+                for (_, (tx, _, _)) in pending.lock().expect("pending poisoned").drain() {
                     cancelled.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(Err(StoreError::Cancelled));
                 }
@@ -136,15 +146,20 @@ impl ServeCore {
             next_token: AtomicU64::new(0),
             cancelled,
             trace,
+            tenants,
         }
     }
 
-    /// Submits one op, registering a ticket channel for its answer.
+    /// Submits one op for `tenant`, registering a ticket channel for
+    /// its answer. The tenant's spec becomes the op's scheduling tag
+    /// (inert under the serve path's FIFO policy beyond per-tenant
+    /// busy attribution) and its span attribution.
     pub(crate) fn submit(
         &self,
         op: StoreOp,
         submit_vt: f64,
         mode: SubmitMode,
+        tenant: TenantId,
     ) -> Result<std::sync::mpsc::Receiver<Payload>> {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let kind = match &op {
@@ -152,11 +167,15 @@ impl ServeCore {
             StoreOp::Scan(_) => "scan",
             StoreOp::Append(_) => "append",
         };
+        let tag = self
+            .tenants
+            .get(tenant.index())
+            .map_or_else(Default::default, |spec| spec.tag(tenant, submit_vt));
         let (tx, rx) = sync_channel(1);
         self.pending
             .lock()
             .expect("pending poisoned")
-            .insert(token, (tx, kind));
+            .insert(token, (tx, kind, tenant.index()));
         let unregister = || {
             self.pending
                 .lock()
@@ -169,8 +188,8 @@ impl ServeCore {
             return Err(StoreError::QueueClosed);
         };
         let pushed = match mode {
-            SubmitMode::Block => reactor.submit(op, token, submit_vt),
-            SubmitMode::Fail => reactor.try_submit(op, token, submit_vt),
+            SubmitMode::Block => reactor.submit_tagged(op, token, submit_vt, tag),
+            SubmitMode::Fail => reactor.try_submit_tagged(op, token, submit_vt, tag),
         };
         match pushed {
             Ok(()) => Ok(rx),
@@ -216,6 +235,8 @@ impl ServeCore {
                 completed: 0,
                 queued: 0,
                 device_busy: Vec::new(),
+                tenant_busy: Vec::new(),
+                tenant_queue_delay: Vec::new(),
                 horizon: 0.0,
                 utilization: Vec::new(),
             })
@@ -328,6 +349,35 @@ impl Dataset {
         tracing: bool,
         trace_capacity: Option<usize>,
     ) -> Result<Dataset> {
+        Dataset::serve_multi(
+            engine,
+            workers,
+            queue_depth,
+            tracing,
+            trace_capacity,
+            Vec::new(),
+        )
+    }
+
+    /// [`Dataset::serve_with`] with explicit tenants: each registered
+    /// [`TenantSpec`] gets a [`TenantId`] in list order, sessions
+    /// opened via [`Dataset::session_for`] submit under that tenant's
+    /// scheduling tag, and recorded spans carry the tenant. An empty
+    /// list serves the single default tenant (identical to
+    /// [`Dataset::serve_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] for degenerate sizing or an invalid
+    /// tenant spec.
+    pub fn serve_multi(
+        engine: Arc<StoreEngine>,
+        workers: usize,
+        queue_depth: usize,
+        tracing: bool,
+        trace_capacity: Option<usize>,
+        tenants: Vec<TenantSpec>,
+    ) -> Result<Dataset> {
         if workers == 0 {
             return Err(crate::ConfigError::ZeroServerWorkers.into());
         }
@@ -337,6 +387,14 @@ impl Dataset {
         if trace_capacity == Some(0) {
             return Err(crate::ConfigError::ZeroTraceCapacity.into());
         }
+        let tenants = if tenants.is_empty() {
+            vec![TenantSpec::default()]
+        } else {
+            for spec in &tenants {
+                spec.validate()?;
+            }
+            tenants
+        };
         let trace = tracing.then(|| {
             Arc::new(match trace_capacity {
                 Some(cap) => TraceBuffer::with_capacity(cap),
@@ -344,16 +402,49 @@ impl Dataset {
             })
         });
         Ok(Dataset {
-            core: Arc::new(ServeCore::start(engine, workers, queue_depth, trace)),
+            core: Arc::new(ServeCore::start(
+                engine,
+                workers,
+                queue_depth,
+                trace,
+                tenants,
+            )),
         })
     }
 
-    /// Opens a session (cheap; any number may coexist).
+    /// Opens a session as the default tenant (cheap; any number may
+    /// coexist).
     pub fn session(&self) -> Session {
         Session {
             core: Arc::clone(&self.core),
             mode: SubmitMode::Block,
+            tenant: TenantId::DEFAULT,
         }
+    }
+
+    /// Opens a session submitting as `tenant`: its operations carry
+    /// the tenant's scheduling tag and its recorded spans are
+    /// attributed to it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Config`] ([`ConfigError::UnknownTenant`](crate::ConfigError::UnknownTenant))
+    /// when no tenant is registered under `tenant`.
+    pub fn session_for(&self, tenant: TenantId) -> Result<Session> {
+        if tenant.index() >= self.core.tenants.len() {
+            return Err(crate::ConfigError::UnknownTenant.into());
+        }
+        Ok(Session {
+            core: Arc::clone(&self.core),
+            mode: SubmitMode::Block,
+            tenant,
+        })
+    }
+
+    /// The registered tenants, in [`TenantId`] order (never empty —
+    /// index 0 is the default tenant).
+    pub fn tenants(&self) -> &[TenantSpec] {
+        &self.core.tenants
     }
 
     /// The engine behind the dataset.
@@ -525,6 +616,7 @@ impl Dataset {
 pub struct Session {
     core: Arc<ServeCore>,
     mode: SubmitMode,
+    tenant: TenantId,
 }
 
 impl Session {
@@ -537,6 +629,17 @@ impl Session {
     /// The session's full-queue behavior.
     pub fn mode(&self) -> SubmitMode {
         self.mode
+    }
+
+    /// The tenant this session submits as (the default tenant unless
+    /// opened via [`Dataset::session_for`]).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The spec of the tenant this session submits as.
+    pub fn tenant_spec(&self) -> TenantSpec {
+        self.core.tenants[self.tenant.index()]
     }
 
     /// Submits a `Get` for reads `range` (dataset-global ids,
@@ -561,7 +664,7 @@ impl Session {
     pub fn get_at(&self, range: Range<u64>, submit_vt: f64) -> Result<Ticket<ReadView>> {
         let rx = self
             .core
-            .submit(StoreOp::Get(range), submit_vt, self.mode)?;
+            .submit(StoreOp::Get(range), submit_vt, self.mode, self.tenant)?;
         Ok(Ticket::new(rx, extract_reads))
     }
 
@@ -587,9 +690,12 @@ impl Session {
     where
         F: Fn(&Read) -> bool + Send + 'static,
     {
-        let rx = self
-            .core
-            .submit(StoreOp::Scan(Box::new(predicate)), submit_vt, self.mode)?;
+        let rx = self.core.submit(
+            StoreOp::Scan(Box::new(predicate)),
+            submit_vt,
+            self.mode,
+            self.tenant,
+        )?;
         Ok(Ticket::new(rx, extract_reads))
     }
 
@@ -609,9 +715,12 @@ impl Session {
     ///
     /// Same as [`Session::get`].
     pub fn append_at(&self, reads: &ReadSet, submit_vt: f64) -> Result<Ticket<u64>> {
-        let rx = self
-            .core
-            .submit(StoreOp::Append(reads.clone()), submit_vt, self.mode)?;
+        let rx = self.core.submit(
+            StoreOp::Append(reads.clone()),
+            submit_vt,
+            self.mode,
+            self.tenant,
+        )?;
         Ok(Ticket::new(rx, extract_appended))
     }
 }

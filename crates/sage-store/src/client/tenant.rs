@@ -1,0 +1,798 @@
+//! Multi-tenant QoS: tenant identities, per-tenant service specs, and
+//! the multi-tenant open-loop driver.
+//!
+//! A [`TenantSpec`] declares how one tenant's operations are treated
+//! by the serving stack: its scheduling `priority` (strict-priority
+//! policy), fair-share `weight` (weighted-fair policy), per-op
+//! deadline derived from its `slo` (deadline policy), and an
+//! `admission` occupancy cap that sheds the tenant's arrivals *before*
+//! they queue. Tenants are registered on the
+//! [`DatasetBuilder`](super::DatasetBuilder) in order; their index is
+//! their [`TenantId`], and tenant 0 is the default every untagged
+//! submission is attributed to.
+//!
+//! [`Dataset::drive_tenants`] is the measurement harness: each tenant
+//! offers an independent seeded open-loop stream ([`TenantLoad`]), the
+//! streams are merged on the virtual timeline by arrival instant, and
+//! the device scheduler orders the pending work by the configured
+//! [`SchedPolicyKind`]. With one worker the whole drive is
+//! bit-deterministic, and with a single default tenant under the
+//! `Fifo` policy it reproduces [`Dataset::drive_open_loop`]'s
+//! [`QosReport`] exactly (property-tested in `tests/prop_qos.rs`).
+
+use super::stats::{LatencyByKind, LatencyStats};
+use super::workload::{
+    Arrivals, OpKind, OpKindStats, OpMix, OpStream, Pattern, QosReport, ShedEvent, WorkloadRng,
+    ARRIVAL_STREAM, OP_STREAM, SHED_STREAM,
+};
+use super::Dataset;
+use crate::engine::{EngineBackend, OpValue};
+use crate::obs::LogHistogram;
+use crate::{ConfigError, Result};
+use sage_genomics::ReadSet;
+use sage_io::{IoConfig, Reactor, SchedPolicyKind, SchedTag};
+use std::sync::Arc;
+
+/// A tenant's identity on a dataset: its registration index.
+///
+/// Tenants are registered on the builder
+/// ([`DatasetBuilder::tenant`](super::DatasetBuilder::tenant)) or
+/// listed in a [`MultiTenantSpec`]; the first registered tenant is
+/// `TenantId(0)`, which is also the default tenant every untagged
+/// submission belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub usize);
+
+impl TenantId {
+    /// The default tenant (index 0).
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The tenant's registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How the serving stack treats one tenant's operations.
+///
+/// Each field feeds a different scheduling policy, so one spec
+/// describes the tenant under every policy the sweep compares:
+///
+/// | field       | consumed by                        |
+/// |-------------|------------------------------------|
+/// | `priority`  | [`SchedPolicyKind::StrictPriority`] |
+/// | `weight`    | [`SchedPolicyKind::WeightedFair`]  |
+/// | `slo`       | [`SchedPolicyKind::Deadline`] (per-op deadline = submit + slo) |
+/// | `admission` | the open-loop drivers' admission control |
+///
+/// ```
+/// use sage_store::client::TenantSpec;
+///
+/// // A latency-sensitive foreground tenant: high priority, 4× the
+/// // fair share, a 50 ms SLO, and no extra admission cap.
+/// let fg = TenantSpec::named("frontend")
+///     .with_priority(200)
+///     .with_weight(4.0)
+///     .with_slo(0.050);
+/// assert_eq!(fg.priority, 200);
+/// assert_eq!(fg.slo, Some(0.050));
+///
+/// // A best-effort scan tenant shed once 8 of its ops are in flight.
+/// let bg = TenantSpec::named("batch").with_admission(8);
+/// assert_eq!(bg.admission, Some(8));
+/// assert!(fg.validate().is_ok() && bg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// Display label for sweep tables and bench JSON.
+    pub name: &'static str,
+    /// Strict-priority rank: higher is served first (255 is the
+    /// highest).
+    pub priority: u8,
+    /// Weighted-fair share of device time relative to other tenants.
+    pub weight: f64,
+    /// Latency objective in virtual seconds; under the deadline
+    /// policy each op's deadline is its submit instant plus this.
+    /// `None` means no deadline (served after every deadlined op).
+    pub slo: Option<f64>,
+    /// Admission cap: an arrival of this tenant that finds at least
+    /// this many operations occupying the virtual queue is shed, even
+    /// when the global queue bound still has room. `None` applies
+    /// only the global bound.
+    pub admission: Option<usize>,
+}
+
+impl Default for TenantSpec {
+    fn default() -> TenantSpec {
+        TenantSpec {
+            name: "default",
+            priority: 0,
+            weight: 1.0,
+            slo: None,
+            admission: None,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// The default spec (priority 0, weight 1, no SLO, no admission
+    /// cap) under `name`.
+    pub fn named(name: &'static str) -> TenantSpec {
+        TenantSpec {
+            name,
+            ..TenantSpec::default()
+        }
+    }
+
+    /// Returns the spec with a strict-priority rank.
+    pub fn with_priority(mut self, priority: u8) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns the spec with a weighted-fair share.
+    pub fn with_weight(mut self, weight: f64) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Returns the spec with a latency SLO (virtual seconds).
+    pub fn with_slo(mut self, slo: f64) -> TenantSpec {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Returns the spec with an admission occupancy cap.
+    pub fn with_admission(mut self, cap: usize) -> TenantSpec {
+        self.admission = Some(cap);
+        self
+    }
+
+    /// The scheduling tag for one operation of this tenant, submitted
+    /// at `submit_vt`.
+    pub fn tag(&self, tenant: TenantId, submit_vt: f64) -> SchedTag {
+        SchedTag {
+            tenant: tenant.index(),
+            priority: self.priority,
+            weight: self.weight,
+            deadline_vt: self.slo.map_or(f64::INFINITY, |s| submit_vt + s),
+        }
+    }
+
+    /// Checks the spec's knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::BadTenant`] when the weight or SLO is not a
+    /// positive finite number, or the admission cap is zero.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(ConfigError::BadTenant);
+        }
+        if let Some(slo) = self.slo {
+            if !(slo.is_finite() && slo > 0.0) {
+                return Err(ConfigError::BadTenant);
+            }
+        }
+        if self.admission == Some(0) {
+            return Err(ConfigError::BadTenant);
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's offered open-loop load in a multi-tenant drive: its
+/// own arrival process, access pattern, op mix, request count, and
+/// seed — the same vocabulary as
+/// [`OpenLoopSpec`](super::workload::OpenLoopSpec), minus the shared
+/// serving knobs the [`MultiTenantSpec`] carries once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// The arrival process injecting this tenant's requests.
+    pub arrivals: Arrivals,
+    /// The access pattern generating its read ranges.
+    pub pattern: Pattern,
+    /// Its operation-kind weights.
+    pub mix: OpMix,
+    /// Arrivals to generate for this tenant (sheds included).
+    pub requests: u64,
+    /// Seed deriving this tenant's arrival and op streams.
+    pub seed: u64,
+}
+
+impl TenantLoad {
+    /// A load with the open-loop defaults: uniform 16-read gets, 256
+    /// requests, seed `0x5a6e`.
+    pub fn new(arrivals: Arrivals) -> TenantLoad {
+        TenantLoad {
+            arrivals,
+            pattern: Pattern::Uniform { span: 16 },
+            mix: OpMix::gets(),
+            requests: 256,
+            seed: 0x5a6e,
+        }
+    }
+
+    /// Checks the load's generators.
+    ///
+    /// # Errors
+    ///
+    /// The first failing knob's [`ConfigError`].
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        self.arrivals.validate()?;
+        self.pattern.validate()?;
+        self.mix.validate()
+    }
+}
+
+/// Sizing of one multi-tenant open-loop drive: the scheduling policy
+/// under test, the shared serving knobs, and one `(TenantSpec,
+/// TenantLoad)` pair per tenant (registration order is
+/// [`TenantId`] order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantSpec {
+    /// Device scheduling policy ordering the pending work.
+    pub policy: SchedPolicyKind,
+    /// Global virtual queue bound (per-tenant `admission` caps
+    /// tighten it per tenant).
+    pub queue_depth: usize,
+    /// Reactor worker threads; 1 keeps the drive bit-deterministic.
+    pub workers: usize,
+    /// The tenants, in [`TenantId`] order.
+    pub tenants: Vec<(TenantSpec, TenantLoad)>,
+}
+
+impl MultiTenantSpec {
+    /// A spec under `policy` with a 64-deep queue, one worker, and no
+    /// tenants yet (add them with [`MultiTenantSpec::tenant`]).
+    pub fn new(policy: SchedPolicyKind) -> MultiTenantSpec {
+        MultiTenantSpec {
+            policy,
+            queue_depth: 64,
+            workers: 1,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Appends one tenant; its [`TenantId`] is its position.
+    pub fn tenant(mut self, spec: TenantSpec, load: TenantLoad) -> MultiTenantSpec {
+        self.tenants.push((spec, load));
+        self
+    }
+
+    /// Checks every knob.
+    ///
+    /// # Errors
+    ///
+    /// The first failing knob's [`ConfigError`];
+    /// [`ConfigError::BadTenant`] when no tenants are configured.
+    pub fn validate(&self) -> std::result::Result<(), ConfigError> {
+        if self.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroServerWorkers);
+        }
+        if self.tenants.is_empty() {
+            return Err(ConfigError::BadTenant);
+        }
+        for (spec, load) in &self.tenants {
+            spec.validate()?;
+            load.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// What a multi-tenant drive measured: one full [`QosReport`] per
+/// tenant plus the run-level scheduler accounting the conservation
+/// property is asserted on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiQosReport {
+    /// The scheduling policy the drive ran under.
+    pub policy: SchedPolicyKind,
+    /// Per-tenant reports, in [`TenantId`] order. Each tenant's
+    /// `device_busy` is its *own* attributed service seconds
+    /// (`tenant_busy` row), its rates and utilization are over its
+    /// own makespan.
+    pub tenants: Vec<QosReport>,
+    /// Busy seconds per tenant per device, from the scheduler's
+    /// accounting — the per-device fold across rows equals
+    /// `device_busy` bit-for-bit.
+    pub tenant_busy: Vec<Vec<f64>>,
+    /// Virtual seconds each tenant's charges spent queued before
+    /// service.
+    pub tenant_queue_delay: Vec<f64>,
+    /// Busy seconds per device across all tenants.
+    pub device_busy: Vec<f64>,
+    /// The run's virtual makespan (latest completion of any tenant).
+    pub makespan: f64,
+}
+
+impl MultiQosReport {
+    /// One tenant's report.
+    pub fn tenant(&self, id: TenantId) -> &QosReport {
+        &self.tenants[id.index()]
+    }
+
+    /// Shed arrivals per tenant, in [`TenantId`] order.
+    pub fn shed_by_tenant(&self) -> Vec<u64> {
+        self.tenants.iter().map(|t| t.shed).collect()
+    }
+}
+
+/// One tenant's live generator state during a drive.
+struct TenantStream {
+    arrivals: Box<dyn super::workload::ArrivalProcess>,
+    arrival_rng: WorkloadRng,
+    ops: OpStream,
+    shed_rng: WorkloadRng,
+    /// Next arrival instant (valid while `remaining > 0`).
+    next_at: f64,
+    /// Arrivals left to generate.
+    remaining: u64,
+    /// Instant of the last generated arrival (the tenant's offered
+    /// span).
+    last_at: f64,
+    shed_events: Vec<ShedEvent>,
+}
+
+impl Dataset {
+    /// Drives several tenants' open-loop streams against one reactor
+    /// under a chosen scheduling policy, merged on the virtual
+    /// timeline by arrival instant (ties go to the lower
+    /// [`TenantId`]).
+    ///
+    /// Unlike [`Dataset::drive_open_loop`] — which serializes
+    /// execution in lockstep — admitted operations here *queue* at
+    /// the device scheduler, and the policy decides service order: a
+    /// high-priority arrival can start before an earlier-submitted
+    /// low-priority one. Admission control runs per arrival: an
+    /// arrival that finds the virtual queue holding at least
+    /// `min(queue_depth, its tenant's admission cap)` incomplete
+    /// operations is shed with tenant attribution.
+    ///
+    /// With `workers == 1` the drive is bit-deterministic, and with a
+    /// single default tenant under [`SchedPolicyKind::Fifo`] it
+    /// reproduces [`Dataset::drive_open_loop`]'s report exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StoreError::Config`] for an invalid spec; otherwise
+    /// the first operation error in admission order.
+    pub fn drive_tenants(&self, spec: &MultiTenantSpec) -> Result<MultiQosReport> {
+        spec.validate().map_err(crate::StoreError::Config)?;
+        let engine = Arc::clone(self.engine());
+        let total = engine.total_reads();
+        let devices = engine.n_devices().max(1);
+        let n_tenants = spec.tenants.len();
+
+        // Append templates are sampled before the drive's clock
+        // starts, exactly as the single-tenant driver does.
+        let mut streams: Vec<TenantStream> = Vec::with_capacity(n_tenants);
+        for (_, load) in &spec.tenants {
+            let template = if load.mix.append > 0.0 && total > 0 {
+                engine.get(0..total.min(4))?
+            } else {
+                ReadSet::new()
+            };
+            let mut arrivals = load.arrivals.process();
+            let mut arrival_rng = WorkloadRng::new(load.seed ^ ARRIVAL_STREAM);
+            let first = if load.requests > 0 {
+                arrivals.next_interarrival(&mut arrival_rng).max(0.0)
+            } else {
+                0.0
+            };
+            streams.push(TenantStream {
+                arrivals,
+                arrival_rng,
+                ops: OpStream::new(
+                    &load.pattern,
+                    load.mix,
+                    load.seed ^ OP_STREAM,
+                    total,
+                    template,
+                ),
+                shed_rng: WorkloadRng::new(load.seed ^ SHED_STREAM),
+                next_at: first,
+                remaining: load.requests,
+                last_at: 0.0,
+                shed_events: Vec::new(),
+            });
+        }
+
+        let trace_buf = self.trace();
+        let reactor = Reactor::start(
+            Arc::new(EngineBackend::new(engine)),
+            IoConfig {
+                workers: spec.workers,
+                queue_depth: spec.queue_depth,
+                devices,
+                record_intervals: trace_buf.is_some(),
+                policy: spec.policy,
+            },
+        );
+        let cq = reactor.completions();
+
+        // Completion instants of *resolved* admitted ops; entries ≤
+        // the current arrival instant have drained from the virtual
+        // queue. Ops still pending at the scheduler necessarily
+        // complete after the arrival frontier, so they always count
+        // toward occupancy.
+        let mut inflight: Vec<f64> = Vec::with_capacity(spec.queue_depth);
+        let mut admitted = 0u64;
+        let mut polled = 0u64;
+        // Tenant and kind per admission token, for end-of-run
+        // accounting.
+        let mut token_meta: Vec<(usize, OpKind)> = Vec::new();
+        let mut done: Vec<sage_io::Cqe<<EngineBackend as sage_io::IoBackend>::Output>> = Vec::new();
+
+        // Merge arrivals across tenants: serve the earliest pending
+        // instant each round; ties go to the lower tenant id.
+        while let Some(t) = (0..n_tenants)
+            .filter(|&t| streams[t].remaining > 0)
+            .min_by(|&a, &b| {
+                streams[a]
+                    .next_at
+                    .partial_cmp(&streams[b].next_at)
+                    .expect("finite arrival instants")
+            })
+        {
+            let at = streams[t].next_at;
+            streams[t].last_at = at;
+            streams[t].remaining -= 1;
+            if streams[t].remaining > 0 {
+                let gap = {
+                    let s = &mut streams[t];
+                    s.arrivals.next_interarrival(&mut s.arrival_rng).max(0.0)
+                };
+                streams[t].next_at = at + gap;
+            }
+
+            // Resolve the timeline up to this arrival and harvest
+            // whatever completed, so occupancy is exact.
+            reactor.quiesce();
+            reactor.advance_to(at);
+            while let Some(cqe) = cq.poll_any() {
+                inflight.push(cqe.completed_vt);
+                polled += 1;
+                done.push(cqe);
+            }
+            inflight.retain(|done_at| *done_at > at);
+            let unresolved = (admitted - polled) as usize;
+            let tenant_spec = &spec.tenants[t].0;
+            let cap = spec
+                .queue_depth
+                .min(tenant_spec.admission.unwrap_or(usize::MAX));
+            if unresolved + inflight.len() >= cap {
+                let s = &mut streams[t];
+                let kind = spec.tenants[t].1.mix.pick(&mut s.shed_rng);
+                s.shed_events.push(ShedEvent {
+                    kind,
+                    arrival_vt: at,
+                    tenant: t,
+                });
+                continue;
+            }
+            let tag = tenant_spec.tag(TenantId(t), at);
+            let (op, kind) = streams[t].ops.next_op();
+            token_meta.push((t, kind));
+            reactor
+                .submit_tagged(op, admitted, at, tag)
+                .expect("live reactor");
+            admitted += 1;
+        }
+
+        // Flush the tail: everything admitted resolves below an
+        // infinite frontier, so the drain below cannot block.
+        reactor.quiesce();
+        reactor.advance_to(f64::INFINITY);
+        while let Some(cqe) = cq.poll_any() {
+            done.push(cqe);
+        }
+        debug_assert_eq!(done.len() as u64, admitted, "flushed drive drains fully");
+        let snap = reactor.snapshot();
+        reactor.shutdown();
+
+        // Account in admission order — the order the single-tenant
+        // driver observes completions in — so per-tenant histogram
+        // folds are bit-identical to a lone tenant's lockstep drive.
+        done.sort_by_key(|c| c.user_data);
+        let mut acc: Vec<TenantAccounting> =
+            (0..n_tenants).map(|_| TenantAccounting::new()).collect();
+        for cqe in done {
+            let (t, kind) = token_meta[cqe.user_data as usize];
+            let latency = cqe.latency();
+            let (submitted_vt, started_vt, completed_vt) =
+                (cqe.submitted_vt, cqe.started_vt, cqe.completed_vt);
+            let (device, device_seconds, intervals) =
+                (cqe.device, cqe.device_seconds, cqe.intervals);
+            let (value, trace) = cqe.output?;
+            if let Some(buf) = &trace_buf {
+                buf.record(crate::obs::OpSpan {
+                    token: cqe.user_data,
+                    tenant: t,
+                    kind: kind.label(),
+                    submitted_vt,
+                    started_vt,
+                    completed_vt,
+                    device,
+                    device_seconds,
+                    intervals,
+                    chunks_touched: trace.chunks_touched,
+                    cache_hits: trace.cache_hits,
+                    cache_misses: trace.cache_misses,
+                    device_ops: trace.device_ops,
+                    events: trace.events.clone(),
+                });
+            }
+            let a = &mut acc[t];
+            match kind {
+                OpKind::Get => a.gets.record(&trace),
+                OpKind::Scan => a.scans.record(&trace),
+                OpKind::Append => a.appends.record(&trace),
+            }
+            a.hists[kind as usize].record(latency);
+            if let (OpKind::Get, OpValue::Reads(rs)) = (kind, &value) {
+                a.reads_served += rs.len() as u64;
+                a.bases_served += rs.total_bases() as u64;
+            }
+            a.latencies.push(latency);
+            a.makespan = a.makespan.max(completed_vt);
+        }
+
+        // Scheduler rows exist only for tenants that dispatched; pad
+        // so every registered tenant has a row.
+        let mut tenant_busy = snap.tenant_busy.clone();
+        tenant_busy.resize(n_tenants, vec![0.0; devices]);
+        let mut tenant_queue_delay = snap.tenant_queue_delay.clone();
+        tenant_queue_delay.resize(n_tenants, 0.0);
+
+        let mut tenants_out = Vec::with_capacity(n_tenants);
+        let mut run_makespan = 0.0f64;
+        for (t, a) in acc.into_iter().enumerate() {
+            run_makespan = run_makespan.max(a.makespan);
+            let s = &streams[t];
+            let load = &spec.tenants[t].1;
+            tenants_out.push(a.into_report(
+                load,
+                s.last_at,
+                s.shed_events.clone(),
+                tenant_busy[t].clone(),
+            ));
+        }
+        Ok(MultiQosReport {
+            policy: spec.policy,
+            tenants: tenants_out,
+            tenant_busy,
+            tenant_queue_delay,
+            device_busy: snap.device_busy,
+            makespan: run_makespan,
+        })
+    }
+}
+
+/// Per-tenant accumulators of one drive, folded into a [`QosReport`]
+/// at the end.
+struct TenantAccounting {
+    latencies: Vec<f64>,
+    hists: [LogHistogram; 3],
+    gets: OpKindStats,
+    scans: OpKindStats,
+    appends: OpKindStats,
+    reads_served: u64,
+    bases_served: u64,
+    makespan: f64,
+}
+
+impl TenantAccounting {
+    fn new() -> TenantAccounting {
+        TenantAccounting {
+            latencies: Vec::new(),
+            hists: [
+                LogHistogram::new(),
+                LogHistogram::new(),
+                LogHistogram::new(),
+            ],
+            gets: OpKindStats::default(),
+            scans: OpKindStats::default(),
+            appends: OpKindStats::default(),
+            reads_served: 0,
+            bases_served: 0,
+            makespan: 0.0,
+        }
+    }
+
+    fn into_report(
+        mut self,
+        load: &TenantLoad,
+        last_at: f64,
+        shed_events: Vec<ShedEvent>,
+        device_busy: Vec<f64>,
+    ) -> QosReport {
+        self.latencies
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let completed = self.latencies.len() as u64;
+        let shed = shed_events.len() as u64;
+        let latency_by_kind = LatencyByKind {
+            gets: LatencyStats::from_histogram(&self.hists[0]),
+            scans: LatencyStats::from_histogram(&self.hists[1]),
+            appends: LatencyStats::from_histogram(&self.hists[2]),
+        };
+        let mut total_hist = self.hists[0].clone();
+        total_hist.merge(&self.hists[1]);
+        total_hist.merge(&self.hists[2]);
+        let utilization = if self.makespan > 0.0 {
+            device_busy.iter().map(|b| b / self.makespan).collect()
+        } else {
+            vec![0.0; device_busy.len()]
+        };
+        QosReport {
+            offered: load.requests,
+            completed,
+            shed,
+            shed_events,
+            offered_rate: if last_at > 0.0 {
+                load.requests as f64 / last_at
+            } else {
+                load.arrivals.mean_rate()
+            },
+            achieved_rate: if self.makespan > 0.0 {
+                completed as f64 / self.makespan
+            } else {
+                0.0
+            },
+            makespan: self.makespan,
+            latency: LatencyStats::from_histogram(&total_hist),
+            latency_by_kind,
+            latencies: self.latencies,
+            device_busy,
+            utilization,
+            gets: self.gets,
+            scans: self.scans,
+            appends: self.appends,
+            reads_served: self.reads_served,
+            bases_served: self.bases_served,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DatasetBuilder;
+    use sage_genomics::sim::{simulate_dataset, DatasetProfile};
+    use sage_ssd::SsdConfig;
+
+    fn fleet_dataset(devices: usize) -> Dataset {
+        let reads = simulate_dataset(&DatasetProfile::tiny_short(), 77).reads;
+        DatasetBuilder::new()
+            .chunk_reads(16)
+            .cache_chunks(0)
+            .ssd_fleet((0..devices).map(|_| SsdConfig::pcie()).collect())
+            .encode(&reads)
+            .expect("build")
+    }
+
+    #[test]
+    fn tenant_spec_validation_is_typed() {
+        assert!(TenantSpec::default().validate().is_ok());
+        assert_eq!(
+            TenantSpec::default().with_weight(0.0).validate(),
+            Err(ConfigError::BadTenant)
+        );
+        assert_eq!(
+            TenantSpec::default().with_weight(f64::NAN).validate(),
+            Err(ConfigError::BadTenant)
+        );
+        assert_eq!(
+            TenantSpec::default().with_slo(-1.0).validate(),
+            Err(ConfigError::BadTenant)
+        );
+        assert_eq!(
+            TenantSpec::default().with_admission(0).validate(),
+            Err(ConfigError::BadTenant)
+        );
+        let empty = MultiTenantSpec::new(SchedPolicyKind::Fifo);
+        assert_eq!(empty.validate(), Err(ConfigError::BadTenant));
+    }
+
+    #[test]
+    fn tag_derives_deadline_from_slo() {
+        let spec = TenantSpec::named("fg").with_priority(9).with_slo(0.25);
+        let tag = spec.tag(TenantId(3), 1.0);
+        assert_eq!(tag.tenant, 3);
+        assert_eq!(tag.priority, 9);
+        assert_eq!(tag.deadline_vt, 1.25);
+        let open = TenantSpec::default().tag(TenantId::DEFAULT, 1.0);
+        assert_eq!(open.deadline_vt, f64::INFINITY);
+    }
+
+    #[test]
+    fn multi_tenant_drive_reports_per_tenant() {
+        let dataset = fleet_dataset(2);
+        let mut fg = TenantLoad::new(Arrivals::Poisson { rate: 120.0 });
+        fg.requests = 48;
+        fg.seed = 0x11;
+        let mut bg = TenantLoad::new(Arrivals::Poisson { rate: 60.0 });
+        bg.requests = 24;
+        bg.seed = 0x22;
+        let spec = MultiTenantSpec::new(SchedPolicyKind::WeightedFair)
+            .tenant(TenantSpec::named("fg").with_weight(4.0), fg)
+            .tenant(TenantSpec::named("bg"), bg);
+        let report = dataset.drive_tenants(&spec).expect("drive");
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenant_busy.len(), 2);
+        assert_eq!(report.tenant_queue_delay.len(), 2);
+        let fg_r = report.tenant(TenantId(0));
+        let bg_r = report.tenant(TenantId(1));
+        assert_eq!(fg_r.completed + fg_r.shed, 48);
+        assert_eq!(bg_r.completed + bg_r.shed, 24);
+        assert!(fg_r.latency.p99_ms >= fg_r.latency.p50_ms);
+        // Conservation: per-device fold of tenant rows equals the
+        // run's device busy bit-for-bit.
+        for d in 0..2 {
+            let fold = report
+                .tenant_busy
+                .iter()
+                .fold(0.0f64, |acc, row| acc + row[d]);
+            assert_eq!(fold.to_bits(), report.device_busy[d].to_bits());
+        }
+        assert!(report.makespan >= fg_r.makespan.max(bg_r.makespan));
+    }
+
+    #[test]
+    fn same_spec_same_seeds_reproduce_the_multi_report() {
+        let run = |policy| {
+            let dataset = fleet_dataset(2);
+            let mut fg = TenantLoad::new(Arrivals::Bursty {
+                on_rate: 2000.0,
+                mean_on: 0.01,
+                mean_off: 0.01,
+            });
+            fg.requests = 40;
+            fg.seed = 0xfeed;
+            let mut bg = TenantLoad::new(Arrivals::Poisson { rate: 400.0 });
+            bg.requests = 40;
+            bg.seed = 0xbeef;
+            let spec = MultiTenantSpec::new(policy)
+                .tenant(TenantSpec::named("fg").with_priority(200), fg)
+                .tenant(TenantSpec::named("bg").with_admission(8), bg);
+            dataset.drive_tenants(&spec).expect("drive")
+        };
+        for policy in SchedPolicyKind::ALL {
+            let a = run(policy);
+            let b = run(policy);
+            assert_eq!(a, b, "policy {policy:?} must be bit-deterministic");
+            assert!(a.tenants[0].completed > 0);
+        }
+    }
+
+    #[test]
+    fn admission_cap_sheds_the_capped_tenant_first() {
+        // Saturate one device; the capped background tenant must shed
+        // while the uncapped foreground tenant sheds only at the
+        // global bound.
+        let dataset = fleet_dataset(1);
+        let mut fg = TenantLoad::new(Arrivals::Fixed { rate: 500.0 });
+        fg.requests = 64;
+        fg.seed = 0x1;
+        let mut bg = TenantLoad::new(Arrivals::Fixed { rate: 50_000.0 });
+        bg.requests = 256;
+        bg.seed = 0x2;
+        let mut spec = MultiTenantSpec::new(SchedPolicyKind::Fifo)
+            .tenant(TenantSpec::named("fg"), fg)
+            .tenant(TenantSpec::named("bg").with_admission(4), bg);
+        spec.queue_depth = 64;
+        let report = dataset.drive_tenants(&spec).expect("drive");
+        let sheds = report.shed_by_tenant();
+        assert!(sheds[1] > 0, "capped tenant must shed under overload");
+        assert!(
+            sheds[1] > sheds[0],
+            "admission cap sheds bg before fg: {sheds:?}"
+        );
+        // Every shed event carries its tenant.
+        assert!(report.tenants[1].shed_events.iter().all(|e| e.tenant == 1));
+        assert_eq!(report.tenants[1].shed_events.len() as u64, sheds[1]);
+    }
+}

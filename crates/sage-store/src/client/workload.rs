@@ -46,20 +46,20 @@ use crate::engine::{EngineBackend, OpTrace, OpValue, StoreOp};
 use crate::obs::{LogHistogram, OpSpan};
 use crate::{ConfigError, Result};
 use sage_genomics::ReadSet;
-use sage_io::{IoConfig, Reactor};
+use sage_io::{IoConfig, Reactor, SchedPolicyKind};
 use std::ops::Range;
 use std::sync::Arc;
 
 /// Decorrelates the arrival-instant stream from the op stream: both
 /// derive from the one spec seed without sharing draws.
-const ARRIVAL_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
-const OP_STREAM: u64 = 0xbf58_476d_1ce4_e5b9;
+pub(crate) const ARRIVAL_STREAM: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const OP_STREAM: u64 = 0xbf58_476d_1ce4_e5b9;
 /// Dedicated stream for attributing *shed* arrivals an op kind: shed
 /// arrivals must not consume draws from the admitted op stream (that
 /// would change every admitted op after the first shed and break
 /// bit-compatibility with earlier releases), so their kinds come from
 /// this separate, identically-weighted stream.
-const SHED_STREAM: u64 = 0x94d0_49bb_1331_11eb;
+pub(crate) const SHED_STREAM: u64 = 0x94d0_49bb_1331_11eb;
 
 /// The workload generators' deterministic random source (SplitMix64).
 ///
@@ -610,7 +610,7 @@ impl OpMix {
     }
 
     /// Draws one op kind by weight.
-    fn pick(&self, rng: &mut WorkloadRng) -> OpKind {
+    pub(crate) fn pick(&self, rng: &mut WorkloadRng) -> OpKind {
         let total = self.get + self.scan + self.append;
         let u = rng.next_f64() * total;
         if u < self.get {
@@ -780,6 +780,9 @@ pub struct ShedEvent {
     pub kind: OpKind,
     /// Virtual arrival instant at which it was shed.
     pub arrival_vt: f64,
+    /// Tenant whose arrival was turned away (0 is the default tenant;
+    /// single-tenant drives only ever shed tenant 0).
+    pub tenant: usize,
 }
 
 /// What an open-loop drive measured (virtual-time metrics).
@@ -871,6 +874,19 @@ impl QosReport {
         n
     }
 
+    /// Shed arrivals per tenant, as ascending `(tenant, count)`
+    /// pairs (tenants that shed nothing are absent). Single-tenant
+    /// drives attribute every shed to tenant 0; multi-tenant drives
+    /// ([`Dataset::drive_tenants`](super::MultiTenantSpec)) attribute
+    /// each shed to the tenant whose arrival was turned away.
+    pub fn shed_by_tenant(&self) -> Vec<(usize, u64)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.shed_events {
+            *counts.entry(e.tenant).or_insert(0u64) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// Chunk-touch hit rate across all op kinds.
     pub fn overall_hit_rate(&self) -> f64 {
         let hits = self.gets.chunk_hits + self.scans.chunk_hits + self.appends.chunk_hits;
@@ -953,6 +969,7 @@ impl Dataset {
                 queue_depth: spec.queue_depth,
                 devices,
                 record_intervals: trace_buf.is_some(),
+                policy: SchedPolicyKind::Fifo,
             },
         );
         let cq = reactor.completions();
@@ -996,6 +1013,7 @@ impl Dataset {
                 shed_events.push(ShedEvent {
                     kind: spec.mix.pick(&mut shed_rng),
                     arrival_vt: clock,
+                    tenant: 0,
                 });
                 continue;
             }
@@ -1014,6 +1032,7 @@ impl Dataset {
             if let Some(buf) = &trace_buf {
                 buf.record(OpSpan {
                     token: i,
+                    tenant: 0,
                     kind: kind.label(),
                     submitted_vt,
                     started_vt,

@@ -86,8 +86,9 @@ pub mod view;
 
 pub use client::workload::{OpenLoopSpec, QosReport, ShedEvent};
 pub use client::{
-    ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LatencyStats, LoadReport, OpReport,
-    ServerStats, Session, SubmitMode, Ticket,
+    ClosedLoopSpec, Completion, Dataset, DatasetBuilder, LatencyStats, LoadReport, MultiQosReport,
+    MultiTenantSpec, OpReport, ServerStats, Session, SubmitMode, TenantId, TenantLoad, TenantSpec,
+    Ticket,
 };
 pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
 pub use engine::{EngineBackend, EngineConfig, OpTrace, OpValue, StoreEngine, StoreOp};
@@ -141,6 +142,11 @@ pub enum ConfigError {
     DegenerateOpMix,
     /// The trace ring was bounded to zero spans.
     ZeroTraceCapacity,
+    /// A tenant spec with a non-positive or non-finite weight or SLO,
+    /// a zero admission cap, or a multi-tenant drive with no tenants.
+    BadTenant,
+    /// A tenant id that no registered tenant has.
+    UnknownTenant,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -174,6 +180,14 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroTraceCapacity => {
                 write!(f, "a bounded trace ring needs capacity ≥ 1")
+            }
+            ConfigError::BadTenant => write!(
+                f,
+                "tenant specs need a positive finite weight, a positive finite SLO \
+                 if any, an admission cap ≥ 1 if any, and at least one tenant"
+            ),
+            ConfigError::UnknownTenant => {
+                write!(f, "no tenant is registered under that id")
             }
         }
     }

@@ -263,6 +263,7 @@ pub struct BlameTotals {
 ///
 /// let spans = vec![OpSpan {
 ///     token: 0,
+///     tenant: 0,
 ///     kind: "get",
 ///     submitted_vt: 0.0,
 ///     started_vt: 0.010,
@@ -444,6 +445,25 @@ pub fn analyze(spans: &[OpSpan], devices: usize, spec: &AnalysisSpec) -> BlameRe
     }
 }
 
+/// [`analyze`] restricted to one tenant's spans — the per-tenant view
+/// of a multi-tenant trace (see
+/// [`OpSpan::tenant`](crate::obs::OpSpan::tenant)). The filtered
+/// stream keeps its original order, so a single-tenant trace filtered
+/// to tenant 0 reproduces the unfiltered report exactly.
+pub fn analyze_tenant(
+    spans: &[OpSpan],
+    devices: usize,
+    spec: &AnalysisSpec,
+    tenant: usize,
+) -> BlameReport {
+    let filtered: Vec<OpSpan> = spans
+        .iter()
+        .filter(|s| s.tenant == tenant)
+        .cloned()
+        .collect();
+    analyze(&filtered, devices, spec)
+}
+
 // ---------------------------------------------------------------------
 // Tail forensics
 // ---------------------------------------------------------------------
@@ -590,6 +610,22 @@ pub fn tail_forensics(spans: &[OpSpan], devices: usize, k: usize) -> Vec<TailRep
         .collect()
 }
 
+/// [`tail_forensics`] restricted to one tenant's spans — whose tail
+/// is it, and why, for each op kind that tenant ran.
+pub fn tail_forensics_tenant(
+    spans: &[OpSpan],
+    devices: usize,
+    k: usize,
+    tenant: usize,
+) -> Vec<TailReport> {
+    let filtered: Vec<OpSpan> = spans
+        .iter()
+        .filter(|s| s.tenant == tenant)
+        .cloned()
+        .collect();
+    tail_forensics(&filtered, devices, k)
+}
+
 impl TailReport {
     /// Renders the report as one JSON object (exemplars carry token,
     /// latency, and the blame split).
@@ -679,6 +715,7 @@ fn verdict_for(kind: &str, body: &BlameShares, tail: &BlameShares) -> String {
 ///
 /// let mk = |token, completed_vt| OpSpan {
 ///     token,
+///     tenant: 0,
 ///     kind: "get",
 ///     submitted_vt: 0.0,
 ///     started_vt: 0.0,
@@ -829,6 +866,23 @@ impl SloSpec {
             burn,
             alerts,
         }
+    }
+
+    /// [`SloSpec::evaluate`] restricted to one tenant's spans — each
+    /// tenant's SLO is judged on its own operations only, which is
+    /// how a per-tenant [`TenantSpec::slo`](crate::client::TenantSpec)
+    /// is scored after a multi-tenant drive.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SloSpec::evaluate`].
+    pub fn evaluate_tenant(&self, spans: &[OpSpan], tenant: usize) -> SloReport {
+        let filtered: Vec<OpSpan> = spans
+            .iter()
+            .filter(|s| s.tenant == tenant)
+            .cloned()
+            .collect();
+        self.evaluate(&filtered)
     }
 }
 

@@ -113,6 +113,9 @@ impl EngineEvent {
 pub struct OpSpan {
     /// Submission token (drive sequence number or session token).
     pub token: u64,
+    /// Tenant the operation was submitted for (0 is the default
+    /// tenant; see [`TenantSpec`](crate::client::TenantSpec)).
+    pub tenant: usize,
     /// Operation kind label (`"get"`, `"scan"`, `"append"`).
     pub kind: &'static str,
     /// Virtual instant the operation was submitted.
@@ -186,6 +189,7 @@ impl OpSpan {
 /// let buf = TraceBuffer::new();
 /// buf.record(OpSpan {
 ///     token: 0,
+///     tenant: 0,
 ///     kind: "get",
 ///     submitted_vt: 0.0,
 ///     started_vt: 0.001,
@@ -305,15 +309,19 @@ impl TraceBuffer {
 
 /// Renders a span slice as Chrome trace-event JSON.
 ///
-/// Track layout: pid 1 ("ops") holds one `"X"` complete event per
-/// operation, packed onto overlap-free lanes (tids) greedily by
-/// submit instant, with the engine's child events as `"i"` instants
-/// on the op's lane; pid 2 ("devices") holds one `"X"` event per
-/// [`ChargeInterval`] on the owning device's tid — per-device service
-/// is non-overlapping by scheduler construction, so every track is
-/// well-nested. Timestamps are virtual microseconds.
+/// Track layout: each tenant gets its own process of op lanes — the
+/// default tenant 0 is pid 1 ("ops"), tenant `t ≥ 1` is pid `10 + t`
+/// ("tenant{t}") — holding one `"X"` complete event per operation,
+/// packed onto overlap-free lanes (tids) greedily by submit instant,
+/// with the engine's child events as `"i"` instants on the op's lane;
+/// pid 2 ("devices") holds one `"X"` event per [`ChargeInterval`] on
+/// the owning device's tid — per-device service is non-overlapping by
+/// scheduler construction, so every track is well-nested. A
+/// single-tenant trace therefore renders exactly as before this field
+/// existed: pids 1 and 2 only. Timestamps are virtual microseconds.
 pub fn chrome_trace(spans: &[OpSpan]) -> String {
     let us = |vt: f64| vt * 1e6;
+    let tenant_pid = |t: usize| if t == 0 { 1 } else { 10 + t };
     let mut order: Vec<usize> = (0..spans.len()).collect();
     order.sort_by(|&a, &b| {
         spans[a]
@@ -322,9 +330,11 @@ pub fn chrome_trace(spans: &[OpSpan]) -> String {
             .expect("finite instants")
             .then(spans[a].token.cmp(&spans[b].token))
     });
-    // Greedy lane packing: an op takes the first lane free at its
-    // submit instant, so events on one lane never overlap.
-    let mut lane_free: Vec<f64> = Vec::new();
+    // Greedy lane packing per tenant process: an op takes the first
+    // lane of its tenant free at its submit instant, so events on one
+    // lane never overlap.
+    let mut tenant_lanes: std::collections::BTreeMap<usize, Vec<f64>> =
+        std::collections::BTreeMap::new();
     let mut events: Vec<String> = Vec::with_capacity(spans.len() * 2 + 2);
     events.push(
         "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"ops\"}}".into(),
@@ -332,8 +342,19 @@ pub fn chrome_trace(spans: &[OpSpan]) -> String {
     events.push(
         "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"devices\"}}".into(),
     );
+    let mut named: Vec<usize> = Vec::new();
     for &ix in &order {
         let s = &spans[ix];
+        let pid = tenant_pid(s.tenant);
+        if s.tenant != 0 && !named.contains(&s.tenant) {
+            named.push(s.tenant);
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"tenant{}\"}}}}",
+                s.tenant,
+            ));
+        }
+        let lane_free = tenant_lanes.entry(s.tenant).or_default();
         let lane = match lane_free.iter().position(|&f| f <= s.submitted_vt) {
             Some(l) => l,
             None => {
@@ -343,13 +364,14 @@ pub fn chrome_trace(spans: &[OpSpan]) -> String {
         };
         lane_free[lane] = s.completed_vt;
         events.push(format!(
-            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3},\
-             \"args\":{{\"token\":{},\"device\":{},\"device_seconds\":{:.9},\"queue_wait_us\":{:.3},\
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"args\":{{\"token\":{},\"tenant\":{},\"device\":{},\"device_seconds\":{:.9},\"queue_wait_us\":{:.3},\
              \"chunks\":{},\"cache_hits\":{},\"cache_misses\":{},\"device_ops\":{}}}}}",
             s.kind,
             us(s.submitted_vt),
             us(s.latency()).max(0.0),
             s.token,
+            s.tenant,
             s.device,
             s.device_seconds,
             us(s.queue_wait()).max(0.0),
@@ -360,7 +382,7 @@ pub fn chrome_trace(spans: &[OpSpan]) -> String {
         ));
         for ev in &s.events {
             events.push(format!(
-                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"s\":\"t\"}}",
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{lane},\"name\":\"{}\",\"ts\":{:.3},\"s\":\"t\"}}",
                 ev.label(),
                 us(s.started_vt),
             ));
@@ -430,7 +452,7 @@ pub fn replay(spans: &[OpSpan], devices: usize) -> Replay {
     Replay {
         ops: spans.len(),
         mismatches,
-        device_busy: sched.busy_seconds().to_vec(),
+        device_busy: sched.busy_seconds(),
         horizon: sched.horizon(),
     }
 }
@@ -453,6 +475,7 @@ pub(crate) mod test_support {
             .unwrap_or(0);
         OpSpan {
             token,
+            tenant: 0,
             kind: "get",
             submitted_vt: submit,
             started_vt: if started.is_finite() { started } else { submit },
@@ -528,6 +551,31 @@ mod tests {
         assert!(json.contains("\"name\":\"get\""));
         // Required trace-event fields are present on complete events.
         assert!(json.contains("\"ts\":") && json.contains("\"dur\":"));
+    }
+
+    #[test]
+    fn chrome_trace_groups_lanes_per_tenant() {
+        // Two tenants' ops interleave on the timeline; each tenant's
+        // spans land on its own process, and only non-default tenants
+        // get extra pids.
+        let mut spans = scheduled_spans(12, 2);
+        for (i, s) in spans.iter_mut().enumerate() {
+            s.tenant = i % 3; // tenants 0, 1, 2
+        }
+        let json = chrome_trace(&spans);
+        // Default tenant stays pid 1; tenants 1 and 2 get pids 11, 12
+        // with process metadata.
+        assert!(json.contains("\"pid\":11"));
+        assert!(json.contains("\"pid\":12"));
+        assert!(json.contains("\"name\":\"tenant1\""));
+        assert!(json.contains("\"name\":\"tenant2\""));
+        // Every op X event carries its tenant in args.
+        assert_eq!(json.matches("\"tenant\":").count(), spans.len());
+        // A single-tenant trace renders exactly as before the tenant
+        // field existed: pids 1 and 2 only, no tenant metadata.
+        let single = chrome_trace(&scheduled_spans(12, 2));
+        assert!(!single.contains("\"pid\":11"));
+        assert!(!single.contains("\"name\":\"tenant"));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Multi-tenant QoS properties, cross-crate.
+//!
+//! Three guarantees the sage-qos subsystem rests on:
+//!
+//! 1. **FIFO compatibility** — a multi-tenant drive with one default
+//!    tenant under the FIFO policy reproduces the single-tenant
+//!    open-loop driver's [`QosReport`] exactly, across arrival
+//!    processes × access patterns × fleet sizes. The queued scheduler
+//!    is a pure refactor of the eager path until a policy reorders.
+//! 2. **Conservation** — per-tenant busy seconds sum to the
+//!    scheduler's per-device busy seconds *bitwise*: tenant
+//!    attribution never invents or loses device time.
+//! 3. **Strict-priority dominance** — on a contended device the
+//!    high-priority tenant's latency under `StrictPriority` never
+//!    regresses against FIFO, and undercuts the low-priority tenant.
+
+use sage::genomics::sim::{simulate_dataset, DatasetProfile};
+use sage::io::SchedPolicyKind;
+use sage::ssd::SsdConfig;
+use sage::store::{
+    Dataset, DatasetBuilder, MultiTenantSpec, OpenLoopSpec, TenantId, TenantLoad, TenantSpec,
+};
+use sage::workload::{Arrivals, OpMix, Pattern};
+
+/// An identically-prepared dataset per drive: same reads, same encode,
+/// cold cache — the precondition for bit-identical replays.
+fn fleet_dataset(devices: usize) -> Dataset {
+    let reads = simulate_dataset(&DatasetProfile::tiny_short(), 77).reads;
+    DatasetBuilder::new()
+        .chunk_reads(16)
+        .cache_chunks(0)
+        .ssd_fleet((0..devices).map(|_| SsdConfig::pcie()).collect())
+        .encode(&reads)
+        .expect("build dataset")
+}
+
+#[test]
+fn fifo_single_default_tenant_reproduces_open_loop_reports() {
+    let arrivals = [
+        Arrivals::Fixed { rate: 400.0 },
+        Arrivals::Poisson { rate: 300.0 },
+        Arrivals::Bursty {
+            on_rate: 3000.0,
+            mean_on: 0.01,
+            mean_off: 0.01,
+        },
+    ];
+    let patterns = [
+        Pattern::Uniform { span: 16 },
+        Pattern::Zipf {
+            theta: 0.9,
+            span: 16,
+        },
+        Pattern::Hotspot {
+            hot_fraction: 0.1,
+            hot_weight: 0.9,
+            span: 16,
+        },
+    ];
+    for devices in [1usize, 2] {
+        for arr in arrivals {
+            for pat in patterns {
+                let mut legacy_spec = OpenLoopSpec::new(arr);
+                legacy_spec.pattern = pat;
+                legacy_spec.mix = OpMix {
+                    get: 0.8,
+                    scan: 0.1,
+                    append: 0.1,
+                };
+                legacy_spec.requests = 96;
+                legacy_spec.queue_depth = 8; // small: some cells shed
+                legacy_spec.seed = 0x5eed;
+                let legacy = fleet_dataset(devices)
+                    .drive_open_loop(&legacy_spec)
+                    .expect("legacy drive");
+
+                let load = TenantLoad {
+                    arrivals: arr,
+                    pattern: pat,
+                    mix: legacy_spec.mix,
+                    requests: legacy_spec.requests,
+                    seed: legacy_spec.seed,
+                };
+                let mut multi_spec =
+                    MultiTenantSpec::new(SchedPolicyKind::Fifo).tenant(TenantSpec::default(), load);
+                multi_spec.queue_depth = legacy_spec.queue_depth;
+                let multi = fleet_dataset(devices)
+                    .drive_tenants(&multi_spec)
+                    .expect("multi drive");
+
+                let cell = format!("{}x {} {}", devices, arr.label(), pat.label());
+                let report = multi.tenant(TenantId::DEFAULT);
+                assert_eq!(report, &legacy, "QosReport diverged in cell {cell}");
+                // Bitwise on the latency stream, beyond PartialEq.
+                for (a, b) in report.latencies.iter().zip(&legacy.latencies) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "latency bits in {cell}");
+                }
+                for (a, b) in report.device_busy.iter().zip(&legacy.device_busy) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "busy bits in {cell}");
+                }
+                assert_eq!(multi.makespan.to_bits(), legacy.makespan.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_fair_tenant_busy_seconds_conserve_exactly() {
+    for seed in [0x1u64, 0xabcd, 0xdead_beef] {
+        let dataset = fleet_dataset(3);
+        let mut fg = TenantLoad::new(Arrivals::Poisson { rate: 500.0 });
+        fg.requests = 64;
+        fg.seed = seed;
+        let mut scan_bg = TenantLoad::new(Arrivals::Poisson { rate: 150.0 });
+        scan_bg.mix = OpMix {
+            get: 0.2,
+            scan: 0.8,
+            append: 0.0,
+        };
+        scan_bg.requests = 32;
+        scan_bg.seed = seed ^ 0xff;
+        let mut ingest = TenantLoad::new(Arrivals::Fixed { rate: 200.0 });
+        ingest.mix = OpMix {
+            get: 0.0,
+            scan: 0.0,
+            append: 1.0,
+        };
+        ingest.requests = 32;
+        ingest.seed = seed ^ 0xf0f0;
+        let spec = MultiTenantSpec::new(SchedPolicyKind::WeightedFair)
+            .tenant(TenantSpec::named("fg").with_weight(4.0), fg)
+            .tenant(TenantSpec::named("scan").with_weight(1.0), scan_bg)
+            .tenant(TenantSpec::named("ingest").with_weight(2.0), ingest);
+        let report = dataset.drive_tenants(&spec).expect("drive");
+        assert_eq!(report.tenant_busy.len(), 3);
+        for (d, total) in report.device_busy.iter().enumerate() {
+            let fold = report
+                .tenant_busy
+                .iter()
+                .fold(0.0f64, |acc, row| acc + row[d]);
+            assert_eq!(
+                fold.to_bits(),
+                total.to_bits(),
+                "device {d} busy not conserved (seed {seed:#x})"
+            );
+        }
+        // Each tenant's own device_busy view is its attribution row.
+        for (t, qos) in report.tenants.iter().enumerate() {
+            for (a, b) in qos.device_busy.iter().zip(&report.tenant_busy[t]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Queue-delay accounting exists for every tenant and is finite.
+        assert_eq!(report.tenant_queue_delay.len(), 3);
+        assert!(report.tenant_queue_delay.iter().all(|d| d.is_finite()));
+    }
+}
+
+#[test]
+fn strict_priority_dominates_fifo_for_the_foreground_tenant() {
+    let drive = |policy| {
+        let dataset = fleet_dataset(1);
+        let mut fg = TenantLoad::new(Arrivals::Poisson { rate: 300.0 });
+        fg.requests = 48;
+        fg.seed = 0x11;
+        let mut bg = TenantLoad::new(Arrivals::Bursty {
+            on_rate: 30_000.0,
+            mean_on: 0.02,
+            mean_off: 0.005,
+        });
+        bg.mix = OpMix {
+            get: 0.5,
+            scan: 0.5,
+            append: 0.0,
+        };
+        bg.requests = 192;
+        bg.seed = 0x22;
+        let mut spec = MultiTenantSpec::new(policy)
+            .tenant(TenantSpec::named("fg").with_priority(200), fg)
+            .tenant(TenantSpec::named("bg").with_priority(0), bg);
+        spec.queue_depth = 256; // generous: reordering, not shedding
+        dataset.drive_tenants(&spec).expect("drive")
+    };
+    let fifo = drive(SchedPolicyKind::Fifo);
+    let sp = drive(SchedPolicyKind::StrictPriority);
+    let fg = TenantId(0);
+    let bg = TenantId(1);
+    // Same offered streams either way.
+    assert_eq!(sp.tenant(fg).offered, fifo.tenant(fg).offered);
+    assert_eq!(sp.tenant(bg).offered, fifo.tenant(bg).offered);
+    // Dominance on the contended device: the high-priority tenant's
+    // latency under strict priority never regresses against FIFO...
+    assert!(
+        sp.tenant(fg).latency.mean_ms <= fifo.tenant(fg).latency.mean_ms,
+        "fg mean {} > fifo {}",
+        sp.tenant(fg).latency.mean_ms,
+        fifo.tenant(fg).latency.mean_ms
+    );
+    assert!(
+        sp.tenant(fg).latency.p99_ms <= fifo.tenant(fg).latency.p99_ms,
+        "fg p99 {} > fifo {}",
+        sp.tenant(fg).latency.p99_ms,
+        fifo.tenant(fg).latency.p99_ms
+    );
+    // ...and undercuts the background tenant sharing the device.
+    assert!(
+        sp.tenant(fg).latency.mean_ms <= sp.tenant(bg).latency.mean_ms,
+        "fg mean {} > bg mean {}",
+        sp.tenant(fg).latency.mean_ms,
+        sp.tenant(bg).latency.mean_ms
+    );
+}
