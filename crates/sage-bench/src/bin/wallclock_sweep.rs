@@ -1,0 +1,289 @@
+//! wallclock_sweep: the first harness where *real seconds* are the
+//! measurement — cold multi-chunk scans with the decode pipeline off
+//! vs. on, and the simulated byte path vs. the real-bytes
+//! `FileBackend`, all written to `BENCH_wall.json`.
+//!
+//! 1. **Pipelined decode** — cold sequential scans (every chunk a
+//!    miss) on a serial engine (`decode_workers(1)`, no pipeline) vs.
+//!    a pipelined one (`decode_pipeline(DEPTH)`, default workers).
+//!    Headline: wall-clock scan throughput must improve by the
+//!    core-adaptive floor (≥2× on ≥4-core hosts). The virtual device
+//!    seconds charged by both arms must be **bit-identical** — the
+//!    pipeline moves wall time, never virtual time.
+//! 2. **Real bytes** — the same cold scan against a tmpdir-backed
+//!    [`StoreBackend::File`]: answers must equal the simulated arm's
+//!    byte for byte while the backend serves every extent with real
+//!    positioned reads.
+//! 3. **Warm gets** — wall-clock get throughput on a warm cache, for
+//!    context next to `hotpath_sweep`'s numbers.
+//!
+//! Run with: `cargo run --release --bin wallclock_sweep`
+//! (`SAGE_SCALE` scales the dataset like every other harness.)
+
+use sage_bench::{banner, dataset, fmt_x, row};
+use sage_genomics::sim::DatasetProfile;
+use sage_ssd::SsdConfig;
+use sage_store::{
+    encode_sharded, DecodeStats, EngineConfig, OpValue, ShardedStore, StoreBackend, StoreEngine,
+    StoreOp, StoreOptions,
+};
+use std::time::Instant;
+
+/// Fetched-but-undecoded chunks the pipeline may hold in flight. Small
+/// depths already overlap fetch with decode; the README's guidance.
+const PIPELINE_DEPTH: usize = 4;
+
+/// Cold-scan passes per arm; wall time takes the best (preemption only
+/// ever inflates), virtual seconds must agree bitwise across passes.
+const PASSES: usize = 3;
+
+/// Warm gets timed for the context number.
+const WARM_GETS: u64 = 2000;
+
+/// One measured arm: best-of-N cold-scan wall seconds plus the
+/// deterministic numbers that must not move between arms.
+struct Arm {
+    label: &'static str,
+    wall_s: f64,
+    reads: u64,
+    reads_per_s: f64,
+    virtual_device_s: f64,
+    decode: DecodeStats,
+}
+
+/// Runs `PASSES` cold scans under `cfg` (fresh engine each pass so
+/// every chunk misses), keeping the best wall time and insisting the
+/// virtual charge is bit-identical across passes.
+fn cold_scan_arm(label: &'static str, sharded: &ShardedStore, cfg: &EngineConfig) -> Arm {
+    let mut best_wall = f64::INFINITY;
+    let mut reads = 0u64;
+    let mut virtual_bits: Option<u64> = None;
+    let mut decode = DecodeStats::default();
+    for _ in 0..PASSES {
+        let engine = StoreEngine::try_open(sharded.clone(), cfg.clone()).expect("open");
+        let t0 = Instant::now();
+        let (value, trace) = engine
+            .run_op(StoreOp::Scan(Box::new(|_| true)))
+            .expect("cold scan");
+        let wall = t0.elapsed().as_secs_f64();
+        let OpValue::Reads(view) = value else {
+            panic!("scan answers reads");
+        };
+        reads = view.len() as u64;
+        let bits = trace.device_seconds().to_bits();
+        match virtual_bits {
+            None => virtual_bits = Some(bits),
+            Some(prev) => assert_eq!(
+                prev, bits,
+                "{label}: virtual charge must be bit-identical across passes"
+            ),
+        }
+        if wall < best_wall {
+            best_wall = wall;
+            decode = engine.decode_stats();
+        }
+    }
+    Arm {
+        label,
+        wall_s: best_wall,
+        reads,
+        reads_per_s: reads as f64 / best_wall,
+        virtual_device_s: f64::from_bits(virtual_bits.expect("measured")),
+        decode,
+    }
+}
+
+fn arm_row(a: &Arm, widths: &[usize]) -> String {
+    row(
+        &[
+            a.label.into(),
+            format!("{:.4}s", a.wall_s),
+            format!("{:.0}", a.reads_per_s),
+            format!("{:.6}", a.virtual_device_s),
+            format!("{}", a.decode.chunks_decoded),
+            format!("{:.2}", a.decode.pipeline_occupancy),
+        ],
+        widths,
+    )
+}
+
+fn main() {
+    banner("wallclock_sweep: pipelined decode x real-bytes FileBackend");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Core-adaptive headline floor: the ISSUE's >=2x holds on real
+    // multi-core hosts; constrained runners get a floor they can
+    // actually meet so CI asserts something true instead of flaking.
+    let floor = if cores >= 4 {
+        2.0
+    } else if cores >= 2 {
+        1.3
+    } else {
+        // One core cannot overlap anything; just bound the pipeline's
+        // coordination overhead.
+        0.75
+    };
+    let ds = dataset(&DatasetProfile::rs1().scaled(0.3));
+    // ~64 chunks of real decode work: enough independent jobs to
+    // pipeline over, enough bases per chunk that decompression (not
+    // thread coordination) is what the clock measures.
+    let chunk_reads = (ds.reads.len() / 64).max(16);
+    let sharded = encode_sharded(&ds.reads, &StoreOptions::new(chunk_reads)).expect("encode");
+    let n_chunks = sharded.n_chunks();
+    println!(
+        "dataset: {} reads in {} chunks of <={} reads; {} cores (floor {}x)",
+        sharded.total_reads(),
+        n_chunks,
+        chunk_reads,
+        cores,
+        floor
+    );
+
+    // --- 1. serial vs pipelined cold scans ------------------------
+    banner("cold scans: serial decode vs bounded fetch->decode pipeline");
+    let base = EngineConfig::default()
+        .with_cache_chunks(n_chunks)
+        .with_ssd(SsdConfig::pcie());
+    let serial_cfg = base.clone().with_decode_workers(1);
+    let piped_cfg = base
+        .clone()
+        .with_decode_pipeline(PIPELINE_DEPTH)
+        .with_decode_workers(0);
+    let widths = [10, 10, 12, 12, 8, 6];
+    println!(
+        "{}",
+        row(
+            &[
+                "arm".into(),
+                "wall".into(),
+                "reads/s".into(),
+                "virtual s".into(),
+                "decoded".into(),
+                "occ".into(),
+            ],
+            &widths
+        )
+    );
+    let serial = cold_scan_arm("serial", &sharded, &serial_cfg);
+    println!("{}", arm_row(&serial, &widths));
+    let piped = cold_scan_arm("pipelined", &sharded, &piped_cfg);
+    println!("{}", arm_row(&piped, &widths));
+    let speedup = serial.wall_s / piped.wall_s;
+    let virtual_equal = serial.virtual_device_s.to_bits() == piped.virtual_device_s.to_bits();
+    println!(
+        "pipeline depth {PIPELINE_DEPTH}: {} wall-clock speedup (floor {}x), \
+         virtual charge bitwise-equal: {virtual_equal}",
+        fmt_x(speedup),
+        floor
+    );
+
+    // --- 2. real bytes: FileBackend vs simulated ------------------
+    banner("real-bytes FileBackend (tmpdir containers)");
+    let dir = std::env::temp_dir().join(format!("sage_wallclock_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let file_cfg = piped_cfg
+        .clone()
+        .with_backend(StoreBackend::File(dir.clone()));
+    let file_arm = cold_scan_arm("file", &sharded, &file_cfg);
+    println!("{}", arm_row(&file_arm, &widths));
+    // Byte-for-byte: the answers of a file-backed engine equal the
+    // simulated engine's on the same store.
+    let sim_engine = StoreEngine::open(sharded.clone(), piped_cfg.clone());
+    let file_engine = StoreEngine::try_open(sharded.clone(), file_cfg.clone()).expect("file open");
+    let sim_scan = sim_engine.scan(|_| true).expect("sim scan");
+    let file_scan = file_engine.scan(|_| true).expect("file scan");
+    let file_matches = sim_scan.reads() == file_scan.reads();
+    let backend_reads = file_engine.file_backend().expect("file backend").reads();
+    let backend_bytes = file_engine
+        .file_backend()
+        .expect("file backend")
+        .bytes_read();
+    println!(
+        "file backend served {backend_reads} positioned reads ({backend_bytes} bytes); \
+         answers match simulated: {file_matches}"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup tmpdir");
+
+    // --- 3. warm gets ---------------------------------------------
+    banner("warm gets (cache-hit wall throughput, context)");
+    let warm = StoreEngine::open(sharded.clone(), base.clone());
+    warm.scan(|_| false).expect("warm scan");
+    let total = sharded.total_reads();
+    let span = 32u64.min(total.max(1));
+    let t0 = Instant::now();
+    for i in 0..WARM_GETS {
+        let start = (i * 37) % total.saturating_sub(span).max(1);
+        let view = warm.get_view(start..start + span).expect("warm get");
+        assert!(!view.is_empty());
+    }
+    let warm_wall = t0.elapsed().as_secs_f64();
+    let warm_ops_per_s = WARM_GETS as f64 / warm_wall;
+    println!("{WARM_GETS} warm gets in {warm_wall:.4}s ({warm_ops_per_s:.0} op/s)");
+
+    // --- artifact + assertions ------------------------------------
+    let floor_met = u8::from(speedup >= floor);
+    let arm_json = |a: &Arm| {
+        format!(
+            "{{\"wall_s\":{:.6},\"reads\":{},\"reads_per_s\":{:.0},\"virtual_device_s\":{:.9},\
+             \"chunks_decoded\":{},\"occupancy\":{:.4}}}",
+            a.wall_s,
+            a.reads,
+            a.reads_per_s,
+            a.virtual_device_s,
+            a.decode.chunks_decoded,
+            a.decode.pipeline_occupancy
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"wallclock_sweep\",\n  \"reads\": {},\n  \"chunks\": {},\n  \"cores\": {},\n  \"pipeline_depth\": {},\n  \"serial\": {},\n  \"pipelined\": {},\n  \"file\": {},\n  \"file_backend\": {{\"reads\": {}, \"bytes_read\": {}}},\n  \"warm_get_ops_per_s\": {:.0},\n  \"pipeline_speedup\": {:.3},\n  \"floor\": {:.2},\n  \"floor_met\": {},\n  \"virtual_bitwise_equal\": {},\n  \"file_matches_simulated\": {}\n}}\n",
+        sharded.total_reads(),
+        n_chunks,
+        cores,
+        PIPELINE_DEPTH,
+        arm_json(&serial),
+        arm_json(&piped),
+        arm_json(&file_arm),
+        backend_reads,
+        backend_bytes,
+        warm_ops_per_s,
+        speedup,
+        floor,
+        floor_met,
+        u8::from(virtual_equal),
+        u8::from(file_matches),
+    );
+    std::fs::write("BENCH_wall.json", &json).expect("write BENCH_wall.json");
+    println!("\nwrote BENCH_wall.json");
+
+    // (a) The pipeline must lift cold-scan wall throughput by the
+    // core-adaptive floor (>=2x on real multi-core hosts).
+    assert!(
+        speedup >= floor,
+        "pipelined decode must beat serial by >={floor}x on {cores} cores, got {speedup:.2}x"
+    );
+    // (b) Virtual time is untouchable: both arms charge bit-identical
+    // device seconds, and both decode every chunk exactly once.
+    assert!(
+        virtual_equal,
+        "virtual device seconds must be bit-identical: serial {} vs pipelined {}",
+        serial.virtual_device_s, piped.virtual_device_s
+    );
+    assert_eq!(serial.decode.chunks_decoded, n_chunks as u64);
+    assert_eq!(piped.decode.chunks_decoded, n_chunks as u64);
+    assert!(
+        piped.decode.pipeline_occupancy > 0.0 && piped.decode.pipeline_occupancy <= 1.0,
+        "pipelined arm must report occupancy in (0, 1], got {}",
+        piped.decode.pipeline_occupancy
+    );
+    // (c) Real bytes, same answers: the file-backed engine serves
+    // every extent from disk and reproduces the simulated bytes.
+    assert!(file_matches, "file-backed answers must equal simulated");
+    assert!(
+        backend_reads >= n_chunks as u64,
+        "file backend must serve every cold extent: {backend_reads} < {n_chunks}"
+    );
+    assert_eq!(
+        file_arm.virtual_device_s.to_bits(),
+        serial.virtual_device_s.to_bits(),
+        "the real backend charges zero extra virtual seconds"
+    );
+}

@@ -65,8 +65,20 @@ impl BitWriter {
             n == 64 || value < (1u64 << n),
             "value {value} does not fit in {n} bits"
         );
-        for i in 0..n {
-            self.write_bit((value >> i) & 1 == 1);
+        // Pack whole partial bytes per iteration rather than looping
+        // bit by bit — the layout (LSB first within each byte) is
+        // unchanged.
+        let mut written = 0u32;
+        while written < n {
+            let off = (self.bit_len % 8) as u32;
+            if off == 0 {
+                self.bytes.push(0);
+            }
+            let take = (8 - off).min(n - written);
+            let chunk = ((value >> written) & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().expect("byte present") |= chunk << off;
+            written += take;
+            self.bit_len += u64::from(take);
         }
     }
 
@@ -158,13 +170,19 @@ impl<'a> BitReader<'a> {
         if self.pos + u64::from(n) > self.bit_len {
             return Err(BitStreamExhausted);
         }
+        // Bulk extraction: take the rest of the current byte, then
+        // whole bytes, instead of shifting one bit per iteration. The
+        // bounds check above covers the whole span, so the loop body
+        // indexes without re-checking.
         let mut v = 0u64;
-        for i in 0..n {
-            let byte = self.bytes[(self.pos / 8) as usize];
-            if (byte >> (self.pos % 8)) & 1 == 1 {
-                v |= 1 << i;
-            }
-            self.pos += 1;
+        let mut got = 0u32;
+        while got < n {
+            let byte = u64::from(self.bytes[(self.pos / 8) as usize]);
+            let off = (self.pos % 8) as u32;
+            let take = (8 - off).min(n - got);
+            v |= ((byte >> off) & ((1u64 << take) - 1)) << got;
+            got += take;
+            self.pos += u64::from(take);
         }
         Ok(v)
     }

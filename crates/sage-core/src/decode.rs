@@ -375,6 +375,27 @@ impl Iterator for ReadStream<'_> {
     }
 }
 
+/// Appends `n` 2-bit-coded bases from `r` to `out`, pulling 32 bases
+/// per 64-bit word instead of one `read_bits(2)` round-trip per base.
+/// The stream is LSB-first, so the word's low bits are the earliest
+/// bases — bit-for-bit the same stream positions as the per-base path.
+fn read_bases(r: &mut BitReader<'_>, n: usize, out: &mut Vec<Base>) -> Result<()> {
+    out.reserve(n);
+    let mut remaining = n;
+    while remaining >= 32 {
+        let mut w = r.read_bits(64)?;
+        for _ in 0..32 {
+            out.push(Base::from_code2((w & 3) as u8));
+            w >>= 2;
+        }
+        remaining -= 32;
+    }
+    for _ in 0..remaining {
+        out.push(Base::from_code2(r.read_bits(2)? as u8));
+    }
+    Ok(())
+}
+
 /// Decoded corner-case payload.
 #[derive(Default)]
 struct CornerInfo {
@@ -486,10 +507,8 @@ fn decode_read(
                     });
                     c += block_len as usize;
                 } else {
-                    let mut bases = Vec::with_capacity(block_len as usize);
-                    for _ in 0..block_len {
-                        bases.push(Base::from_code2(su.mbta.read_bits(2)? as u8));
-                    }
+                    let mut bases = Vec::new();
+                    read_bases(&mut su.mbta, block_len as usize, &mut bases)?;
                     r += bases.len();
                     edits.push(Edit::Ins {
                         read_off: off,
@@ -563,10 +582,8 @@ fn decode_raw_read(h: &ArchiveHeader, su: &mut ScanState<'_>, len: usize) -> Res
             npos.push(su.raw.read_bits(h.len_bits())? as usize);
         }
     }
-    let mut bases = Vec::with_capacity(len);
-    for _ in 0..len {
-        bases.push(Base::from_code2(su.raw.read_bits(2)? as u8));
-    }
+    let mut bases = Vec::new();
+    read_bases(&mut su.raw, len, &mut bases)?;
     for p in npos {
         if p >= bases.len() {
             return Err(SageError::Corrupt("raw N position out of range".into()));
@@ -606,11 +623,7 @@ fn decode_corner(
         if total > read_len {
             return Err(SageError::Corrupt("clip lengths exceed read".into()));
         }
-        for _ in 0..total {
-            corner
-                .clip_bases
-                .push(Base::from_code2(su.corner.read_bits(2)? as u8));
-        }
+        read_bases(&mut su.corner, total, &mut corner.clip_bases)?;
     }
     Ok(())
 }

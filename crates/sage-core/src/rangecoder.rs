@@ -189,37 +189,47 @@ impl<'a> RangeDecoder<'a> {
     /// Decodes one bit under an adaptive model.
     #[inline]
     pub fn decode_bit(&mut self, model: &mut BitModel) -> bool {
-        let bound = (self.range >> PROB_BITS) * u32::from(model.prob);
-        let bit = self.code >= bound;
+        // Work on locals so the state lives in registers across the
+        // arithmetic instead of bouncing through `&mut self` loads.
+        let mut range = self.range;
+        let mut code = self.code;
+        let bound = (range >> PROB_BITS) * u32::from(model.prob);
+        let bit = code >= bound;
         if bit {
-            self.code -= bound;
-            self.range -= bound;
+            code -= bound;
+            range -= bound;
         } else {
-            self.range = bound;
+            range = bound;
         }
         model.update(bit);
-        while self.range < TOP {
-            self.code = (self.code << 8) | u32::from(self.next_byte());
-            self.range <<= 8;
+        while range < TOP {
+            code = (code << 8) | u32::from(self.next_byte());
+            range <<= 8;
         }
+        self.range = range;
+        self.code = code;
         bit
     }
 
     /// Decodes `n` raw bits (MSB first).
     pub fn decode_raw(&mut self, n: u32) -> u64 {
+        let mut range = self.range;
+        let mut code = self.code;
         let mut v = 0u64;
         for _ in 0..n {
-            self.range >>= 1;
-            let bit = self.code >= self.range;
+            range >>= 1;
+            let bit = code >= range;
             if bit {
-                self.code -= self.range;
+                code -= range;
             }
             v = (v << 1) | u64::from(bit);
-            while self.range < TOP {
-                self.code = (self.code << 8) | u32::from(self.next_byte());
-                self.range <<= 8;
+            if range < TOP {
+                code = (code << 8) | u32::from(self.next_byte());
+                range <<= 8;
             }
         }
+        self.range = range;
+        self.code = code;
         v
     }
 }
@@ -250,7 +260,10 @@ impl ByteTree {
         let mut node = 1usize;
         for i in (0..8).rev() {
             let bit = (byte >> i) & 1 == 1;
-            enc.encode_bit(&mut self.models[node], bit);
+            // `node` stays below 256 whenever it indexes (max 255 on
+            // the last level); the mask lets the compiler elide the
+            // bounds check without changing which model is touched.
+            enc.encode_bit(&mut self.models[node & 0xFF], bit);
             node = (node << 1) | usize::from(bit);
         }
     }
@@ -259,7 +272,7 @@ impl ByteTree {
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u8 {
         let mut node = 1usize;
         for _ in 0..8 {
-            let bit = dec.decode_bit(&mut self.models[node]);
+            let bit = dec.decode_bit(&mut self.models[node & 0xFF]);
             node = (node << 1) | usize::from(bit);
         }
         (node & 0xFF) as u8

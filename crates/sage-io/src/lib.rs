@@ -24,6 +24,10 @@
 //!   busy/queue-delay attribution.
 //! - [`cqueue`] — per-device **completion queues** with poll/wait
 //!   harvesting.
+//! - [`mod@file`] — the **real-bytes backend**: per-device container
+//!   files served with positioned reads (`pread`) behind the same
+//!   submit/complete shape, charging *zero* virtual seconds so the
+//!   simulated timeline is untouched when real I/O is on.
 //! - [`device`] — **multi-SSD extent sharding**: a [`DeviceMap`]
 //!   stripes chunk extents across N [`sage_ssd::SsdModel`]s
 //!   (round-robin or capacity-weighted), routes each fetch to its
@@ -45,6 +49,7 @@
 
 pub mod cqueue;
 pub mod device;
+pub mod file;
 pub mod qos;
 pub mod reactor;
 pub mod ring;
@@ -52,6 +57,7 @@ pub mod sched;
 
 pub use cqueue::{CompletionQueues, Cqe};
 pub use device::{ChunkSlot, DeviceMap, DeviceSnapshot, Placement};
+pub use file::{FileBackend, FileReadOp};
 pub use qos::{SchedPolicy, SchedPolicyKind, SchedTag};
 pub use reactor::{IoBackend, IoConfig, Reactor, ReactorSnapshot, Sqe};
 pub use ring::{RingCounters, SubmissionRing, SubmitError};

@@ -525,6 +525,7 @@ impl Dataset {
         let reactor = self.reactor_snapshot();
         let timing = self.timing_snapshot();
         let engine = self.engine();
+        let decode = engine.decode_stats();
         let (trace_spans, trace_dropped) = self.trace().map_or((0, 0), |t| (t.len(), t.dropped()));
         MetricsSnapshot {
             submitted: server.submitted,
@@ -549,6 +550,11 @@ impl Dataset {
             device_writes: timing.writes,
             device_read_seconds: timing.read_seconds,
             device_write_seconds: timing.write_seconds,
+            chunks_decoded: decode.chunks_decoded,
+            bytes_decoded: decode.bytes_decoded,
+            decode_seconds: decode.decode_seconds,
+            dedup_decodes: decode.dedup_decodes,
+            pipeline_occupancy: decode.pipeline_occupancy,
             trace_spans,
             trace_dropped,
         }

@@ -91,7 +91,9 @@ pub use client::{
     Ticket,
 };
 pub use codec::{decode_all, encode_sharded, ShardedStore, StoreOptions};
-pub use engine::{EngineBackend, EngineConfig, OpTrace, OpValue, StoreEngine, StoreOp};
+pub use engine::{
+    DecodeStats, EngineBackend, EngineConfig, OpTrace, OpValue, StoreBackend, StoreEngine, StoreOp,
+};
 pub use lru::{
     CachePolicy, CacheSnapshot, CacheStats, ChunkCache, ClockCache, LruCache, SegmentedLruCache,
     StripeSnapshot, StripedCache, TwoQCache,
@@ -147,6 +149,8 @@ pub enum ConfigError {
     BadTenant,
     /// A tenant id that no registered tenant has.
     UnknownTenant,
+    /// A file backend was selected with an empty directory path.
+    EmptyBackendPath,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -188,6 +192,9 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::UnknownTenant => {
                 write!(f, "no tenant is registered under that id")
+            }
+            ConfigError::EmptyBackendPath => {
+                write!(f, "the file backend needs a non-empty directory path")
             }
         }
     }
@@ -231,6 +238,9 @@ pub enum StoreError {
     /// The server shut down while the request was still queued; it was
     /// never executed.
     Cancelled,
+    /// The real-bytes backend failed an I/O operation (container
+    /// open, extent read, or append write-through).
+    Backend(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -253,6 +263,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Cancelled => {
                 write!(f, "request cancelled: server shut down while it was queued")
             }
+            StoreError::Backend(e) => write!(f, "backend I/O error: {e}"),
         }
     }
 }

@@ -66,6 +66,19 @@ pub struct MetricsSnapshot {
     pub device_read_seconds: f64,
     /// Device-model write service seconds.
     pub device_write_seconds: f64,
+    /// Chunks decompressed on the miss path (dedup'd fills excluded).
+    pub chunks_decoded: u64,
+    /// Payload bytes (bases + quality) produced by those decodes.
+    pub bytes_decoded: u64,
+    /// Wall-clock seconds spent inside chunk decode.
+    pub decode_seconds: f64,
+    /// Racing misses resolved by another session's in-flight decode
+    /// (the single-flight dedup counter).
+    pub dedup_decodes: u64,
+    /// Decode-pipeline worker occupancy in `[0, 1]` — busy worker
+    /// seconds over worker-seconds available; 0 when the pipeline
+    /// never ran.
+    pub pipeline_occupancy: f64,
     /// Spans held in the dataset's trace buffer (0 when tracing is
     /// off).
     pub trace_spans: usize,
@@ -160,6 +173,26 @@ impl MetricsSnapshot {
                 MetricValue::Gauge(self.device_write_seconds),
             ),
             (
+                "decode.chunks".into(),
+                MetricValue::Counter(self.chunks_decoded),
+            ),
+            (
+                "decode.bytes".into(),
+                MetricValue::Counter(self.bytes_decoded),
+            ),
+            (
+                "decode.seconds".into(),
+                MetricValue::Gauge(self.decode_seconds),
+            ),
+            (
+                "decode.dedup".into(),
+                MetricValue::Counter(self.dedup_decodes),
+            ),
+            (
+                "decode.pipeline_occupancy".into(),
+                MetricValue::Gauge(self.pipeline_occupancy),
+            ),
+            (
                 "trace.spans".into(),
                 MetricValue::Counter(self.trace_spans as u64),
             ),
@@ -200,6 +233,8 @@ impl MetricsSnapshot {
              \"lock_busy_seconds\":{:.9}}},\"reactor\":{{\"horizon\":{:.9},\
              \"device_busy\":[{}],\"utilization\":[{}]}},\"device\":{{\"reads\":{},\
              \"writes\":{},\"read_seconds\":{:.9},\"write_seconds\":{:.9}}},\
+             \"decode\":{{\"chunks\":{},\"bytes\":{},\"seconds\":{:.9},\"dedup\":{},\
+             \"pipeline_occupancy\":{:.6}}},\
              \"trace\":{{\"spans\":{},\"dropped\":{}}}}}",
             self.submitted,
             self.completed,
@@ -224,6 +259,11 @@ impl MetricsSnapshot {
             self.device_writes,
             self.device_read_seconds,
             self.device_write_seconds,
+            self.chunks_decoded,
+            self.bytes_decoded,
+            self.decode_seconds,
+            self.dedup_decodes,
+            self.pipeline_occupancy,
             self.trace_spans,
             self.trace_dropped,
         )
@@ -495,6 +535,11 @@ mod tests {
             device_writes: 0,
             device_read_seconds: 0.75,
             device_write_seconds: 0.0,
+            chunks_decoded: 3,
+            bytes_decoded: 2048,
+            decode_seconds: 0.001,
+            dedup_decodes: 1,
+            pipeline_occupancy: 0.5,
             trace_spans: 9,
             trace_dropped: 2,
         };
@@ -509,6 +554,12 @@ mod tests {
         assert!(metrics
             .iter()
             .any(|(n, v)| n == "trace.dropped_spans" && *v == MetricValue::Counter(2)));
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| n == "decode.chunks" && *v == MetricValue::Counter(3)));
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| n == "decode.pipeline_occupancy" && *v == MetricValue::Gauge(0.5)));
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
@@ -517,6 +568,8 @@ mod tests {
             "\"reactor\"",
             "\"device_busy\"",
             "\"dropped\":2",
+            "\"decode\"",
+            "\"dedup\":1",
         ] {
             assert!(json.contains(key), "{json} missing {key}");
         }
